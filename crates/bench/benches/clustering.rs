@@ -1,0 +1,148 @@
+//! Criterion benches of the clustering algorithms themselves — the
+//! runtime side of Figures 10 and 11: how each algorithm scales with
+//! the number of hyper-cells it is given.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::TransitStubParams;
+use pubsub_core::{
+    ClusteringAlgorithm, GridFramework, KMeans, KMeansVariant, MstClustering, NoLossClustering,
+    NoLossConfig, PairsStrategy, PairwiseGrouping,
+};
+use sim::StockScenario;
+use workload::StockModel;
+
+const K: usize = 25;
+
+fn scenario() -> StockScenario {
+    let model = StockModel::default().with_sizes(400, 50);
+    StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 300, 77)
+}
+
+fn frameworks(sc: &StockScenario) -> Vec<(usize, GridFramework)> {
+    [100usize, 300, 600]
+        .iter()
+        .map(|&cells| (cells, sc.framework(cells)))
+        .collect()
+}
+
+fn bench_grid_algorithms(c: &mut Criterion) {
+    let sc = scenario();
+    let fws = frameworks(&sc);
+    let algs: Vec<Box<dyn ClusteringAlgorithm>> = vec![
+        Box::new(KMeans::new(KMeansVariant::MacQueen)),
+        Box::new(KMeans::new(KMeansVariant::Forgy)),
+        Box::new(MstClustering::new()),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: 1 })),
+    ];
+    let mut group = c.benchmark_group("fig10_clustering_runtime");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for (cells, fw) in &fws {
+        for alg in &algs {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), cells),
+                fw,
+                |b, fw| b.iter(|| alg.cluster(fw, K)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_noloss(c: &mut Criterion) {
+    let sc = scenario();
+    let mut group = c.benchmark_group("fig8_noloss_runtime");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for rects in [100usize, 200, 400] {
+        let cfg = NoLossConfig {
+            max_rects: rects,
+            iterations: 3,
+            max_candidates_per_round: 50_000,
+        };
+        group.bench_with_input(BenchmarkId::new("rects", rects), &cfg, |b, cfg| {
+            b.iter(|| NoLossClustering::build(&sc.rects, &sc.density_sample, cfg, K))
+        });
+    }
+    for iters in [1usize, 3, 6] {
+        let cfg = NoLossConfig {
+            max_rects: 200,
+            iterations: iters,
+            max_candidates_per_round: 50_000,
+        };
+        group.bench_with_input(BenchmarkId::new("iterations", iters), &cfg, |b, cfg| {
+            b.iter(|| NoLossClustering::build(&sc.rects, &sc.density_sample, cfg, K))
+        });
+    }
+    group.finish();
+}
+
+/// Warm-started re-balancing vs cold clustering after one subscription
+/// change (the Section 6.5 dynamics story in numbers).
+fn bench_dynamic_rebalance(c: &mut Criterion) {
+    use geometry::{Grid, Interval, Rect};
+    use pubsub_core::{CellProbability, DynamicClustering, KMeansVariant};
+
+    let grid = Grid::cube(0.0, 100.0, 1, 50).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    let build_population = |d: &mut DynamicClustering| {
+        for i in 0..150 {
+            let lo = (i % 90) as f64;
+            d.subscribe(Rect::new(vec![
+                Interval::new(lo, lo + 10.0).unwrap(),
+            ]));
+        }
+    };
+    let mut group = c.benchmark_group("dynamic_rebalance");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("warm_after_one_change", |b| {
+        b.iter_batched(
+            || {
+                let mut d = DynamicClustering::new(
+                    grid.clone(),
+                    probs.clone(),
+                    pubsub_core::KMeans::new(KMeansVariant::MacQueen),
+                    12,
+                );
+                build_population(&mut d);
+                d.rebalance();
+                d.subscribe(Rect::new(vec![Interval::new(40.0, 55.0).unwrap()]));
+                d
+            },
+            |mut d| d.rebalance(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cold_rebuild_after_one_change", |b| {
+        b.iter_batched(
+            || {
+                let mut d = DynamicClustering::new(
+                    grid.clone(),
+                    probs.clone(),
+                    pubsub_core::KMeans::new(KMeansVariant::MacQueen),
+                    12,
+                );
+                build_population(&mut d);
+                d.rebalance();
+                d.subscribe(Rect::new(vec![Interval::new(40.0, 55.0).unwrap()]));
+                d
+            },
+            |mut d| d.rebuild(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_algorithms,
+    bench_noloss,
+    bench_dynamic_rebalance
+);
+criterion_main!(benches);

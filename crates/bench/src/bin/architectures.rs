@@ -1,0 +1,98 @@
+//! Architecture comparison (Section 6, item 6 of the paper): the
+//! paper's *centralized* model — the first intelligent node matches
+//! the event and multicasts to precomputed groups — versus the
+//! Gryphon-style *hop-by-hop* broker tree where every node filters and
+//! forwards.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin architectures [-- --scale quick|medium|paper]
+//! ```
+
+use broker::BrokerNetwork;
+use netsim::TransitStubParams;
+use pubsub_bench::Scale;
+use pubsub_core::{ClusteringAlgorithm, KMeans, KMeansVariant};
+use sim::{Evaluator, MulticastMode, StockScenario};
+use workload::StockModel;
+
+fn main() {
+    let (model, topo, density_events, max_cells, k) = match Scale::from_args() {
+        Scale::Quick => (
+            StockModel::default().with_sizes(200, 100),
+            TransitStubParams::paper_100_nodes(),
+            200,
+            400,
+            20,
+        ),
+        Scale::Medium => (
+            StockModel::default().with_sizes(1000, 250),
+            TransitStubParams::paper_section51(),
+            500,
+            2000,
+            100,
+        ),
+        Scale::Paper => (
+            StockModel::default().with_sizes(1000, 500),
+            TransitStubParams::paper_section51(),
+            1000,
+            6000,
+            100,
+        ),
+    };
+    let scenario = StockScenario::generate(&model, &topo, density_events, 2002);
+    let mut evaluator = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = evaluator.baseline_costs();
+
+    // Centralized: Forgy clustering + dense-mode multicast.
+    let fw = scenario.framework(max_cells);
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, k);
+    let clustered =
+        evaluator.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+
+    // Hop-by-hop: broker tree with per-link filters.
+    let subs: Vec<(netsim::NodeId, geometry::Rect)> = scenario
+        .workload
+        .subscriptions
+        .iter()
+        .map(|s| (s.node, s.rect.clone()))
+        .collect();
+    let net = BrokerNetwork::build(scenario.topo.graph(), &subs);
+    let mut broker_total = 0.0;
+    for ev in &scenario.workload.events {
+        broker_total += net.deliver(ev.publisher, &ev.point).cost;
+    }
+    let broker_cost = broker_total / scenario.workload.events.len().max(1) as f64;
+
+    println!(
+        "architecture comparison ({} subs, {} events, K = {k}):",
+        scenario.workload.subscriptions.len(),
+        scenario.workload.events.len()
+    );
+    println!("  {:<34} {:>10} {:>13}", "scheme", "cost/event", "improvement%");
+    for (name, cost) in [
+        ("unicast", baselines.unicast),
+        ("broadcast", baselines.broadcast),
+        ("clustered multicast (Forgy)", clustered),
+        ("broker tree (hop-by-hop filters)", broker_cost),
+        ("ideal multicast", baselines.ideal),
+    ] {
+        println!(
+            "  {name:<34} {cost:>10.0} {:>13.1}",
+            baselines.improvement_pct(cost)
+        );
+    }
+    let state = net.state_size();
+    println!();
+    println!(
+        "broker router state: {} filter entries across links (max {} on one link)",
+        state.total_filter_entries, state.max_link_entries
+    );
+    println!(
+        "clustered-multicast state: {k} groups x {} member lists, no per-hop filters",
+        clustering.num_groups()
+    );
+    println!();
+    println!("broker routing needs no multicast groups at all, at the price of");
+    println!("per-hop matching state and global subscription propagation — the");
+    println!("trade-off the paper's Section 6 discusses.");
+}

@@ -1,0 +1,115 @@
+//! Diagnostic: match-rate and group-size statistics for the Figure 7
+//! scenario (not part of the paper; used to sanity-check the pipeline).
+
+use netsim::TransitStubParams;
+use pubsub_core::{ClusteringAlgorithm, KMeans, KMeansVariant};
+use sim::StockScenario;
+use workload::StockModel;
+
+fn main() {
+    let model = StockModel::default().with_sizes(1000, 250);
+    let sc = StockScenario::generate(
+        &model,
+        &TransitStubParams::paper_section51(),
+        500,
+        2002,
+    );
+    let fw = sc.framework(2000);
+    println!("hyper-cells kept: {}", fw.hypercells().len());
+    let matched = sc
+        .workload
+        .events
+        .iter()
+        .filter(|e| fw.hyper_of_point(&e.point).is_some())
+        .count();
+    println!(
+        "events matched to a kept cell: {matched} / {}",
+        sc.workload.events.len()
+    );
+    let avg_interested: f64 = sc
+        .workload
+        .events
+        .iter()
+        .map(|e| sc.workload.interested_nodes(&e.point).len() as f64)
+        .sum::<f64>()
+        / sc.workload.events.len() as f64;
+    println!("avg interested nodes per event: {avg_interested:.1}");
+
+    // --- No-Loss diagnostics ---
+    let nl = sc.noloss(
+        &pubsub_core::NoLossConfig {
+            max_rects: 2000,
+            iterations: 4,
+            max_candidates_per_round: 1_000_000,
+        },
+        100,
+    );
+    let mut nl_matched = 0usize;
+    let mut covered_frac = 0.0f64;
+    for e in &sc.workload.events {
+        let interested = sc.workload.matching_subscriptions(&e.point);
+        if interested.is_empty() {
+            continue;
+        }
+        if let Some(r) = nl.match_event(&e.point) {
+            nl_matched += 1;
+            let u = &nl.regions()[r].subscribers;
+            let cov = interested.iter().filter(|&&i| u.contains(i)).count();
+            covered_frac += cov as f64 / interested.len() as f64;
+        }
+    }
+    println!(
+        "no-loss: matched {nl_matched} events, avg covered fraction of interested = {:.2}",
+        covered_frac / nl_matched.max(1) as f64
+    );
+    let top = &nl.regions()[..10.min(nl.num_groups())];
+    for (i, r) in top.iter().enumerate() {
+        println!(
+            "  region {i}: |u|={} w={:.4} rect={}",
+            r.subscribers.count(),
+            r.weight,
+            r.rect
+        );
+    }
+
+    // Framework + delivery summaries via the library's own diagnostics.
+    let st = fw.stats();
+    println!(
+        "framework: {} hyper-cells over {} cells, covered probability {:.2}, members mean {:.1} max {}",
+        st.num_hypercells, st.num_cells, st.covered_probability, st.mean_members, st.max_members
+    );
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 100);
+    {
+        let mut ev = sim::Evaluator::new(&sc.topo, &sc.workload);
+        let bd = ev.grid_clustering_breakdown(&fw, &clustering, 0.0);
+        println!(
+            "delivery: match rate {:.0}%, mean cost {:.0}, group nodes {:.1} (wasted {:.1}), interested {:.1}",
+            100.0 * bd.match_rate(),
+            bd.mean_cost(),
+            bd.mean_group_nodes,
+            bd.mean_wasted_nodes,
+            bd.mean_interested_nodes
+        );
+    }
+    let sizes: Vec<usize> = clustering
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut nodes: Vec<_> = g
+                .members
+                .iter()
+                .map(|i| sc.workload.subscriptions[i].node)
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes.len()
+        })
+        .collect();
+    let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    println!(
+        "groups: {} | avg member-nodes {avg:.1} | max {} | min {}",
+        sizes.len(),
+        sizes.iter().max().unwrap(),
+        sizes.iter().min().unwrap()
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 11 of the paper: solution quality as a function
+//! of clustering time (the Figure 10 sweep re-plotted on the time
+//! axis; the paper combines the two plots of Figure 10 this way).
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin fig11 [-- --scale quick|medium|paper]
+//! ```
+
+use pubsub_bench::Scale;
+use sim::experiments::{fig10, Fig10Config};
+use sim::report::render_fig11;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => Fig10Config::quick(),
+        Scale::Medium => Fig10Config::medium(),
+        Scale::Paper => Fig10Config::paper(),
+    };
+    let res = fig10(&cfg);
+    print!("{}", render_fig11(&res));
+}

@@ -1,0 +1,21 @@
+//! Figure 7 with error bars: the improvement-vs-K sweep repeated over
+//! several seeds, reported as mean ± standard deviation per algorithm
+//! (a robustness quantification beyond the paper's single-seed plots).
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin fig7stats [-- --scale quick|medium|paper]
+//! ```
+
+use pubsub_bench::Scale;
+use sim::experiments::Fig7Config;
+use sim::stats::{fig7_multi_seed, render_multi_seed};
+
+fn main() {
+    let (cfg, seeds): (Fig7Config, Vec<u64>) = match Scale::from_args() {
+        Scale::Quick => (Fig7Config::quick(), vec![1, 2, 3]),
+        Scale::Medium => (Fig7Config::medium(), vec![1, 2, 3, 4, 5]),
+        Scale::Paper => (Fig7Config::paper(), vec![1, 2, 3, 4, 5]),
+    };
+    let res = fig7_multi_seed(&cfg, &seeds);
+    print!("{}", render_multi_seed(&res));
+}

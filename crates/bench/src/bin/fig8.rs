@@ -1,0 +1,21 @@
+//! Regenerates Figure 8 of the paper: the No-Loss algorithm's
+//! improvement as a function of the number of rectangles kept and the
+//! number of intersection iterations.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin fig8 [-- --scale quick|medium|paper]
+//! ```
+
+use pubsub_bench::Scale;
+use sim::experiments::{fig8, Fig8Config};
+use sim::report::render_fig8;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => Fig8Config::quick(),
+        Scale::Medium => Fig8Config::medium(),
+        Scale::Paper => Fig8Config::paper(),
+    };
+    let res = fig8(&cfg);
+    print!("{}", render_fig8(&res));
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 9 of the paper: the Figure 7 sweep repeated on a
+//! second network generated with a different random seed, showing the
+//! algorithm ranking is robust to the topology draw.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin fig9 [-- --scale quick|medium|paper]
+//! ```
+
+use pubsub_bench::Scale;
+use sim::experiments::{fig9, Fig7Config};
+use sim::report::render_group_sweep;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => Fig7Config::quick(),
+        Scale::Medium => Fig7Config::medium(),
+        Scale::Paper => Fig7Config::paper(),
+    };
+    let (left, right) = fig9(&cfg, cfg.seed.wrapping_add(777));
+    print!(
+        "{}",
+        render_group_sweep("Figure 9 (left): original network", &left)
+    );
+    println!();
+    print!(
+        "{}",
+        render_group_sweep("Figure 9 (right): different random network", &right)
+    );
+}

@@ -1,0 +1,132 @@
+//! Link-load statistics (Section 6, item 4 of the paper): when
+//! messages are large, what matters is not the summed edge cost but
+//! how much traffic each link accumulates. This bin replays the stock
+//! scenario's event stream under unicast, clustered multicast and
+//! per-event ideal multicast, and reports the per-link load
+//! distribution of each scheme.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin loadstats [-- --scale quick|medium|paper]
+//! ```
+
+use netsim::{LoadTracker, ShortestPathTree, TransitStubParams};
+use pubsub_bench::Scale;
+use pubsub_core::{ClusteringAlgorithm, Delivery, GridMatcher, KMeans, KMeansVariant};
+use sim::StockScenario;
+use workload::StockModel;
+
+fn main() {
+    let (model, topo, density_events, max_cells, k) = match Scale::from_args() {
+        Scale::Quick => (
+            StockModel::default().with_sizes(200, 100),
+            TransitStubParams::paper_100_nodes(),
+            200,
+            400,
+            20,
+        ),
+        Scale::Medium => (
+            StockModel::default().with_sizes(1000, 250),
+            TransitStubParams::paper_section51(),
+            500,
+            2000,
+            100,
+        ),
+        Scale::Paper => (
+            StockModel::default().with_sizes(1000, 500),
+            TransitStubParams::paper_section51(),
+            1000,
+            6000,
+            100,
+        ),
+    };
+    let scenario = StockScenario::generate(&model, &topo, density_events, 2002);
+    let graph = scenario.topo.graph();
+    let fw = scenario.framework(max_cells);
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, k);
+    let matcher = GridMatcher::new(&fw, &clustering);
+
+    // Interested sets per event, via the matching engine.
+    let index = pubsub_core::SubscriptionIndex::build(&scenario.rects);
+
+    // Per-group member nodes.
+    let group_nodes: Vec<Vec<netsim::NodeId>> = clustering
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut ns: Vec<netsim::NodeId> = g
+                .members
+                .iter()
+                .map(|i| scenario.workload.subscriptions[i].node)
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+        .collect();
+
+    let mut uni = LoadTracker::new(graph);
+    let mut clustered = LoadTracker::new(graph);
+    let mut ideal = LoadTracker::new(graph);
+    let mut spt_cache: std::collections::HashMap<netsim::NodeId, ShortestPathTree> =
+        std::collections::HashMap::new();
+
+    for ev in &scenario.workload.events {
+        let matching = index.matching(&ev.point);
+        let interested_set = pubsub_core::BitSet::from_members(
+            scenario.rects.len(),
+            matching.iter().copied(),
+        );
+        let mut nodes: Vec<netsim::NodeId> = matching
+            .iter()
+            .map(|&i| scenario.workload.subscriptions[i].node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let spt = spt_cache
+            .entry(ev.publisher)
+            .or_insert_with(|| ShortestPathTree::compute(graph, ev.publisher));
+        uni.record_unicast(spt, nodes.iter().copied(), 1.0);
+        ideal.record_multicast(graph, spt, nodes.iter().copied(), 1.0);
+        match matcher.match_event(&ev.point, &interested_set) {
+            Delivery::Multicast { group } => {
+                clustered.record_multicast(graph, spt, group_nodes[group].iter().copied(), 1.0);
+            }
+            Delivery::Unicast => {
+                clustered.record_unicast(spt, nodes.iter().copied(), 1.0);
+            }
+        }
+    }
+
+    println!(
+        "per-link load over {} events ({} subscriptions, K = {k}):",
+        scenario.workload.events.len(),
+        scenario.rects.len()
+    );
+    println!(
+        "  {:<22} {:>12} {:>14} {:>14} {:>16}",
+        "scheme", "max load", "mean active", "total traffic", "weighted cost"
+    );
+    for (name, tracker) in [
+        ("unicast", &uni),
+        ("clustered multicast", &clustered),
+        ("ideal multicast", &ideal),
+    ] {
+        println!(
+            "  {name:<22} {:>12.0} {:>14.1} {:>14.0} {:>16.0}",
+            tracker.max_load(),
+            tracker.mean_active_load(),
+            tracker.total_traffic(),
+            tracker.weighted_cost(graph)
+        );
+    }
+    println!();
+    println!("hottest links under unicast:");
+    for (e, l) in uni.hotspots(5) {
+        let edge = &graph.edges()[e.index()];
+        println!("  {} -- {}  load {:.0}", edge.u, edge.v, l);
+    }
+    println!();
+    println!("multicast's advantage compounds under large messages: shared");
+    println!("tree links carry one copy per event instead of one per receiver,");
+    println!("so the bottleneck load drops even faster than the summed cost.");
+}

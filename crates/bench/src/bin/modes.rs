@@ -1,0 +1,45 @@
+//! Extension figure: improvement vs K for one algorithm (Forgy) under
+//! all three multicast substrates — the dense/sparse/application-level
+//! comparison the paper describes qualitatively in Section 5.1.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin modes [-- --scale quick|medium|paper]
+//! ```
+
+use pubsub_bench::Scale;
+use sim::experiments::{modes_sweep, Fig7Config};
+use sim::MulticastMode;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => Fig7Config::quick(),
+        Scale::Medium => Fig7Config::medium(),
+        Scale::Paper => Fig7Config::paper(),
+    };
+    let (baselines, series) = modes_sweep(&cfg);
+    println!("multicast substrates under Forgy clustering (improvement % over unicast)");
+    println!(
+        "baselines: unicast={:.0} broadcast={:.0} ideal={:.0}",
+        baselines.unicast, baselines.broadcast, baselines.ideal
+    );
+    print!("{:>5}", "K");
+    for s in &series {
+        let label = match s.mode {
+            MulticastMode::NetworkSupported => "dense",
+            MulticastMode::SparseMode => "sparse",
+            MulticastMode::ApplicationLevel => "app-level",
+        };
+        print!(" {label:>12}");
+    }
+    println!();
+    for (row, &k) in cfg.ks.iter().enumerate() {
+        print!("{k:>5}");
+        for s in &series {
+            print!(" {:>12.1}", s.points[row].1);
+        }
+        println!();
+    }
+    println!();
+    println!("dense mode needs per-(publisher, group) tree state; sparse mode one");
+    println!("shared tree per group; application-level none in the network at all.");
+}

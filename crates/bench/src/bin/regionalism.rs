@@ -1,0 +1,41 @@
+//! Extension figure: the full regionalism curve. Tables 1–2 sample the
+//! *degree of regionalism* at 0 and 0.4; this bin sweeps it from 0 to 1
+//! and traces how regional concentration of interest drives the
+//! multicast saving (the paper's Section 3 argument).
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --bin regionalism [-- --scale quick|medium|paper]
+//! ```
+
+use netsim::TransitStubParams;
+use pubsub_bench::Scale;
+use sim::experiments::regionalism_sweep;
+
+fn main() {
+    let (params, subs, events) = match Scale::from_args() {
+        Scale::Quick => (TransitStubParams::paper_100_nodes(), 300, 80),
+        Scale::Medium => (TransitStubParams::paper_300_nodes(), 1000, 200),
+        Scale::Paper => (TransitStubParams::paper_600_nodes(), 1000, 500),
+    };
+    let degrees = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let pts = regionalism_sweep(&params, subs, events, &degrees, 7);
+    println!(
+        "degree of regionalism vs multicast benefit ({subs} subscriptions, {events} events)"
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "degree", "unicast", "ideal", "ideal saves"
+    );
+    for p in pts {
+        println!(
+            "{:>8.1} {:>10.0} {:>10.0} {:>13.1}%",
+            p.degree, p.unicast, p.ideal, p.ideal_saving_pct
+        );
+    }
+    println!();
+    println!("regionalism slashes every cost (Table 1 vs Table 2), but the");
+    println!("relative ideal-vs-unicast gap NARROWS at the extremes: when");
+    println!("interest collapses onto single stubs, so few nodes want each");
+    println!("event that unicast is already nearly optimal — multicast pays");
+    println!("most in the mid-range, where interest is regional but plural.");
+}

@@ -1,0 +1,187 @@
+//! The counting matching algorithm: per-attribute predicate indexes
+//! plus a match counter per subscription.
+//!
+//! This is the matching style of the literature the paper builds on
+//! (Aguilera et al. [2]; Fabret et al. [7]): instead of treating a
+//! subscription as an opaque rectangle, index each attribute's
+//! predicates separately — an interval tree per dimension — and count,
+//! per event, how many of a subscription's *bounded* predicates are
+//! satisfied. A subscription matches when all of them are (don't-care
+//! predicates are satisfied by definition and never enter an index).
+//!
+//! Complexity per event: `O(Σ_d (log n + hits_d))` plus the counter
+//! sweep — independent of the number of dimensions a subscription
+//! wildcards, which is what makes it fast on the paper's workloads
+//! where 10–35% of predicates are `*`.
+
+use geometry::{Point, Rect};
+use spatial::IntervalTree;
+
+/// A counting-based subscription matcher.
+///
+/// Functionally identical to [`crate::SubscriptionIndex`] (and tested
+/// against it); the two differ in data layout and scaling behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Interval, Point, Rect};
+/// use pubsub_core::CountingMatcher;
+///
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 10.0)?, Interval::all()]),
+///     Rect::new(vec![Interval::all(), Interval::greater_than(5.0)]),
+/// ];
+/// let matcher = CountingMatcher::build(&subs);
+/// assert_eq!(matcher.matching(&Point::new(vec![3.0, 9.0])), vec![0, 1]);
+/// assert_eq!(matcher.matching(&Point::new(vec![3.0, 2.0])), vec![0]);
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingMatcher {
+    /// One interval tree per dimension over the *bounded* predicates,
+    /// tagged with the owning subscription id.
+    dims: Vec<IntervalTree<usize>>,
+    /// Number of bounded (non-`*`) predicates per subscription; a
+    /// subscription with `required[i] == 0` matches every event.
+    required: Vec<u32>,
+    /// Scratch counters, one per subscription.
+    len: usize,
+}
+
+impl CountingMatcher {
+    /// Builds the per-dimension indexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if subscriptions disagree on dimension.
+    pub fn build(subscriptions: &[Rect]) -> Self {
+        let len = subscriptions.len();
+        if len == 0 {
+            return CountingMatcher {
+                dims: Vec::new(),
+                required: Vec::new(),
+                len: 0,
+            };
+        }
+        let dim = subscriptions[0].dim();
+        let mut required = vec![0u32; len];
+        let mut per_dim: Vec<Vec<(geometry::Interval, usize)>> = vec![Vec::new(); dim];
+        for (i, rect) in subscriptions.iter().enumerate() {
+            assert_eq!(rect.dim(), dim, "subscription dimension mismatch");
+            for (d, iv) in rect.intervals().iter().enumerate() {
+                // A predicate is "bounded" when it constrains anything.
+                if iv.lo().is_finite() || iv.hi().is_finite() {
+                    required[i] += 1;
+                    per_dim[d].push((*iv, i));
+                }
+            }
+        }
+        CountingMatcher {
+            dims: per_dim.into_iter().map(IntervalTree::build).collect(),
+            required,
+            len,
+        }
+    }
+
+    /// Number of indexed subscriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matcher is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of the subscriptions matching the event, in increasing
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event dimension differs from the subscriptions'.
+    pub fn matching(&self, event: &Point) -> Vec<usize> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        assert_eq!(event.dim(), self.dims.len(), "event dimension mismatch");
+        let mut counts = vec![0u32; self.len];
+        for (d, tree) in self.dims.iter().enumerate() {
+            for &i in tree.stab(event[d]) {
+                counts[i] += 1;
+            }
+        }
+        counts
+            .iter()
+            .zip(self.required.iter())
+            .enumerate()
+            .filter(|(_, (c, r))| c == r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Interval;
+    use rand::prelude::*;
+
+    #[test]
+    fn empty_matcher() {
+        let m = CountingMatcher::build(&[]);
+        assert!(m.is_empty());
+        assert!(m.matching(&Point::new(vec![0.0])).is_empty());
+    }
+
+    #[test]
+    fn all_wildcard_subscription_matches_everything() {
+        let m = CountingMatcher::build(&[Rect::all(3)]);
+        assert_eq!(m.matching(&Point::new(vec![1.0, -100.0, 1e6])), vec![0]);
+    }
+
+    #[test]
+    fn one_sided_predicates_count_as_bounded() {
+        let subs = vec![Rect::new(vec![
+            Interval::greater_than(5.0),
+            Interval::at_most(3.0),
+        ])];
+        let m = CountingMatcher::build(&subs);
+        assert_eq!(m.matching(&Point::new(vec![6.0, 2.0])), vec![0]);
+        assert!(m.matching(&Point::new(vec![6.0, 4.0])).is_empty());
+        assert!(m.matching(&Point::new(vec![4.0, 2.0])).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_subscription_index_on_random_workloads() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let subs: Vec<Rect> = (0..300)
+            .map(|_| {
+                Rect::new(
+                    (0..4)
+                        .map(|_| {
+                            let c: f64 = rng.gen();
+                            if c < 0.25 {
+                                Interval::all()
+                            } else if c < 0.35 {
+                                Interval::greater_than(rng.gen_range(0.0..20.0))
+                            } else if c < 0.45 {
+                                Interval::at_most(rng.gen_range(0.0..20.0))
+                            } else {
+                                let a = rng.gen_range(0.0..20.0);
+                                let b = rng.gen_range(0.0..20.0);
+                                Interval::from_unordered(a, b)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let counting = CountingMatcher::build(&subs);
+        let rtree = crate::SubscriptionIndex::build(&subs);
+        for _ in 0..300 {
+            let p = Point::new((0..4).map(|_| rng.gen_range(-2.0..22.0)).collect());
+            assert_eq!(counting.matching(&p), rtree.matching(&p));
+        }
+    }
+}

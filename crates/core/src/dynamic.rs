@@ -1,0 +1,389 @@
+//! Dynamic subscription maintenance (Section 6, item 5 of the paper).
+//!
+//! Real systems see subscribers join, leave, and change their
+//! rectangles continuously. Rebuilding the clustering from scratch on
+//! every change wastes the work already done; the paper observes that
+//! the iterative algorithms (K-means / Forgy) "are well suited for
+//! dynamic changes in subscription structure": after a change, the old
+//! partition is still approximately right, so a *warm-started*
+//! re-balancing pass converges in a handful of moves.
+//!
+//! [`DynamicClustering`] owns the subscription population and the
+//! current clustering. Subscriptions are added/removed with stable
+//! ids; [`DynamicClustering::rebalance`] re-rasterizes and re-balances
+//! from the previous assignment, reporting how many hyper-cell moves
+//! the update needed.
+
+use geometry::{Grid, Point, Rect};
+
+use crate::clustering::Clustering;
+use crate::framework::{CellProbability, GridFramework};
+use crate::kmeans::KMeans;
+
+/// Stable identifier of a dynamic subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub usize);
+
+impl SubscriptionId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A clustering that tracks subscription churn and re-balances
+/// incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Grid, Interval, Rect};
+/// use pubsub_core::{
+///     CellProbability, DynamicClustering, KMeans, KMeansVariant,
+/// };
+///
+/// let grid = Grid::cube(0.0, 10.0, 1, 10)?;
+/// let probs = CellProbability::uniform(&grid);
+/// let mut dynamic = DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), 2);
+/// let a = dynamic.subscribe(Rect::new(vec![Interval::new(0.0, 4.0)?]));
+/// let _b = dynamic.subscribe(Rect::new(vec![Interval::new(6.0, 10.0)?]));
+/// let moves = dynamic.rebalance();
+/// assert!(dynamic.clustering().num_groups() <= 2);
+/// dynamic.unsubscribe(a)?;
+/// let _ = moves;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicClustering {
+    grid: Grid,
+    probs: CellProbability,
+    algorithm: KMeans,
+    k: usize,
+    /// Slot per subscription; `None` marks an unsubscribed tombstone so
+    /// ids stay stable.
+    subscriptions: Vec<Option<Rect>>,
+    framework: GridFramework,
+    clustering: Clustering,
+    /// Changes since the last rebalance.
+    pending: usize,
+}
+
+/// Error returned by [`DynamicClustering::unsubscribe`] and
+/// [`DynamicClustering::resubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicError {
+    /// The id was never issued or already unsubscribed.
+    UnknownSubscription(SubscriptionId),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::UnknownSubscription(id) => {
+                write!(f, "subscription #{} does not exist", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+impl DynamicClustering {
+    /// Creates an empty dynamic clustering over the grid.
+    pub fn new(grid: Grid, probs: CellProbability, algorithm: KMeans, k: usize) -> Self {
+        let framework = GridFramework::build(grid.clone(), &[], &probs, None);
+        let clustering = Clustering::from_assignment(&framework, Vec::new());
+        DynamicClustering {
+            grid,
+            probs,
+            algorithm,
+            k,
+            subscriptions: Vec::new(),
+            framework,
+            clustering,
+            pending: 0,
+        }
+    }
+
+    /// Registers a new subscription, returning its stable id. The
+    /// clustering is not updated until [`DynamicClustering::rebalance`].
+    pub fn subscribe(&mut self, rect: Rect) -> SubscriptionId {
+        self.subscriptions.push(Some(rect));
+        self.pending += 1;
+        SubscriptionId(self.subscriptions.len() - 1)
+    }
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicError::UnknownSubscription`] for unknown or
+    /// already-removed ids.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), DynamicError> {
+        match self.subscriptions.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.pending += 1;
+                Ok(())
+            }
+            _ => Err(DynamicError::UnknownSubscription(id)),
+        }
+    }
+
+    /// Replaces a subscription's rectangle (a preference change).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicError::UnknownSubscription`] for unknown or
+    /// removed ids.
+    pub fn resubscribe(&mut self, id: SubscriptionId, rect: Rect) -> Result<(), DynamicError> {
+        match self.subscriptions.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = Some(rect);
+                self.pending += 1;
+                Ok(())
+            }
+            _ => Err(DynamicError::UnknownSubscription(id)),
+        }
+    }
+
+    /// Number of live (non-tombstoned) subscriptions.
+    pub fn num_subscriptions(&self) -> usize {
+        self.subscriptions.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of changes since the last rebalance.
+    pub fn pending_changes(&self) -> usize {
+        self.pending
+    }
+
+    /// The current clustering (as of the last rebalance).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The current grid framework (as of the last rebalance).
+    pub fn framework(&self) -> &GridFramework {
+        &self.framework
+    }
+
+    /// The group currently matched to an event point, if any.
+    pub fn group_of_point(&self, p: &Point) -> Option<usize> {
+        self.clustering.group_of_point(&self.framework, p)
+    }
+
+    /// Re-rasterizes the (changed) subscription population and
+    /// re-balances the clustering, warm-starting each hyper-cell from
+    /// the group its cells belonged to before the change. Returns the
+    /// number of hyper-cell moves the re-balancing needed — the warm
+    /// start's convergence cost.
+    pub fn rebalance(&mut self) -> usize {
+        // Tombstoned slots keep their index but rasterize nothing, so
+        // membership vectors stay aligned with ids.
+        let rects: Vec<Rect> = self
+            .subscriptions
+            .iter()
+            .map(|s| s.clone().unwrap_or_else(|| empty_rect(self.grid.dim())))
+            .collect();
+        let new_fw = GridFramework::build(self.grid.clone(), &rects, &self.probs, None);
+        let l = new_fw.hypercells().len();
+        if l == 0 {
+            self.framework = new_fw;
+            self.clustering = Clustering::from_assignment(&self.framework, Vec::new());
+            self.pending = 0;
+            return 0;
+        }
+        let k = self.k.min(l);
+        // Warm start: a new hyper-cell inherits the group that most of
+        // its cells belonged to before (falling back to round-robin for
+        // cells in previously empty regions).
+        let seed: Vec<usize> = new_fw
+            .hypercells()
+            .iter()
+            .enumerate()
+            .map(|(h, hc)| {
+                let mut votes = std::collections::HashMap::new();
+                for &cell in &hc.cells {
+                    if let Some(old_h) = self.framework.hyper_of_cell(cell) {
+                        let g = self.clustering.group_of_hyper(old_h);
+                        if g < k {
+                            *votes.entry(g).or_insert(0usize) += 1;
+                        }
+                    }
+                }
+                votes
+                    .into_iter()
+                    .max_by_key(|&(g, count)| (count, usize::MAX - g))
+                    .map(|(g, _)| g)
+                    .unwrap_or(h % k)
+            })
+            .collect();
+        let (clustering, moves) = self.algorithm.cluster_seeded(&new_fw, k, &seed);
+        self.framework = new_fw;
+        self.clustering = clustering;
+        self.pending = 0;
+        moves
+    }
+
+    /// Rebuilds from scratch (cold start) — the baseline the warm
+    /// start is measured against. Returns the moves performed.
+    pub fn rebuild(&mut self) -> usize {
+        let rects: Vec<Rect> = self
+            .subscriptions
+            .iter()
+            .map(|s| s.clone().unwrap_or_else(|| empty_rect(self.grid.dim())))
+            .collect();
+        let new_fw = GridFramework::build(self.grid.clone(), &rects, &self.probs, None);
+        let l = new_fw.hypercells().len();
+        let k = self.k.min(l.max(1));
+        // Cold seed: round-robin (deliberately uninformed).
+        let seed: Vec<usize> = (0..l).map(|h| h % k).collect();
+        let (clustering, moves) = if l == 0 {
+            (Clustering::from_assignment(&new_fw, Vec::new()), 0)
+        } else {
+            self.algorithm.cluster_seeded(&new_fw, k, &seed)
+        };
+        self.framework = new_fw;
+        self.clustering = clustering;
+        self.pending = 0;
+        moves
+    }
+}
+
+/// A rectangle that rasterizes to no cell (used for tombstoned slots).
+fn empty_rect(dim: usize) -> Rect {
+    use geometry::Interval;
+    Rect::new(
+        (0..dim)
+            .map(|_| Interval::new(0.0, 0.0).expect("empty interval is valid"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeansVariant;
+    use geometry::Interval;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    fn system(k: usize) -> DynamicClustering {
+        let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), k)
+    }
+
+    #[test]
+    fn empty_system() {
+        let mut s = system(3);
+        assert_eq!(s.num_subscriptions(), 0);
+        assert_eq!(s.rebalance(), 0);
+        assert_eq!(s.clustering().num_groups(), 0);
+        assert_eq!(s.group_of_point(&Point::new(vec![5.0])), None);
+    }
+
+    #[test]
+    fn subscribe_then_rebalance_matches_events() {
+        let mut s = system(2);
+        s.subscribe(rect1(0.0, 8.0));
+        s.subscribe(rect1(12.0, 20.0));
+        assert_eq!(s.pending_changes(), 2);
+        s.rebalance();
+        assert_eq!(s.pending_changes(), 0);
+        let left = s.group_of_point(&Point::new(vec![3.0]));
+        let right = s.group_of_point(&Point::new(vec![15.0]));
+        assert!(left.is_some() && right.is_some());
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn unsubscribe_removes_interest() {
+        let mut s = system(2);
+        let a = s.subscribe(rect1(0.0, 8.0));
+        s.subscribe(rect1(12.0, 20.0));
+        s.rebalance();
+        assert!(s.group_of_point(&Point::new(vec![3.0])).is_some());
+        s.unsubscribe(a).unwrap();
+        s.rebalance();
+        // Nobody is interested around 3.0 anymore.
+        assert_eq!(s.group_of_point(&Point::new(vec![3.0])), None);
+        assert_eq!(s.num_subscriptions(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_errors() {
+        let mut s = system(2);
+        let a = s.subscribe(rect1(0.0, 5.0));
+        s.unsubscribe(a).unwrap();
+        assert_eq!(
+            s.unsubscribe(a),
+            Err(DynamicError::UnknownSubscription(a))
+        );
+        assert_eq!(
+            s.unsubscribe(SubscriptionId(99)),
+            Err(DynamicError::UnknownSubscription(SubscriptionId(99)))
+        );
+        assert_eq!(
+            s.resubscribe(SubscriptionId(99), rect1(0.0, 1.0)),
+            Err(DynamicError::UnknownSubscription(SubscriptionId(99)))
+        );
+    }
+
+    #[test]
+    fn resubscribe_moves_interest() {
+        let mut s = system(2);
+        let a = s.subscribe(rect1(0.0, 5.0));
+        s.rebalance();
+        assert!(s.group_of_point(&Point::new(vec![2.0])).is_some());
+        s.resubscribe(a, rect1(10.0, 15.0)).unwrap();
+        s.rebalance();
+        assert_eq!(s.group_of_point(&Point::new(vec![2.0])), None);
+        assert!(s.group_of_point(&Point::new(vec![12.0])).is_some());
+    }
+
+    #[test]
+    fn warm_start_needs_fewer_moves_than_cold_rebuild() {
+        // Build a 2-community population, rebalance, then perturb with
+        // one extra subscription: the warm restart should move (far)
+        // fewer hyper-cells than a cold round-robin rebuild.
+        let mut s = system(2);
+        for i in 0..8 {
+            s.subscribe(rect1(i as f64 * 0.3, 8.0 - i as f64 * 0.3));
+            s.subscribe(rect1(12.0 + i as f64 * 0.3, 20.0 - i as f64 * 0.3));
+        }
+        s.rebalance();
+        s.subscribe(rect1(1.0, 7.0));
+        let warm_moves = s.rebalance();
+
+        // Same perturbation, cold rebuild.
+        let mut cold = system(2);
+        for i in 0..8 {
+            cold.subscribe(rect1(i as f64 * 0.3, 8.0 - i as f64 * 0.3));
+            cold.subscribe(rect1(12.0 + i as f64 * 0.3, 20.0 - i as f64 * 0.3));
+        }
+        cold.rebalance();
+        cold.subscribe(rect1(1.0, 7.0));
+        let cold_moves = cold.rebuild();
+        assert!(
+            warm_moves <= cold_moves,
+            "warm {warm_moves} > cold {cold_moves}"
+        );
+    }
+
+    #[test]
+    fn ids_stay_stable_across_churn() {
+        let mut s = system(2);
+        let a = s.subscribe(rect1(0.0, 5.0));
+        let b = s.subscribe(rect1(5.0, 10.0));
+        s.unsubscribe(a).unwrap();
+        let c = s.subscribe(rect1(10.0, 15.0));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        s.rebalance();
+        assert_eq!(s.num_subscriptions(), 2);
+    }
+}

@@ -1,0 +1,676 @@
+//! The grid-based clustering framework (Section 4.1 of the paper).
+//!
+//! The pipeline turns raw subscriptions into the objects the clustering
+//! heuristics operate on:
+//!
+//! 1. **rasterize** every subscription rectangle onto a regular grid,
+//!    building a membership bit-vector per cell;
+//! 2. **merge** cells with identical membership into *hyper-cells*
+//!    (combining them costs zero expected waste);
+//! 3. **rank** hyper-cells by popularity `r(a) = p_p(a)·|s(a)|` and
+//!    keep only the most popular ones ("the rest [is left] for
+//!    unicast") — the paper's *number of rectangles* parameter that
+//!    Figures 8 and 10 sweep.
+
+use std::collections::HashMap;
+
+use geometry::{CellId, Grid, Point, Rect};
+
+use crate::membership::BitSet;
+use crate::waste::popularity;
+
+/// Per-cell publication probability `p_p` over a grid.
+///
+/// The paper weighs distances and popularity by the publication density;
+/// the simulator estimates it empirically from a sample of events
+/// ([`CellProbability::empirical`]) or assumes a flat distribution
+/// ([`CellProbability::uniform`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellProbability {
+    probs: Vec<f64>,
+}
+
+impl CellProbability {
+    /// A uniform distribution: every cell gets `1 / num_cells`.
+    pub fn uniform(grid: &Grid) -> Self {
+        let n = grid.num_cells();
+        CellProbability {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// An empirical estimate from a sample of event points: each cell's
+    /// probability is its share of the in-bounds sample. Out-of-bounds
+    /// points are ignored. An empty (or fully out-of-bounds) sample
+    /// falls back to the uniform distribution.
+    pub fn empirical<'a>(grid: &Grid, sample: impl IntoIterator<Item = &'a Point>) -> Self {
+        let mut counts = vec![0usize; grid.num_cells()];
+        let mut total = 0usize;
+        for p in sample {
+            if let Some(c) = grid.cell_of(p) {
+                counts[c.index()] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return CellProbability::uniform(grid);
+        }
+        CellProbability {
+            probs: counts
+                .into_iter()
+                .map(|c| c as f64 / total as f64)
+                .collect(),
+        }
+    }
+
+    /// The probability mass of cell `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn prob(&self, c: CellId) -> f64 {
+        self.probs[c.index()]
+    }
+
+    /// From an arbitrary mass function over cell rectangles — e.g. the
+    /// analytic publication density of a workload model. Masses are
+    /// normalized over the grid; if the function assigns zero mass
+    /// everywhere, falls back to uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function returns a negative or NaN mass.
+    pub fn from_mass_fn(grid: &Grid, mass: impl Fn(&Rect) -> f64) -> Self {
+        let mut probs: Vec<f64> = grid
+            .iter()
+            .map(|c| {
+                let m = mass(&grid.cell_rect(c));
+                assert!(m >= 0.0, "cell mass must be non-negative, got {m}");
+                m
+            })
+            .collect();
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return CellProbability::uniform(grid);
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        CellProbability { probs }
+    }
+}
+
+/// A maximal set of grid cells sharing one membership vector. Combining
+/// them into any group is free (zero expected waste), so hyper-cells are
+/// the atomic clustering unit; the paper calls them "rectangles" when
+/// counting how many are fed to an algorithm.
+#[derive(Debug, Clone)]
+pub struct HyperCell {
+    /// The grid cells merged into this hyper-cell.
+    pub cells: Vec<CellId>,
+    /// The common membership vector.
+    pub members: BitSet,
+    /// Total publication probability over the member cells.
+    pub prob: f64,
+}
+
+impl HyperCell {
+    /// The popularity rating `r = p_p · |s|`.
+    pub fn popularity(&self) -> f64 {
+        popularity(self.prob, &self.members)
+    }
+}
+
+/// Summary statistics of a prepared [`GridFramework`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkStats {
+    /// Hyper-cells kept after merging and truncation.
+    pub num_hypercells: usize,
+    /// Raw grid cells those hyper-cells cover.
+    pub num_cells: usize,
+    /// Total publication probability mass of the kept cells (the
+    /// fraction of events that can be matched to a group at all).
+    pub covered_probability: f64,
+    /// Mean membership-vector size.
+    pub mean_members: f64,
+    /// Largest membership-vector size.
+    pub max_members: usize,
+}
+
+/// The prepared grid framework: hyper-cells ranked by popularity plus
+/// the cell → hyper-cell index used at matching time.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Grid, Interval, Rect};
+/// use pubsub_core::{CellProbability, GridFramework};
+///
+/// let grid = Grid::cube(0.0, 10.0, 1, 10)?;
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 5.0)?]),
+///     Rect::new(vec![Interval::new(0.0, 5.0)?]),
+///     Rect::new(vec![Interval::new(5.0, 10.0)?]),
+/// ];
+/// let probs = CellProbability::uniform(&grid);
+/// let fw = GridFramework::build(grid, &subs, &probs, None);
+/// // Cells (0,5] share membership {0,1}; cells (5,10] share {2}.
+/// assert_eq!(fw.hypercells().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridFramework {
+    grid: Grid,
+    num_subscribers: usize,
+    hypercells: Vec<HyperCell>,
+    cell_to_hyper: HashMap<CellId, usize>,
+}
+
+impl GridFramework {
+    /// Builds the framework: rasterize, merge, rank, truncate.
+    ///
+    /// `max_cells` is the paper's *number of rectangles* knob — at most
+    /// that many hyper-cells (by decreasing popularity) are kept; `None`
+    /// keeps them all. Cells no subscriber overlaps are dropped outright
+    /// (events there interest nobody).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subscription's dimension differs from the grid's.
+    pub fn build(
+        grid: Grid,
+        subscriptions: &[Rect],
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+    ) -> Self {
+        let cell_sets: Vec<Vec<CellId>> = subscriptions
+            .iter()
+            .map(|rect| grid.cells_overlapping(rect))
+            .collect();
+        Self::build_from_cells(grid, &cell_sets, probs, max_cells)
+    }
+
+    /// Builds the framework *without* the hyper-cell merge step: every
+    /// non-empty cell becomes its own single-cell "hyper-cell". Same
+    /// matching semantics, strictly more clustering input — the
+    /// ablation for the paper's Section 4.1 implementation note that
+    /// merging identical membership vectors is free.
+    pub fn build_unmerged(
+        grid: Grid,
+        subscriptions: &[Rect],
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+    ) -> Self {
+        let num_subscribers = subscriptions.len();
+        let mut cell_members: HashMap<CellId, BitSet> = HashMap::new();
+        for (i, rect) in subscriptions.iter().enumerate() {
+            for cell in grid.cells_overlapping(rect) {
+                cell_members
+                    .entry(cell)
+                    .or_insert_with(|| BitSet::new(num_subscribers))
+                    .insert(i);
+            }
+        }
+        let mut hypercells: Vec<HyperCell> = cell_members
+            .into_iter()
+            .map(|(cell, members)| HyperCell {
+                prob: probs.prob(cell),
+                cells: vec![cell],
+                members,
+            })
+            .collect();
+        hypercells.sort_by(|a, b| {
+            b.popularity()
+                .partial_cmp(&a.popularity())
+                .expect("popularity is never NaN")
+                .then_with(|| a.cells[0].cmp(&b.cells[0]))
+        });
+        if let Some(max) = max_cells {
+            hypercells.truncate(max);
+        }
+        let cell_to_hyper = hypercells
+            .iter()
+            .enumerate()
+            .map(|(h, hc)| (hc.cells[0], h))
+            .collect();
+        GridFramework {
+            grid,
+            num_subscribers,
+            hypercells,
+            cell_to_hyper,
+        }
+    }
+
+    /// Builds the framework from *arbitrary* per-subscriber cell sets
+    /// instead of rectangles — the paper's Section 6 extension: "the
+    /// same grid data structures can be created without requiring the
+    /// sets to be rectangles". Any interest shape that can be
+    /// rasterized (polygons, unions of rectangles, point sets rounded
+    /// up to cells) clusters identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell id is out of range for the grid.
+    pub fn build_from_cells(
+        grid: Grid,
+        cell_sets: &[Vec<CellId>],
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+    ) -> Self {
+        let num_subscribers = cell_sets.len();
+        // 1. Rasterize: membership vector per non-empty cell.
+        let mut cell_members: HashMap<CellId, BitSet> = HashMap::new();
+        for (i, cells) in cell_sets.iter().enumerate() {
+            for &cell in cells {
+                assert!(cell.index() < grid.num_cells(), "cell id out of range");
+                cell_members
+                    .entry(cell)
+                    .or_insert_with(|| BitSet::new(num_subscribers))
+                    .insert(i);
+            }
+        }
+        // 2. Merge identical membership vectors into hyper-cells.
+        let mut by_members: HashMap<BitSet, Vec<CellId>> = HashMap::new();
+        for (cell, members) in cell_members {
+            by_members.entry(members).or_default().push(cell);
+        }
+        let mut hypercells: Vec<HyperCell> = by_members
+            .into_iter()
+            .map(|(members, mut cells)| {
+                cells.sort_unstable();
+                let prob = cells.iter().map(|&c| probs.prob(c)).sum();
+                HyperCell {
+                    cells,
+                    members,
+                    prob,
+                }
+            })
+            .collect();
+        // 3. Rank by popularity (descending; ties broken by first cell id
+        //    for determinism) and truncate.
+        hypercells.sort_by(|a, b| {
+            b.popularity()
+                .partial_cmp(&a.popularity())
+                .expect("popularity is never NaN")
+                .then_with(|| a.cells[0].cmp(&b.cells[0]))
+        });
+        if let Some(max) = max_cells {
+            hypercells.truncate(max);
+        }
+        let cell_to_hyper = hypercells
+            .iter()
+            .enumerate()
+            .flat_map(|(h, hc)| hc.cells.iter().map(move |&c| (c, h)))
+            .collect();
+        GridFramework {
+            grid,
+            num_subscribers,
+            hypercells,
+            cell_to_hyper,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of subscriptions the membership vectors are indexed by.
+    pub fn num_subscribers(&self) -> usize {
+        self.num_subscribers
+    }
+
+    /// The kept hyper-cells, sorted by decreasing popularity.
+    pub fn hypercells(&self) -> &[HyperCell] {
+        &self.hypercells
+    }
+
+    /// The hyper-cell containing grid cell `c`, if it was kept.
+    pub fn hyper_of_cell(&self, c: CellId) -> Option<usize> {
+        self.cell_to_hyper.get(&c).copied()
+    }
+
+    /// The hyper-cell (if any) containing the event point.
+    pub fn hyper_of_point(&self, p: &Point) -> Option<usize> {
+        self.grid.cell_of(p).and_then(|c| self.hyper_of_cell(c))
+    }
+
+    /// Summary statistics of the prepared framework — the quantities
+    /// that predict clustering behaviour (how much the merge step
+    /// compressed, how much publication mass the kept cells cover, how
+    /// fat the membership vectors are).
+    pub fn stats(&self) -> FrameworkStats {
+        let num_hypercells = self.hypercells.len();
+        let num_cells: usize = self.hypercells.iter().map(|h| h.cells.len()).sum();
+        let covered_probability: f64 = self.hypercells.iter().map(|h| h.prob).sum();
+        let member_counts: Vec<usize> =
+            self.hypercells.iter().map(|h| h.members.count()).collect();
+        let max_members = member_counts.iter().copied().max().unwrap_or(0);
+        let mean_members = if num_hypercells == 0 {
+            0.0
+        } else {
+            member_counts.iter().sum::<usize>() as f64 / num_hypercells as f64
+        };
+        FrameworkStats {
+            num_hypercells,
+            num_cells,
+            covered_probability,
+            mean_members,
+            max_members,
+        }
+    }
+
+    /// Removes the most isolated hyper-cells — the outlier-removal
+    /// step the paper leaves as future work ("the implementation of
+    /// outlier removal algorithms for detection of cells that have
+    /// rather unique combination of subscribers").
+    ///
+    /// A hyper-cell's isolation is its expected-waste distance to the
+    /// nearest other hyper-cell; the `fraction` most isolated cells
+    /// are dropped (their events fall back to unicast). Returns the
+    /// filtered framework.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn remove_outliers(&self, fraction: f64) -> GridFramework {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let l = self.hypercells.len();
+        let drop = ((l as f64) * fraction).round() as usize;
+        if drop == 0 || l < 2 {
+            return self.clone();
+        }
+        // Isolation score: distance to the nearest other hyper-cell.
+        let mut scores: Vec<(f64, usize)> = (0..l)
+            .map(|i| {
+                let a = &self.hypercells[i];
+                let mut best = f64::INFINITY;
+                for (j, b) in self.hypercells.iter().enumerate() {
+                    if i != j {
+                        let d = crate::waste::expected_waste(
+                            a.prob, &a.members, b.prob, &b.members,
+                        );
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                }
+                (best, i)
+            })
+            .collect();
+        // Most isolated first; ties (e.g. mutually-nearest pairs, where
+        // the distance is symmetric) break toward the least popular
+        // cell — "rather unique combination of subscribers" means few
+        // subscribers and little publication mass.
+        scores.sort_by(|x, y| {
+            y.0
+                .partial_cmp(&x.0)
+                .expect("distance is never NaN")
+                .then_with(|| {
+                    self.hypercells[x.1]
+                        .popularity()
+                        .partial_cmp(&self.hypercells[y.1].popularity())
+                        .expect("popularity is never NaN")
+                })
+        });
+        let dropped: std::collections::HashSet<usize> =
+            scores.iter().take(drop).map(|&(_, i)| i).collect();
+        let hypercells: Vec<HyperCell> = self
+            .hypercells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(i))
+            .map(|(_, hc)| hc.clone())
+            .collect();
+        let cell_to_hyper = hypercells
+            .iter()
+            .enumerate()
+            .flat_map(|(h, hc)| hc.cells.iter().map(move |&c| (c, h)))
+            .collect();
+        GridFramework {
+            grid: self.grid.clone(),
+            num_subscribers: self.num_subscribers,
+            hypercells,
+            cell_to_hyper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Interval;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    fn grid10() -> Grid {
+        Grid::cube(0.0, 10.0, 1, 10).unwrap()
+    }
+
+    #[test]
+    fn empirical_probability_counts_sample() {
+        let g = grid10();
+        let pts = vec![
+            Point::new(vec![0.5]),
+            Point::new(vec![0.7]),
+            Point::new(vec![5.5]),
+            Point::new(vec![50.0]), // out of bounds, ignored
+        ];
+        let p = CellProbability::empirical(&g, &pts);
+        let c0 = g.cell_of(&Point::new(vec![0.5])).unwrap();
+        let c5 = g.cell_of(&Point::new(vec![5.5])).unwrap();
+        assert!((p.prob(c0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.prob(c5) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_falls_back_to_uniform() {
+        let g = grid10();
+        let p = CellProbability::empirical(&g, &[]);
+        assert_eq!(p, CellProbability::uniform(&g));
+    }
+
+    #[test]
+    fn build_merges_identical_membership() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 5.0), rect1(0.0, 5.0), rect1(5.0, 10.0)];
+        let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), None);
+        assert_eq!(fw.hypercells().len(), 2);
+        // Each hyper-cell spans 5 unit cells; probabilities sum to 0.5.
+        for hc in fw.hypercells() {
+            assert_eq!(hc.cells.len(), 5);
+            assert!((hc.prob - 0.5).abs() < 1e-12);
+        }
+        // Most popular first: membership {0,1} has popularity 1.0 > 0.5.
+        assert_eq!(fw.hypercells()[0].members.count(), 2);
+        assert_eq!(fw.hypercells()[1].members.count(), 1);
+    }
+
+    #[test]
+    fn empty_cells_are_dropped() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 2.0)];
+        let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), None);
+        // Only the two cells under (0,2] survive, as one hyper-cell.
+        assert_eq!(fw.hypercells().len(), 1);
+        assert_eq!(fw.hypercells()[0].cells.len(), 2);
+        // A point outside any subscription maps to no hyper-cell.
+        assert_eq!(fw.hyper_of_point(&Point::new(vec![9.5])), None);
+    }
+
+    #[test]
+    fn truncation_keeps_most_popular() {
+        let g = grid10();
+        // Three membership classes with different popularity.
+        let subs = vec![
+            rect1(0.0, 3.0),
+            rect1(0.0, 3.0),
+            rect1(0.0, 3.0),
+            rect1(3.0, 6.0),
+            rect1(3.0, 6.0),
+            rect1(6.0, 10.0),
+        ];
+        let full = GridFramework::build(
+            g.clone(),
+            &subs,
+            &CellProbability::uniform(&g),
+            None,
+        );
+        assert_eq!(full.hypercells().len(), 3);
+        let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), Some(1));
+        assert_eq!(fw.hypercells().len(), 1);
+        assert_eq!(fw.hypercells()[0].members.count(), 3);
+        // Dropped cells resolve to no hyper-cell.
+        assert_eq!(fw.hyper_of_point(&Point::new(vec![7.0])), None);
+        assert_eq!(fw.hyper_of_point(&Point::new(vec![1.0])), Some(0));
+    }
+
+    #[test]
+    fn hyper_of_point_round_trip() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 5.0), rect1(2.0, 8.0)];
+        let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), None);
+        // (2,5] overlaps both subs; (0,2] only the first; (5,8] only the
+        // second → three hyper-cells.
+        assert_eq!(fw.hypercells().len(), 3);
+        let h_both = fw.hyper_of_point(&Point::new(vec![3.0])).unwrap();
+        assert_eq!(fw.hypercells()[h_both].members.count(), 2);
+    }
+
+    #[test]
+    fn build_unmerged_keeps_single_cell_hypercells() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 5.0), rect1(0.0, 5.0)];
+        let probs = CellProbability::uniform(&g);
+        let fw = GridFramework::build_unmerged(g, &subs, &probs, None);
+        // Five non-empty unit cells, none merged.
+        assert_eq!(fw.hypercells().len(), 5);
+        for hc in fw.hypercells() {
+            assert_eq!(hc.cells.len(), 1);
+            assert_eq!(hc.members.count(), 2);
+        }
+        // Matching is identical to the merged build.
+        let merged = GridFramework::build(
+            grid10(),
+            &subs,
+            &CellProbability::uniform(&grid10()),
+            None,
+        );
+        for x in [0.5, 2.5, 4.9, 6.0] {
+            let p = Point::new(vec![x]);
+            assert_eq!(
+                fw.hyper_of_point(&p).is_some(),
+                merged.hyper_of_point(&p).is_some(),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_outliers_drops_isolated_membership() {
+        let g = grid10();
+        // Nine similar subscribers on (0,5] plus one loner on (9,10]:
+        // the loner's hyper-cell is the most isolated.
+        let mut subs = vec![rect1(0.0, 5.0); 9];
+        subs.push(rect1(9.0, 10.0));
+        let probs = CellProbability::uniform(&g);
+        let fw = GridFramework::build(g, &subs, &probs, None);
+        assert_eq!(fw.hypercells().len(), 2);
+        let filtered = fw.remove_outliers(0.5);
+        assert_eq!(filtered.hypercells().len(), 1);
+        // The popular community survives; the loner's cell is gone.
+        assert_eq!(filtered.hypercells()[0].members.count(), 9);
+        assert_eq!(filtered.hyper_of_point(&Point::new(vec![9.5])), None);
+        assert!(filtered.hyper_of_point(&Point::new(vec![2.0])).is_some());
+    }
+
+    #[test]
+    fn remove_outliers_zero_fraction_is_identity() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 5.0), rect1(5.0, 10.0)];
+        let probs = CellProbability::uniform(&g);
+        let fw = GridFramework::build(g, &subs, &probs, None);
+        let same = fw.remove_outliers(0.0);
+        assert_eq!(same.hypercells().len(), fw.hypercells().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn remove_outliers_validates_fraction() {
+        let g = grid10();
+        let probs = CellProbability::uniform(&g);
+        let fw = GridFramework::build(g, &[], &probs, None);
+        let _ = fw.remove_outliers(1.5);
+    }
+
+    #[test]
+    fn from_mass_fn_normalizes() {
+        let g = grid10();
+        // Mass proportional to the cell midpoint.
+        let p = CellProbability::from_mass_fn(&g, |r| {
+            (r.interval(0).lo() + r.interval(0).hi()) / 2.0
+        });
+        let total: f64 = g.iter().map(|c| p.prob(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Later cells carry more mass.
+        assert!(p.prob(CellId(9)) > p.prob(CellId(0)));
+        // All-zero mass falls back to uniform.
+        let u = CellProbability::from_mass_fn(&g, |_| 0.0);
+        assert_eq!(u, CellProbability::uniform(&g));
+    }
+
+    #[test]
+    fn build_from_cells_supports_non_rectangular_interest() {
+        let g = grid10();
+        // An L-shaped (non-rectangular) interest: cells {0, 1, 5}.
+        let sets = vec![vec![CellId(0), CellId(1), CellId(5)]];
+        let probs = CellProbability::uniform(&g);
+        let fw = GridFramework::build_from_cells(g, &sets, &probs, None);
+        assert_eq!(fw.hypercells().len(), 1);
+        assert_eq!(fw.hypercells()[0].cells.len(), 3);
+        assert!(fw.hyper_of_point(&Point::new(vec![0.5])).is_some());
+        assert!(fw.hyper_of_point(&Point::new(vec![5.5])).is_some());
+        assert_eq!(fw.hyper_of_point(&Point::new(vec![2.5])), None);
+    }
+
+    #[test]
+    fn stats_summarize_the_framework() {
+        let g = grid10();
+        let subs = vec![rect1(0.0, 5.0), rect1(0.0, 5.0), rect1(5.0, 10.0)];
+        let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), None);
+        let st = fw.stats();
+        assert_eq!(st.num_hypercells, 2);
+        assert_eq!(st.num_cells, 10);
+        assert!((st.covered_probability - 1.0).abs() < 1e-12);
+        assert_eq!(st.max_members, 2);
+        assert!((st.mean_members - 1.5).abs() < 1e-12);
+        // Empty framework.
+        let empty = GridFramework::build(
+            grid10(),
+            &[],
+            &CellProbability::uniform(&grid10()),
+            None,
+        );
+        let st = empty.stats();
+        assert_eq!(st.num_hypercells, 0);
+        assert_eq!(st.mean_members, 0.0);
+    }
+
+    #[test]
+    fn probabilities_weight_popularity() {
+        let g = grid10();
+        // One subscriber on (0,1]; two on (9,10] — but all publication
+        // mass sits in (0,1].
+        let subs = vec![rect1(0.0, 1.0), rect1(9.0, 10.0), rect1(9.0, 10.0)];
+        let sample = vec![Point::new(vec![0.5]); 10];
+        let probs = CellProbability::empirical(&g, &sample);
+        let fw = GridFramework::build(g, &subs, &probs, Some(1));
+        // The single-subscriber hot cell wins: popularity 1·1 > 0·2.
+        assert_eq!(fw.hypercells()[0].members.count(), 1);
+    }
+}

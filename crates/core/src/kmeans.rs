@@ -1,0 +1,358 @@
+//! K-means subscription clustering (Section 4.2 of the paper).
+//!
+//! Both variants follow Figure 1 of the paper:
+//!
+//! 0. the `K` hyper-cells with the highest popularity rating seed the
+//!    groups; every other hyper-cell is assigned to the closest group by
+//!    the expected-waste distance;
+//! 1. each hyper-cell is re-examined and moved to its closest group;
+//! 2. repeat until no cell moves (or the iteration cap).
+//!
+//! The **MacQueen** variant updates a group's membership vector each
+//! time a hyper-cell moves; the **Forgy** variant computes a whole pass
+//! of re-assignments against a snapshot of the vectors and applies the
+//! updates only after the pass. A hyper-cell never leaves a group it is
+//! the last member of.
+
+use crate::clustering::{Clustering, ClusteringAlgorithm, GroupAccumulator};
+use crate::framework::GridFramework;
+
+/// Which centroid-update discipline to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KMeansVariant {
+    /// Update the moved-to/moved-from groups immediately (MacQueen).
+    MacQueen,
+    /// Update all groups only at the end of each full pass (Forgy).
+    Forgy,
+}
+
+/// The K-means clustering algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Grid, Interval, Rect};
+/// use pubsub_core::{
+///     CellProbability, ClusteringAlgorithm, GridFramework, KMeans, KMeansVariant,
+/// };
+///
+/// let grid = Grid::cube(0.0, 10.0, 1, 10)?;
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 4.0)?]),
+///     Rect::new(vec![Interval::new(1.0, 5.0)?]),
+///     Rect::new(vec![Interval::new(7.0, 10.0)?]),
+/// ];
+/// let probs = CellProbability::uniform(&grid);
+/// let fw = GridFramework::build(grid, &subs, &probs, None);
+/// let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 2);
+/// assert!(clustering.num_groups() <= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeans {
+    variant: KMeansVariant,
+    max_iterations: usize,
+}
+
+impl KMeans {
+    /// Creates the algorithm with the paper's default cap of 100
+    /// iterations ("usually the number of actual iterations was less
+    /// than 20").
+    pub fn new(variant: KMeansVariant) -> Self {
+        KMeans {
+            variant,
+            max_iterations: 100,
+        }
+    }
+
+    /// Overrides the iteration cap. The paper notes processing "can be
+    /// stopped after any iteration, resulting in a feasible partition".
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> KMeansVariant {
+        self.variant
+    }
+
+    /// Runs the re-assignment passes from a caller-supplied initial
+    /// partition instead of the popularity seeding — the warm start
+    /// used when subscriptions change and the previous clustering is
+    /// still approximately right (Section 4.2: "an easy way to
+    /// accommodate changes in cell membership, simply running a number
+    /// of re-balancing iterations").
+    ///
+    /// `initial[h]` is the starting group of hyper-cell `h`; group ids
+    /// must be `< k`. Returns the clustering and the number of moves
+    /// performed across all passes (a convergence diagnostic: a warm
+    /// start should need far fewer moves than a cold one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the hyper-cell count or
+    /// any group id is `>= k`.
+    pub fn cluster_seeded(
+        &self,
+        framework: &GridFramework,
+        k: usize,
+        initial: &[usize],
+    ) -> (Clustering, usize) {
+        let hcs = framework.hypercells();
+        let l = hcs.len();
+        assert_eq!(initial.len(), l, "one seed group per hyper-cell");
+        if l == 0 {
+            return (Clustering::from_assignment(framework, Vec::new()), 0);
+        }
+        let k = k.max(1).min(l.max(1));
+        let ns = framework.num_subscribers();
+        let mut groups: Vec<GroupAccumulator> =
+            (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let mut assignment = initial.to_vec();
+        for (h, &g) in assignment.iter().enumerate() {
+            assert!(g < k, "seed group {g} out of range for k = {k}");
+            groups[g].add(&hcs[h]);
+        }
+        let mut total_moves = 0usize;
+        for _ in 0..self.max_iterations {
+            let mut moved = false;
+            for h in 0..l {
+                let cur = assignment[h];
+                if groups[cur].num_cells() == 1 {
+                    continue;
+                }
+                let best = closest_group(&groups, framework, h);
+                if best != cur {
+                    groups[cur].remove(&hcs[h]);
+                    groups[best].add(&hcs[h]);
+                    assignment[h] = best;
+                    moved = true;
+                    total_moves += 1;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        (
+            Clustering::from_assignment(framework, assignment),
+            total_moves,
+        )
+    }
+}
+
+impl ClusteringAlgorithm for KMeans {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            KMeansVariant::MacQueen => "kmeans",
+            KMeansVariant::Forgy => "forgy",
+        }
+    }
+
+    fn cluster(&self, framework: &GridFramework, k: usize) -> Clustering {
+        let hcs = framework.hypercells();
+        let l = hcs.len();
+        if l == 0 {
+            return Clustering::from_assignment(framework, Vec::new());
+        }
+        let k = k.max(1).min(l);
+        let ns = framework.num_subscribers();
+
+        // Step 0: the K most popular hyper-cells seed the groups
+        // (hyper-cells are already sorted by popularity).
+        let mut groups: Vec<GroupAccumulator> =
+            (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let mut assignment: Vec<usize> = vec![usize::MAX; l];
+        for (g, group) in groups.iter_mut().enumerate().take(k) {
+            group.add(&hcs[g]);
+            assignment[g] = g;
+        }
+        // Assign the rest to the closest seed group (updating vectors as
+        // we go — this is the initial-partition step for both variants).
+        for h in k..l {
+            let g = closest_group(&groups, framework, h);
+            groups[g].add(&hcs[h]);
+            assignment[h] = g;
+        }
+
+        // Steps 1-2: re-assignment passes.
+        for _ in 0..self.max_iterations {
+            let mut moved = false;
+            match self.variant {
+                KMeansVariant::MacQueen => {
+                    for h in 0..l {
+                        let cur = assignment[h];
+                        if groups[cur].num_cells() == 1 {
+                            continue; // never empty a group
+                        }
+                        let best = closest_group(&groups, framework, h);
+                        if best != cur {
+                            groups[cur].remove(&hcs[h]);
+                            groups[best].add(&hcs[h]);
+                            assignment[h] = best;
+                            moved = true;
+                        }
+                    }
+                }
+                KMeansVariant::Forgy => {
+                    // Distances against the frozen snapshot...
+                    let snapshot = groups.clone();
+                    let mut pending: Vec<(usize, usize)> = Vec::new();
+                    let mut leaving = vec![0usize; k];
+                    for h in 0..l {
+                        let cur = assignment[h];
+                        let best = closest_group(&snapshot, framework, h);
+                        if best != cur
+                            && snapshot[cur].num_cells() > leaving[cur] + 1
+                        {
+                            pending.push((h, best));
+                            leaving[cur] += 1;
+                        }
+                    }
+                    // ...applied only after the pass.
+                    for (h, best) in pending {
+                        let cur = assignment[h];
+                        groups[cur].remove(&hcs[h]);
+                        groups[best].add(&hcs[h]);
+                        assignment[h] = best;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        Clustering::from_assignment(framework, assignment)
+    }
+}
+
+/// Index of the group with minimal expected-waste distance to hyper-cell
+/// `h` (ties go to the lower index, deterministically).
+fn closest_group(groups: &[GroupAccumulator], framework: &GridFramework, h: usize) -> usize {
+    let hc = &framework.hypercells()[h];
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (g, group) in groups.iter().enumerate() {
+        let d = group.distance_to(hc);
+        if d < best_d {
+            best_d = d;
+            best = g;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CellProbability;
+    use geometry::{Grid, Interval, Rect};
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    /// Two clearly separated interest communities on a 1-D grid.
+    fn two_communities() -> GridFramework {
+        let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+        let mut subs = Vec::new();
+        // Community A: 5 subscribers around (0, 8].
+        for i in 0..5 {
+            subs.push(rect1(i as f64 * 0.5, 8.0 - i as f64 * 0.5));
+        }
+        // Community B: 5 subscribers around (12, 20].
+        for i in 0..5 {
+            subs.push(rect1(12.0 + i as f64 * 0.5, 20.0 - i as f64 * 0.5));
+        }
+        let probs = CellProbability::uniform(&grid);
+        GridFramework::build(grid, &subs, &probs, None)
+    }
+
+    #[test]
+    fn separates_two_communities() {
+        let fw = two_communities();
+        for variant in [KMeansVariant::MacQueen, KMeansVariant::Forgy] {
+            let c = KMeans::new(variant).cluster(&fw, 2);
+            assert_eq!(c.num_groups(), 2, "{variant:?}");
+            // No group should mix subscribers from both communities:
+            // each group's members must be entirely < 5 or >= 5.
+            for g in c.groups() {
+                let low = g.members.iter().filter(|&m| m < 5).count();
+                let high = g.members.iter().filter(|&m| m >= 5).count();
+                assert!(
+                    low == 0 || high == 0,
+                    "{variant:?} mixed group: {low} low + {high} high"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_puts_everything_in_one_group() {
+        let fw = two_communities();
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 1);
+        assert_eq!(c.num_groups(), 1);
+        assert_eq!(
+            c.groups()[0].hypercells.len(),
+            fw.hypercells().len()
+        );
+    }
+
+    #[test]
+    fn k_larger_than_cells_caps_at_cell_count() {
+        let fw = two_communities();
+        let l = fw.hypercells().len();
+        let c = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 10 * l);
+        assert!(c.num_groups() <= l);
+        // With k = l every hyper-cell can be its own group: zero waste.
+        assert_eq!(c.total_expected_waste(&fw), 0.0);
+    }
+
+    #[test]
+    fn empty_framework() {
+        let grid = Grid::cube(0.0, 10.0, 1, 10).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = GridFramework::build(grid, &[], &probs, None);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 3);
+        assert_eq!(c.num_groups(), 0);
+    }
+
+    #[test]
+    fn more_groups_do_not_increase_waste() {
+        let fw = two_communities();
+        let km = KMeans::new(KMeansVariant::Forgy);
+        let mut prev = f64::INFINITY;
+        for k in [1, 2, 4, 8] {
+            let w = km.cluster(&fw, k).total_expected_waste(&fw);
+            // K-means is a heuristic, so allow small non-monotonicity,
+            // but the broad trend must hold from K=1 to K=8.
+            assert!(w <= prev + 1e-9 || k < 8, "waste went {prev} -> {w} at k={k}");
+            prev = w;
+        }
+        assert!(
+            km.cluster(&fw, 8).total_expected_waste(&fw)
+                <= km.cluster(&fw, 1).total_expected_waste(&fw)
+        );
+    }
+
+    #[test]
+    fn zero_iterations_still_yields_feasible_partition() {
+        let fw = two_communities();
+        let c = KMeans::new(KMeansVariant::MacQueen)
+            .with_max_iterations(0)
+            .cluster(&fw, 3);
+        assert!(c.num_groups() <= 3);
+        assert!(!c.groups().is_empty());
+        // Every hyper-cell is assigned somewhere.
+        let total: usize = c.groups().iter().map(|g| g.hypercells.len()).sum();
+        assert_eq!(total, fw.hypercells().len());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(KMeans::new(KMeansVariant::MacQueen).name(), "kmeans");
+        assert_eq!(KMeans::new(KMeansVariant::Forgy).name(), "forgy");
+    }
+}

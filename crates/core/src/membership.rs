@@ -1,0 +1,275 @@
+//! Subscriber membership vectors.
+//!
+//! Section 4.1 of the paper attaches to each grid cell `a` a *membership
+//! vector* `s(a) ∈ {0,1}^Ns` whose non-zero entries are the subscribers
+//! interested in the cell. These vectors are the feature vectors of the
+//! clustering framework — all distances are computed on them, never on
+//! event-space coordinates. This module provides the packed bit-vector
+//! they are stored in, with the set operations the expected-waste
+//! distance needs (`|A \ B|`, unions, intersections).
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length packed bit vector over subscriber indices.
+///
+/// # Examples
+///
+/// ```
+/// use pubsub_core::BitSet;
+///
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(64);
+/// let mut b = BitSet::new(100);
+/// b.insert(64);
+/// assert_eq!(a.difference_count(&b), 1); // {3}
+/// assert_eq!(a.intersection_count(&b), 1); // {64}
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a set from the given member indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_members(len: usize, members: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(len);
+        for m in members {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// Size of the universe (not the number of members).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Adds index `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Whether index `i` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self \ other|` — members of `self` not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∩ other|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterator over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet{{")?;
+        for (i, m) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized by the largest element (`max + 1`); an empty
+    /// iterator yields an empty universe.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_members(len, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(0)); // duplicate
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_members(100, [1, 2, 3, 70]);
+        let b = BitSet::from_members(100, [2, 3, 4, 71]);
+        assert_eq!(a.difference_count(&b), 2); // {1, 70}
+        assert_eq!(b.difference_count(&a), 2); // {4, 71}
+        assert_eq!(a.intersection_count(&b), 2); // {2, 3}
+        assert_eq!(a.union_count(&b), 6);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 6);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let s = BitSet::from_members(200, [190, 0, 64, 5]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 64, 190]);
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashMap;
+        let a = BitSet::from_members(100, [1, 50]);
+        let b = BitSet::from_members(100, [50, 1]);
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, "x");
+        assert_eq!(m.get(&b), Some(&"x"));
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert_eq!(s.count(), 3);
+        let e: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(e.universe(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn difference_with_self_is_zero() {
+        let a = BitSet::from_members(100, [7, 8, 9]);
+        assert_eq!(a.difference_count(&a), 0);
+        assert_eq!(a.intersection_count(&a), 3);
+    }
+}

@@ -1,0 +1,568 @@
+//! The No-Loss clustering algorithm (Section 4.5 of the paper).
+//!
+//! Grid-based groups can over-deliver: a subscriber whose rectangle
+//! merely *overlaps* a cell receives every event in that cell. No-Loss
+//! instead builds multicast groups from *intersections of interest
+//! rectangles*: a group's region `s` is contained in every member's
+//! rectangle, so "each subscriber receiving a message is interested in
+//! it" — no wasted deliveries, by construction.
+//!
+//! The algorithm searches for the most popular intersections, weighting
+//! an area `s` by `w(s) = p_p(s)·|u(s)|` where `u(s)` is the set of
+//! subscribers whose rectangles contain `s`. Starting from the raw
+//! subscription rectangles, each iteration intersects overlapping
+//! regions pairwise (membership of an intersection is the union of the
+//! parents' memberships — a sound under-approximation, since any
+//! rectangle containing a parent contains the intersection), keeps the
+//! `max_rects` heaviest regions, and repeats. The paper ran it with
+//! 5000 rectangles and 8 iterations (Figure 8 sweeps both knobs).
+
+use std::collections::HashMap;
+
+use geometry::{Point, Rect};
+use spatial::RTree;
+
+use crate::membership::BitSet;
+
+/// Tuning knobs of the No-Loss algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoLossConfig {
+    /// Regions kept after each intersection round (paper: 5000).
+    pub max_rects: usize,
+    /// Number of intersection rounds (paper: 8).
+    pub iterations: usize,
+    /// Cap on candidate intersections examined per round, to bound the
+    /// cost of dense overlap structures; the scan prioritizes heavy
+    /// regions (the pool is kept sorted by weight).
+    pub max_candidates_per_round: usize,
+}
+
+impl Default for NoLossConfig {
+    fn default() -> Self {
+        NoLossConfig {
+            max_rects: 5000,
+            iterations: 8,
+            max_candidates_per_round: 2_000_000,
+        }
+    }
+}
+
+/// One No-Loss region: a rectangle together with the subscribers whose
+/// interest is guaranteed to contain it.
+#[derive(Debug, Clone)]
+pub struct NoLossRegion {
+    /// The region in event space.
+    pub rect: Rect,
+    /// `u(s)` — subscribers whose rectangles contain `rect`.
+    pub subscribers: BitSet,
+    /// `w(s) = p_p(s)·|u(s)|`.
+    pub weight: f64,
+}
+
+/// The No-Loss clustering: the `K` heaviest regions, indexed for
+/// point-stabbing at matching time.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Interval, Point, Rect};
+/// use pubsub_core::{NoLossClustering, NoLossConfig};
+///
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 10.0)?]),
+///     Rect::new(vec![Interval::new(5.0, 15.0)?]),
+/// ];
+/// let sample = vec![Point::new(vec![7.0])];
+/// let nl = NoLossClustering::build(&subs, &sample, &NoLossConfig::default(), 4);
+/// // The overlap (5,10] is a region both subscribers belong to.
+/// let hit = nl.match_event(&Point::new(vec![7.0])).unwrap();
+/// assert_eq!(nl.regions()[hit].subscribers.count(), 2);
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoLossClustering {
+    regions: Vec<NoLossRegion>,
+    tree: RTree<usize>,
+}
+
+/// Exact bit-pattern key for a rectangle (used to merge duplicate
+/// regions produced by different intersection paths).
+fn rect_key(r: &Rect) -> Vec<(u64, u64)> {
+    r.intervals()
+        .iter()
+        .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+        .collect()
+}
+
+/// Empirical probability mass of a rectangle: its share of the sample.
+fn empirical_mass(rect: &Rect, sample: &[Point]) -> f64 {
+    if sample.is_empty() {
+        // No density information: rank by membership alone.
+        return 1.0;
+    }
+    let hits = sample.iter().filter(|p| rect.contains(p)).count();
+    hits as f64 / sample.len() as f64
+}
+
+impl NoLossClustering {
+    /// Runs the No-Loss algorithm over the subscription rectangles and
+    /// keeps the `k` heaviest regions as multicast groups.
+    ///
+    /// `sample` is a sample of publication points used to estimate
+    /// `p_p(s)` empirically; an empty sample ranks regions by
+    /// member-count alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if subscriptions disagree on dimension.
+    pub fn build(
+        subscriptions: &[Rect],
+        sample: &[Point],
+        config: &NoLossConfig,
+        k: usize,
+    ) -> Self {
+        let density = |rect: &Rect| empirical_mass(rect, sample);
+        Self::build_with_density(subscriptions, density, sample, config, k)
+    }
+
+    /// Like [`NoLossClustering::build`], but with an arbitrary density
+    /// function giving the publication mass of a rectangle — e.g. the
+    /// analytic density of a workload model. `selection_sample` is a
+    /// sample of publication points used by the final greedy group
+    /// selection (see below); when empty, the `k` heaviest regions are
+    /// kept instead.
+    ///
+    /// # Group selection
+    ///
+    /// The candidate pool easily accumulates thousands of near-identical
+    /// high-weight regions around the densest publication hot spot;
+    /// keeping simply the `k` heaviest would spend every group on one
+    /// spot. The final selection is therefore *greedy marginal
+    /// coverage*: regions are picked one at a time to maximize the
+    /// expected number of additionally covered subscriber-deliveries
+    /// over the sample (a monotone submodular objective, so greedy is
+    /// within `1 - 1/e` of optimal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if subscriptions disagree on dimension.
+    pub fn build_with_density(
+        subscriptions: &[Rect],
+        density: impl Fn(&Rect) -> f64,
+        selection_sample: &[Point],
+        config: &NoLossConfig,
+        k: usize,
+    ) -> Self {
+        let n = subscriptions.len();
+        if n == 0 {
+            return NoLossClustering {
+                regions: Vec::new(),
+                tree: RTree::new(1),
+            };
+        }
+        let dim = subscriptions[0].dim();
+        for r in subscriptions {
+            assert_eq!(r.dim(), dim, "subscription dimension mismatch");
+        }
+
+        // Initial pool: each subscription rectangle with the full set of
+        // subscribers whose rectangle contains it.
+        let mut pool: Vec<NoLossRegion> = Vec::with_capacity(n);
+        {
+            let mut by_key: HashMap<Vec<(u64, u64)>, usize> = HashMap::new();
+            for i in 0..n {
+                let key = rect_key(&subscriptions[i]);
+                if let Some(&idx) = by_key.get(&key) {
+                    // Exact duplicate rectangle: reuse the region (its
+                    // containment set already includes subscriber i).
+                    debug_assert!(pool[idx].subscribers.contains(i));
+                    continue;
+                }
+                let mut u = BitSet::new(n);
+                for (j, other) in subscriptions.iter().enumerate() {
+                    if other.contains_rect(&subscriptions[i]) {
+                        u.insert(j);
+                    }
+                }
+                let weight = density(&subscriptions[i]) * u.count() as f64;
+                by_key.insert(key, pool.len());
+                pool.push(NoLossRegion {
+                    rect: subscriptions[i].clone(),
+                    subscribers: u,
+                    weight,
+                });
+            }
+        }
+        sort_by_weight(&mut pool);
+        pool.truncate(config.max_rects);
+        // The base regions are re-inserted after every truncation:
+        // deep, heavy intersections must not evict the broad regions
+        // that give the final selection its event coverage.
+        let base: Vec<NoLossRegion> = pool.clone();
+
+        // Intersection rounds.
+        for _ in 0..config.iterations {
+            let tree = RTree::bulk_load(
+                dim,
+                pool.iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.rect.clone(), i))
+                    .collect(),
+            );
+            let mut seen: HashMap<Vec<(u64, u64)>, usize> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (rect_key(&r.rect), i))
+                .collect();
+            let mut fresh: Vec<NoLossRegion> = Vec::new();
+            let mut budget = config.max_candidates_per_round;
+            'outer: for i in 0..pool.len() {
+                for (_, &j) in tree.query_intersecting(&pool[i].rect) {
+                    if j <= i {
+                        continue;
+                    }
+                    if budget == 0 {
+                        break 'outer;
+                    }
+                    budget -= 1;
+                    let inter = match pool[i].rect.intersection(&pool[j].rect) {
+                        Some(r) => r,
+                        None => continue,
+                    };
+                    let mut u = pool[i].subscribers.clone();
+                    u.union_with(&pool[j].subscribers);
+                    let key = rect_key(&inter);
+                    match seen.get(&key) {
+                        Some(&idx) if idx < pool.len() => {
+                            // Refine an existing pool region's membership.
+                            let region = &mut pool[idx];
+                            if !u.is_subset(&region.subscribers) {
+                                region.subscribers.union_with(&u);
+                                region.weight = density(&region.rect)
+                                    * region.subscribers.count() as f64;
+                            }
+                        }
+                        Some(&idx) => {
+                            let fi = idx - pool.len();
+                            let region = &mut fresh[fi];
+                            if !u.is_subset(&region.subscribers) {
+                                region.subscribers.union_with(&u);
+                                region.weight = density(&region.rect)
+                                    * region.subscribers.count() as f64;
+                            }
+                        }
+                        None => {
+                            let weight = density(&inter) * u.count() as f64;
+                            seen.insert(key, pool.len() + fresh.len());
+                            fresh.push(NoLossRegion {
+                                rect: inter,
+                                subscribers: u,
+                                weight,
+                            });
+                        }
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            pool.extend(fresh);
+            sort_by_weight(&mut pool);
+            pool.truncate(config.max_rects);
+            // Restore any base region the truncation evicted.
+            {
+                let present: std::collections::HashSet<Vec<(u64, u64)>> =
+                    pool.iter().map(|r| rect_key(&r.rect)).collect();
+                for b in &base {
+                    if !present.contains(&rect_key(&b.rect)) {
+                        pool.push(b.clone());
+                    }
+                }
+            }
+            // Re-verify exact containment sets for the surviving pool:
+            // the pairwise union `u(s)∪u(t)` is a sound but lossy
+            // under-approximation of `u(s∩t)` (a third subscriber's
+            // rectangle may contain the intersection without containing
+            // either parent). Exact recomputation here is cheap —
+            // `max_rects · n` containment tests — and lets weights and
+            // the final group memberships match the paper's definition.
+            for region in &mut pool {
+                let mut u = BitSet::new(n);
+                for (j, other) in subscriptions.iter().enumerate() {
+                    if other.contains_rect(&region.rect) {
+                        u.insert(j);
+                    }
+                }
+                region.subscribers = u;
+                region.weight =
+                    density(&region.rect) * region.subscribers.count() as f64;
+            }
+            sort_by_weight(&mut pool);
+        }
+
+        // Final group selection: greedy marginal coverage over the
+        // sample (top-K by weight when no sample is available).
+        sort_by_weight(&mut pool);
+        if selection_sample.is_empty() {
+            pool.truncate(k);
+        } else {
+            pool = greedy_coverage_selection(pool, selection_sample, k);
+        }
+        let tree = RTree::bulk_load(
+            dim.max(1),
+            pool.iter()
+                .enumerate()
+                .map(|(i, r)| (r.rect.clone(), i))
+                .collect(),
+        );
+        NoLossClustering {
+            regions: pool,
+            tree,
+        }
+    }
+
+    /// The kept regions, heaviest first.
+    pub fn regions(&self) -> &[NoLossRegion] {
+        &self.regions
+    }
+
+    /// Number of multicast groups.
+    pub fn num_groups(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Matches an event to the best region containing it (Figure 6 of
+    /// the paper): the message is multicast to that region's
+    /// subscribers and unicast to any other interested subscriber.
+    ///
+    /// The paper's pseudo-code selects the containing region of maximal
+    /// weight `w = p_p·|u|`; since every subscriber of a containing
+    /// region is interested in this event, delivery cost is minimized
+    /// by the region with the *largest membership* (moving a receiver
+    /// from the unicast top-up into the shared tree never costs more).
+    /// We therefore break the selection by `|u|` first, weight second —
+    /// identical when density is comparable, strictly better otherwise.
+    pub fn match_event(&self, p: &Point) -> Option<usize> {
+        self.tree
+            .stab(p)
+            .into_iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let (ra, rb) = (&self.regions[a], &self.regions[b]);
+                ra.subscribers
+                    .count()
+                    .cmp(&rb.subscribers.count())
+                    .then_with(|| {
+                        ra.weight
+                            .partial_cmp(&rb.weight)
+                            .expect("weight is never NaN")
+                    })
+                    // Ties: prefer the lower index (deterministic).
+                    .then(b.cmp(&a))
+            })
+    }
+}
+
+/// Greedy submodular selection: pick `k` regions maximizing the total
+/// expected covered membership over the sample. A sample point covered
+/// by several picked regions counts its best (largest-membership)
+/// cover, mirroring the matcher's choice.
+fn greedy_coverage_selection(
+    pool: Vec<NoLossRegion>,
+    sample: &[Point],
+    k: usize,
+) -> Vec<NoLossRegion> {
+    // Containment lists: which sample points each region contains.
+    let contained: Vec<Vec<usize>> = pool
+        .iter()
+        .map(|r| {
+            sample
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| r.rect.contains(p))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let sizes: Vec<usize> = pool.iter().map(|r| r.subscribers.count()).collect();
+    let mut best_cov = vec![0usize; sample.len()];
+    let mut picked = vec![false; pool.len()];
+    let mut order = Vec::with_capacity(k.min(pool.len()));
+    for _ in 0..k.min(pool.len()) {
+        let mut best: Option<(f64, usize)> = None;
+        for (r, pts) in contained.iter().enumerate() {
+            if picked[r] {
+                continue;
+            }
+            let gain: usize = pts
+                .iter()
+                .map(|&p| sizes[r].saturating_sub(best_cov[p]))
+                .sum();
+            let gain = gain as f64;
+            // Tie-break on weight, then pool order (weight-sorted), for
+            // determinism and sane behaviour when all gains are zero.
+            let key = gain + pool[r].weight * 1e-9;
+            if best.is_none_or(|(bg, _)| key > bg) {
+                best = Some((key, r));
+            }
+        }
+        let (_, r) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        picked[r] = true;
+        for &p in &contained[r] {
+            best_cov[p] = best_cov[p].max(sizes[r]);
+        }
+        order.push(r);
+    }
+    let keep: std::collections::HashSet<usize> = order.into_iter().collect();
+    pool.into_iter()
+        .enumerate()
+        .filter(|(i, _)| keep.contains(i))
+        .map(|(_, r)| r)
+        .collect()
+}
+
+fn sort_by_weight(pool: &mut [NoLossRegion]) {
+    pool.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .expect("weight is never NaN")
+            .then_with(|| {
+                // Deterministic tie-break on the rectangle bits.
+                rect_key(&a.rect).cmp(&rect_key(&b.rect))
+            })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Interval;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    fn cfg(max_rects: usize, iterations: usize) -> NoLossConfig {
+        NoLossConfig {
+            max_rects,
+            iterations,
+            max_candidates_per_round: 100_000,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let nl = NoLossClustering::build(&[], &[], &NoLossConfig::default(), 5);
+        assert_eq!(nl.num_groups(), 0);
+        assert_eq!(nl.match_event(&Point::new(vec![0.0])), None);
+    }
+
+    #[test]
+    fn no_loss_property_holds() {
+        // Every subscriber of every region must have a rectangle that
+        // contains the whole region.
+        let subs = vec![
+            rect1(0.0, 10.0),
+            rect1(5.0, 15.0),
+            rect1(8.0, 9.0),
+            rect1(2.0, 20.0),
+        ];
+        let sample: Vec<Point> = (0..40).map(|i| Point::new(vec![i as f64 * 0.5])).collect();
+        let nl = NoLossClustering::build(&subs, &sample, &cfg(100, 4), 50);
+        assert!(nl.num_groups() > 0);
+        for region in nl.regions() {
+            for s in region.subscribers.iter() {
+                assert!(
+                    subs[s].contains_rect(&region.rect),
+                    "subscriber {s} does not contain region {}",
+                    region.rect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersections_gain_members() {
+        let subs = vec![rect1(0.0, 10.0), rect1(5.0, 15.0)];
+        let sample = vec![Point::new(vec![7.0])];
+        let nl = NoLossClustering::build(&subs, &sample, &cfg(100, 2), 10);
+        // Some region must be the overlap (5,10] with both subscribers.
+        let both = nl
+            .regions()
+            .iter()
+            .find(|r| r.subscribers.count() == 2)
+            .expect("intersection region exists");
+        assert_eq!(both.rect, rect1(5.0, 10.0));
+    }
+
+    #[test]
+    fn match_event_picks_heaviest_region() {
+        let subs = vec![rect1(0.0, 10.0), rect1(5.0, 15.0), rect1(6.0, 9.0)];
+        // Density concentrated at 7: deep intersections get heavy.
+        let sample = vec![Point::new(vec![7.0]); 10];
+        let nl = NoLossClustering::build(&subs, &sample, &cfg(100, 4), 20);
+        let hit = nl.match_event(&Point::new(vec![7.0])).unwrap();
+        // The triple intersection (6,9] carries all three subscribers
+        // and full density: it must win.
+        assert_eq!(nl.regions()[hit].subscribers.count(), 3);
+        assert_eq!(nl.regions()[hit].rect, rect1(6.0, 9.0));
+    }
+
+    #[test]
+    fn match_event_outside_all_regions_is_none() {
+        let subs = vec![rect1(0.0, 1.0)];
+        let nl = NoLossClustering::build(&subs, &[], &cfg(10, 1), 5);
+        assert_eq!(nl.match_event(&Point::new(vec![50.0])), None);
+    }
+
+    #[test]
+    fn k_truncates_to_heaviest() {
+        let subs = vec![
+            rect1(0.0, 10.0),
+            rect1(0.0, 10.0),
+            rect1(0.0, 10.0),
+            rect1(90.0, 91.0),
+        ];
+        let sample = vec![Point::new(vec![5.0]); 5];
+        let nl = NoLossClustering::build(&subs, &sample, &cfg(100, 2), 1);
+        assert_eq!(nl.num_groups(), 1);
+        // The popular shared rectangle wins over the lonely one.
+        assert_eq!(nl.regions()[0].subscribers.count(), 3);
+    }
+
+    #[test]
+    fn duplicate_rectangles_share_one_region() {
+        let subs = vec![rect1(0.0, 5.0), rect1(0.0, 5.0)];
+        let nl = NoLossClustering::build(&subs, &[], &cfg(10, 1), 10);
+        // One region, two members.
+        assert_eq!(nl.num_groups(), 1);
+        assert_eq!(nl.regions()[0].subscribers.count(), 2);
+    }
+
+    #[test]
+    fn more_iterations_never_lose_the_top_region() {
+        let subs = vec![
+            rect1(0.0, 10.0),
+            rect1(2.0, 12.0),
+            rect1(4.0, 14.0),
+            rect1(6.0, 16.0),
+        ];
+        let sample: Vec<Point> = (0..32).map(|i| Point::new(vec![i as f64 * 0.5])).collect();
+        let shallow = NoLossClustering::build(&subs, &sample, &cfg(100, 1), 100);
+        let deep = NoLossClustering::build(&subs, &sample, &cfg(100, 4), 100);
+        let max_members = |nl: &NoLossClustering| {
+            nl.regions()
+                .iter()
+                .map(|r| r.subscribers.count())
+                .max()
+                .unwrap_or(0)
+        };
+        // Deeper iteration can only find richer (or equal) intersections.
+        assert!(max_members(&deep) >= max_members(&shallow));
+        // The 4-way core (6,10] must appear after enough iterations.
+        assert_eq!(max_members(&deep), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Decomposition of multi-range subscriptions into rectangles.
+//!
+//! Section 1 of the paper: content predicates may be *range-based,
+//! composed of intervals* — e.g. a "blue chip" category is a union of
+//! several stock-name intervals. "By decomposing a subscription with
+//! multiple such ranges into multiple subscriptions consisting of
+//! single ranges we can see that it is sufficient only to consider
+//! intervals, albeit at a cost of more subscriptions."
+//!
+//! [`decompose_multirange`] performs that decomposition: the cartesian
+//! product of the per-dimension interval lists.
+
+use crate::interval::Interval;
+use crate::rect::Rect;
+
+/// Decomposes a conjunction of multi-range predicates (one list of
+/// acceptable intervals per dimension) into the equivalent set of
+/// single-range rectangles.
+///
+/// Empty intervals are skipped; if some dimension has no non-empty
+/// interval the subscription matches nothing and the result is empty.
+/// A point matches the original subscription iff it is contained in at
+/// least one returned rectangle.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{decompose_multirange, Interval, Point};
+///
+/// // "blue chip" = names {3} ∪ {7}, price 90..110, any volume.
+/// let rects = decompose_multirange(&[
+///     vec![Interval::equals_int(3), Interval::equals_int(7)],
+///     vec![Interval::new(90.0, 110.0)?],
+///     vec![Interval::all()],
+/// ]);
+/// assert_eq!(rects.len(), 2);
+/// let ibm_trade = Point::new(vec![7.0, 100.0, 5_000.0]);
+/// assert!(rects.iter().any(|r| r.contains(&ibm_trade)));
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+pub fn decompose_multirange(dims: &[Vec<Interval>]) -> Vec<Rect> {
+    // Filter out empty intervals up front.
+    let choices: Vec<Vec<Interval>> = dims
+        .iter()
+        .map(|ivs| ivs.iter().copied().filter(|iv| !iv.is_empty()).collect())
+        .collect();
+    if choices.is_empty() || choices.iter().any(|c: &Vec<Interval>| c.is_empty()) {
+        return Vec::new();
+    }
+    let total: usize = choices.iter().map(Vec::len).product();
+    let mut out = Vec::with_capacity(total);
+    let mut picks = vec![0usize; choices.len()];
+    loop {
+        out.push(Rect::new(
+            picks
+                .iter()
+                .enumerate()
+                .map(|(d, &i)| choices[d][i])
+                .collect(),
+        ));
+        // Odometer increment, last dimension fastest.
+        let mut d = choices.len();
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            if picks[d] + 1 < choices[d].len() {
+                picks[d] += 1;
+                break;
+            }
+            picks[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn single_range_per_dim_yields_one_rect() {
+        let rects = decompose_multirange(&[
+            vec![Interval::new(0.0, 1.0).unwrap()],
+            vec![Interval::all()],
+        ]);
+        assert_eq!(rects.len(), 1);
+    }
+
+    #[test]
+    fn product_counts_multiply() {
+        let rects = decompose_multirange(&[
+            vec![Interval::equals_int(1), Interval::equals_int(2), Interval::equals_int(3)],
+            vec![Interval::new(0.0, 5.0).unwrap(), Interval::new(10.0, 15.0).unwrap()],
+        ]);
+        assert_eq!(rects.len(), 6);
+    }
+
+    #[test]
+    fn decomposition_preserves_matching_semantics() {
+        let dims = vec![
+            vec![Interval::new(0.0, 2.0).unwrap(), Interval::new(5.0, 7.0).unwrap()],
+            vec![Interval::new(0.0, 3.0).unwrap(), Interval::greater_than(8.0)],
+        ];
+        let rects = decompose_multirange(&dims);
+        assert_eq!(rects.len(), 4);
+        // A grid of probes: point matches the multi-range subscription
+        // iff every dimension has some interval containing it — iff
+        // some decomposed rectangle contains it.
+        for xi in 0..20 {
+            for yi in 0..20 {
+                let (x, y) = (xi as f64 * 0.5, yi as f64 * 0.5);
+                let direct = dims[0].iter().any(|iv| iv.contains(x))
+                    && dims[1].iter().any(|iv| iv.contains(y));
+                let via_rects = rects
+                    .iter()
+                    .any(|r| r.contains(&Point::new(vec![x, y])));
+                assert_eq!(direct, via_rects, "probe ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_intervals_are_dropped() {
+        let rects = decompose_multirange(&[
+            vec![
+                Interval::new(1.0, 1.0).unwrap(), // empty, dropped
+                Interval::new(2.0, 4.0).unwrap(),
+            ],
+            vec![Interval::all()],
+        ]);
+        assert_eq!(rects.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_dimension_yields_nothing() {
+        let rects = decompose_multirange(&[
+            vec![Interval::new(1.0, 1.0).unwrap()], // only an empty interval
+            vec![Interval::all()],
+        ]);
+        assert!(rects.is_empty());
+        assert!(decompose_multirange(&[]).is_empty());
+    }
+}

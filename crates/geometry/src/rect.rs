@@ -1,0 +1,261 @@
+//! Axis-aligned rectangles: the subscription primitive.
+//!
+//! A content-based subscription is the conjunction of per-attribute
+//! interval predicates, which is exactly an axis-aligned, half-open
+//! rectangle in the event space `Ω` (Section 1 of the paper). A published
+//! event matches a subscription iff the event point lies in the rectangle.
+
+use std::fmt;
+
+use crate::interval::Interval;
+use crate::point::Point;
+
+/// An axis-aligned rectangle in `Ω`: one half-open [`Interval`] per
+/// dimension. Dimensions may be unbounded (a `*` predicate).
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Interval, Point, Rect};
+///
+/// // name = 7, 90 < price <= 110, volume > 10000, any 4th attribute
+/// let sub = Rect::new(vec![
+///     Interval::equals_int(7),
+///     Interval::new(90.0, 110.0)?,
+///     Interval::greater_than(10_000.0),
+///     Interval::all(),
+/// ]);
+/// assert!(sub.contains(&Point::new(vec![7.0, 100.0, 20_000.0, 3.0])));
+/// assert!(!sub.contains(&Point::new(vec![8.0, 100.0, 20_000.0, 3.0])));
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    intervals: Vec<Interval>,
+}
+
+impl Rect {
+    /// Creates a rectangle from one interval per dimension.
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        Rect { intervals }
+    }
+
+    /// The all-of-space rectangle in `dim` dimensions (every predicate `*`).
+    pub fn all(dim: usize) -> Self {
+        Rect {
+            intervals: vec![Interval::all(); dim],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Per-dimension intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval along dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn interval(&self, d: usize) -> &Interval {
+        &self.intervals[d]
+    }
+
+    /// Whether the rectangle is empty (some dimension is empty).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.iter().any(Interval::is_empty)
+    }
+
+    /// Whether every dimension is bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.intervals.iter().all(Interval::is_bounded)
+    }
+
+    /// Whether the event point lies inside the rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn contains(&self, p: &Point) -> bool {
+        assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        self.intervals
+            .iter()
+            .enumerate()
+            .all(|(d, iv)| iv.contains(p[d]))
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        other.is_empty()
+            || self
+                .intervals
+                .iter()
+                .zip(other.intervals.iter())
+                .all(|(a, b)| a.contains_interval(b))
+    }
+
+    /// Whether the two rectangles share at least one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(other.intervals.iter())
+            .all(|(a, b)| a.intersects(b))
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let mut ivs = Vec::with_capacity(self.dim());
+        for (a, b) in self.intervals.iter().zip(other.intervals.iter()) {
+            ivs.push(a.intersection(b)?);
+        }
+        Some(Rect { intervals: ivs })
+    }
+
+    /// The smallest rectangle covering both inputs (bounding hull).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        Rect {
+            intervals: self
+                .intervals
+                .iter()
+                .zip(other.intervals.iter())
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Volume of the rectangle; `+inf` when unbounded, `0` when empty.
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(Interval::length).product()
+    }
+
+    /// Clips the rectangle to `bounds`, returning `None` when the clipped
+    /// rectangle is empty. Used to rasterize unbounded subscriptions onto
+    /// a finite grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn clip(&self, bounds: &Rect) -> Option<Rect> {
+        self.intersection(bounds)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect2(a: (f64, f64), b: (f64, f64)) -> Rect {
+        Rect::new(vec![
+            Interval::new(a.0, a.1).unwrap(),
+            Interval::new(b.0, b.1).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn contains_point_half_open() {
+        let r = rect2((0.0, 10.0), (0.0, 10.0));
+        assert!(r.contains(&Point::new(vec![5.0, 10.0])));
+        assert!(!r.contains(&Point::new(vec![0.0, 5.0]))); // open left
+        assert!(!r.contains(&Point::new(vec![5.0, 10.5])));
+    }
+
+    #[test]
+    fn all_rect_contains_everything() {
+        let r = Rect::all(3);
+        assert!(r.contains(&Point::new(vec![-1e300, 0.0, 1e300])));
+        assert!(!r.is_bounded());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let a = rect2((0.0, 5.0), (0.0, 5.0));
+        let b = rect2((3.0, 8.0), (4.0, 9.0));
+        let c = a.intersection(&b).unwrap();
+        assert_eq!(c, rect2((3.0, 5.0), (4.0, 5.0)));
+        // Disjoint along dimension 1.
+        let d = rect2((3.0, 8.0), (5.0, 9.0));
+        assert!(a.intersection(&d).is_none());
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = rect2((0.0, 10.0), (0.0, 10.0));
+        let inner = rect2((1.0, 2.0), (3.0, 4.0));
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        // Empty rect contained everywhere.
+        let empty = rect2((5.0, 5.0), (0.0, 1.0));
+        assert!(empty.is_empty());
+        assert!(inner.contains_rect(&empty));
+    }
+
+    #[test]
+    fn hull_and_volume() {
+        let a = rect2((0.0, 2.0), (0.0, 2.0));
+        let b = rect2((4.0, 6.0), (1.0, 3.0));
+        let h = a.hull(&b);
+        assert_eq!(h, rect2((0.0, 6.0), (0.0, 3.0)));
+        assert_eq!(a.volume(), 4.0);
+        assert!(Rect::all(2).volume().is_infinite());
+        let empty = rect2((1.0, 1.0), (0.0, 9.0));
+        assert_eq!(empty.volume(), 0.0);
+    }
+
+    #[test]
+    fn clip_unbounded_subscription() {
+        let sub = Rect::new(vec![Interval::greater_than(5.0), Interval::all()]);
+        let bounds = rect2((0.0, 20.0), (0.0, 20.0));
+        let clipped = sub.clip(&bounds).unwrap();
+        assert_eq!(clipped, rect2((5.0, 20.0), (0.0, 20.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let r = Rect::all(2);
+        let _ = r.contains(&Point::new(vec![0.0]));
+    }
+}

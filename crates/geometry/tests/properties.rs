@@ -1,0 +1,120 @@
+//! Property-based tests for the geometric primitives.
+
+use geometry::{Grid, Interval, Point, Rect};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        // Bounded
+        (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(a, b)| Interval::from_unordered(a, b)),
+        // One-sided
+        (-50.0..50.0f64).prop_map(Interval::greater_than),
+        (-50.0..50.0f64).prop_map(Interval::at_most),
+        // Don't-care
+        Just(Interval::all()),
+    ]
+}
+
+fn rect_strategy(dim: usize) -> impl Strategy<Value = Rect> {
+    prop::collection::vec(interval_strategy(), dim).prop_map(Rect::new)
+}
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-60.0..60.0f64, dim).prop_map(Point::new)
+}
+
+proptest! {
+    #[test]
+    fn interval_intersection_commutes(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn interval_intersection_is_contained(a in interval_strategy(), b in interval_strategy()) {
+        if let Some(c) = a.intersection(&b) {
+            prop_assert!(a.contains_interval(&c));
+            prop_assert!(b.contains_interval(&c));
+        }
+    }
+
+    #[test]
+    fn interval_hull_contains_both(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+    }
+
+    #[test]
+    fn point_membership_agrees_with_intersection(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        x in -60.0..60.0f64,
+    ) {
+        // x ∈ a∩b  iff  x ∈ a and x ∈ b
+        let both = a.contains(x) && b.contains(x);
+        let via_inter = a.intersection(&b).is_some_and(|c| c.contains(x));
+        prop_assert_eq!(both, via_inter);
+    }
+
+    #[test]
+    fn rect_contains_agrees_per_dimension(r in rect_strategy(3), p in point_strategy(3)) {
+        let expected = (0..3).all(|d| r.interval(d).contains(p[d]));
+        prop_assert_eq!(r.contains(&p), expected);
+    }
+
+    #[test]
+    fn rect_intersection_membership(
+        a in rect_strategy(3),
+        b in rect_strategy(3),
+        p in point_strategy(3),
+    ) {
+        let both = a.contains(&p) && b.contains(&p);
+        let via_inter = a.intersection(&b).is_some_and(|c| c.contains(&p));
+        prop_assert_eq!(both, via_inter);
+    }
+
+    #[test]
+    fn grid_cell_of_is_a_partition(p in point_strategy(3)) {
+        let g = Grid::cube(-60.0, 60.0, 3, 8).unwrap();
+        // Every in-bounds point falls in exactly one cell and that cell's
+        // rectangle contains it.
+        if let Some(c) = g.cell_of(&p) {
+            prop_assert!(g.cell_rect(c).contains(&p));
+            // No other cell contains it.
+            for other in g.iter() {
+                if other != c {
+                    prop_assert!(!g.cell_rect(other).contains(&p));
+                }
+            }
+        } else {
+            // Outside: at the open lower boundary or beyond the bounds.
+            prop_assert!(!g.bounds().contains(&p));
+        }
+    }
+
+    #[test]
+    fn grid_rasterization_covers_contained_points(
+        r in rect_strategy(2),
+        p in point_strategy(2),
+    ) {
+        let g = Grid::cube(-60.0, 60.0, 2, 10).unwrap();
+        // If p ∈ r and p is on the grid, then p's cell must be among the
+        // cells overlapping r (no under-rasterization).
+        if r.contains(&p) {
+            if let Some(c) = g.cell_of(&p) {
+                let cells = g.cells_overlapping(&r);
+                prop_assert!(cells.contains(&c), "cell {:?} missing for rect {r}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_rasterized_cells_all_intersect(r in rect_strategy(2)) {
+        let g = Grid::cube(-60.0, 60.0, 2, 10).unwrap();
+        // No over-rasterization: every reported cell genuinely intersects.
+        for c in g.cells_overlapping(&r) {
+            prop_assert!(g.cell_rect(c).intersects(&r));
+        }
+    }
+}

@@ -1,0 +1,856 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation. Each driver returns structured data; the `pubsub-bench`
+//! binaries print them in the paper's layout (see `EXPERIMENTS.md`).
+
+use std::time::Instant;
+
+use netsim::TransitStubParams;
+use pubsub_core::{
+    ClusteringAlgorithm, KMeans, KMeansVariant, MstClustering, NoLossConfig,
+    PairsStrategy, PairwiseGrouping,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{PredicateDist, Section3Model, StockModel};
+
+use crate::delivery::{BaselineCosts, Evaluator, MulticastMode};
+use crate::scenario::StockScenario;
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2
+// ---------------------------------------------------------------------
+
+/// One row specification of Table 1/2: which network, how many
+/// subscriptions, which predicate distribution.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Topology parameters.
+    pub params: TransitStubParams,
+    /// The "Node" column label (the paper's nominal node count).
+    pub label_nodes: usize,
+    /// Number of subscriptions.
+    pub subscriptions: usize,
+    /// Predicate distribution (uniform / gaussian).
+    pub dist: PredicateDist,
+}
+
+/// One computed row of Table 1/2.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Nominal node count.
+    pub nodes: usize,
+    /// Number of subscriptions.
+    pub subscriptions: usize,
+    /// Predicate distribution.
+    pub dist: PredicateDist,
+    /// Mean per-event unicast cost.
+    pub unicast: f64,
+    /// Mean per-event broadcast cost.
+    pub broadcast: f64,
+    /// Mean per-event ideal-multicast cost.
+    pub ideal: f64,
+}
+
+/// The row grid of the paper's Table 1 (degree-0.4 regionalism).
+pub fn paper_table1_specs() -> Vec<TableSpec> {
+    use PredicateDist::{Gaussian, Uniform};
+    let n100 = TransitStubParams::paper_100_nodes;
+    let n300 = TransitStubParams::paper_300_nodes;
+    let n600 = TransitStubParams::paper_600_nodes;
+    vec![
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Gaussian },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Gaussian },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Gaussian },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 350, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Gaussian },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Gaussian },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Gaussian },
+    ]
+}
+
+/// The row grid of the paper's Table 2 (no regionalism).
+pub fn paper_table2_specs() -> Vec<TableSpec> {
+    use PredicateDist::{Gaussian, Uniform};
+    let n100 = TransitStubParams::paper_100_nodes;
+    let n300 = TransitStubParams::paper_300_nodes;
+    let n600 = TransitStubParams::paper_600_nodes;
+    vec![
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Gaussian },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Gaussian },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Uniform },
+        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Gaussian },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Gaussian },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Gaussian },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 80, dist: Uniform },
+        TableSpec { params: n300(), label_nodes: 300, subscriptions: 80, dist: Gaussian },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Gaussian },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Gaussian },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Uniform },
+        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Gaussian },
+    ]
+}
+
+/// Computes Table 1/2 rows: per spec, generate the network and the
+/// Section 3 workload at the given regionalism, then measure the three
+/// baseline schemes over `num_events` events.
+pub fn table_rows(
+    regionalism: f64,
+    specs: &[TableSpec],
+    num_events: usize,
+    seed: u64,
+) -> Vec<TableRow> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let topo = netsim::Topology::generate(&spec.params, &mut rng);
+            let model = Section3Model {
+                regionalism,
+                dist: spec.dist,
+                num_subscriptions: spec.subscriptions,
+                num_events,
+            };
+            let w = model.generate(&topo, &mut rng);
+            let mut ev = Evaluator::new(&topo, &w);
+            let b = ev.baseline_costs();
+            TableRow {
+                nodes: spec.label_nodes,
+                subscriptions: spec.subscriptions,
+                dist: spec.dist,
+                unicast: b.unicast,
+                broadcast: b.broadcast,
+                ideal: b.ideal,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 7, 9 (improvement vs number of groups)
+// ---------------------------------------------------------------------
+
+/// Improvement-percentage series for one algorithm under one multicast
+/// mode.
+#[derive(Debug, Clone)]
+pub struct GroupSweepSeries {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Multicast substrate.
+    pub mode: MulticastMode,
+    /// `(K, improvement %)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Configuration for the Figure 7 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Workload model (default: Section 5.1's 1000-subscription stock
+    /// model with single-mode publications).
+    pub model: StockModel,
+    /// Topology parameters (default: the 600-node network).
+    pub topo: TransitStubParams,
+    /// Events held out for density estimation.
+    pub density_events: usize,
+    /// The K values to sweep.
+    pub ks: Vec<usize>,
+    /// Hyper-cells given to K-means / Forgy / MST (paper: 6000).
+    pub max_cells: usize,
+    /// Hyper-cells given to approximate pairs (paper: 2000).
+    pub max_cells_pairs: usize,
+    /// No-Loss parameters (paper: 5000 rectangles, 8 iterations).
+    pub noloss: NoLossConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig7Config {
+    /// The paper's configuration (expensive: minutes in release mode).
+    pub fn paper() -> Self {
+        Fig7Config {
+            model: StockModel::default().with_sizes(1000, 500),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 1000,
+            ks: vec![5, 10, 20, 40, 60, 80, 100],
+            max_cells: 6000,
+            max_cells_pairs: 2000,
+            noloss: NoLossConfig::default(),
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down configuration for tests and quick runs.
+    pub fn quick() -> Self {
+        Fig7Config {
+            model: StockModel::default().with_sizes(200, 120),
+            topo: TransitStubParams::paper_100_nodes(),
+            density_events: 200,
+            ks: vec![4, 8, 16, 32],
+            max_cells: 800,
+            max_cells_pairs: 400,
+            noloss: NoLossConfig {
+                max_rects: 400,
+                iterations: 3,
+                max_candidates_per_round: 50_000,
+            },
+            seed: 2002,
+        }
+    }
+
+    /// A mid-size configuration: the full 600-node network with a
+    /// reduced sweep, shape-faithful in about a minute in release mode.
+    pub fn medium() -> Self {
+        Fig7Config {
+            model: StockModel::default().with_sizes(1000, 250),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 500,
+            ks: vec![5, 10, 20, 40, 60, 80, 100],
+            max_cells: 2000,
+            max_cells_pairs: 800,
+            noloss: NoLossConfig {
+                max_rects: 2000,
+                iterations: 4,
+                max_candidates_per_round: 1_000_000,
+            },
+            seed: 2002,
+        }
+    }
+}
+
+/// The result of a Figure 7 run.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Baseline costs of the scenario.
+    pub baselines: BaselineCosts,
+    /// One series per (algorithm, mode).
+    pub series: Vec<GroupSweepSeries>,
+}
+
+/// Runs the Figure 7 experiment: improvement percentage as a function
+/// of the number of available groups `K`, for every clustering
+/// algorithm, under network-supported and application-level multicast.
+pub fn fig7(cfg: &Fig7Config) -> Fig7Result {
+    let scenario = StockScenario::generate(&cfg.model, &cfg.topo, cfg.density_events, cfg.seed);
+    fig7_on_scenario(cfg, &scenario)
+}
+
+/// Figure 7 on a pre-generated scenario (Figure 9 reuses this with a
+/// different seed).
+pub fn fig7_on_scenario(cfg: &Fig7Config, scenario: &StockScenario) -> Fig7Result {
+    let fw = scenario.framework(cfg.max_cells);
+    let fw_pairs = scenario.framework(cfg.max_cells_pairs);
+    let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = ev.baseline_costs();
+
+    let grid_algs: Vec<(Box<dyn ClusteringAlgorithm>, &pubsub_core::GridFramework)> = vec![
+        (
+            Box::new(KMeans::new(KMeansVariant::MacQueen)) as Box<dyn ClusteringAlgorithm>,
+            &fw,
+        ),
+        (Box::new(KMeans::new(KMeansVariant::Forgy)), &fw),
+        (Box::new(MstClustering::new()), &fw),
+        (
+            Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: cfg.seed })),
+            &fw_pairs,
+        ),
+    ];
+
+    let mut series = Vec::new();
+    for (alg, framework) in &grid_algs {
+        let mut net_points = Vec::with_capacity(cfg.ks.len());
+        let mut app_points = Vec::with_capacity(cfg.ks.len());
+        for &k in &cfg.ks {
+            let clustering = alg.cluster(framework, k);
+            let net = ev.grid_clustering_cost(
+                framework,
+                &clustering,
+                0.0,
+                MulticastMode::NetworkSupported,
+            );
+            let app = ev.grid_clustering_cost(
+                framework,
+                &clustering,
+                0.0,
+                MulticastMode::ApplicationLevel,
+            );
+            net_points.push((k, baselines.improvement_pct(net)));
+            app_points.push((k, baselines.improvement_pct(app)));
+        }
+        series.push(GroupSweepSeries {
+            algorithm: alg.name().to_string(),
+            mode: MulticastMode::NetworkSupported,
+            points: net_points,
+        });
+        series.push(GroupSweepSeries {
+            algorithm: alg.name().to_string(),
+            mode: MulticastMode::ApplicationLevel,
+            points: app_points,
+        });
+    }
+
+    // No-Loss.
+    let mut net_points = Vec::with_capacity(cfg.ks.len());
+    let mut app_points = Vec::with_capacity(cfg.ks.len());
+    for &k in &cfg.ks {
+        let nl = scenario.noloss(&cfg.noloss, k);
+        let net = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
+        let app = ev.noloss_cost(&nl, MulticastMode::ApplicationLevel);
+        net_points.push((k, baselines.improvement_pct(net)));
+        app_points.push((k, baselines.improvement_pct(app)));
+    }
+    series.push(GroupSweepSeries {
+        algorithm: "no-loss".to_string(),
+        mode: MulticastMode::NetworkSupported,
+        points: net_points,
+    });
+    series.push(GroupSweepSeries {
+        algorithm: "no-loss".to_string(),
+        mode: MulticastMode::ApplicationLevel,
+        points: app_points,
+    });
+
+    Fig7Result { baselines, series }
+}
+
+/// Runs the Figure 9 experiment: the Figure 7 sweep repeated on two
+/// networks generated with different seeds, demonstrating topology
+/// robustness. Returns `(run on seed, run on other_seed)`.
+pub fn fig9(cfg: &Fig7Config, other_seed: u64) -> (Fig7Result, Fig7Result) {
+    let first = fig7(cfg);
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = other_seed;
+    let second = fig7(&cfg2);
+    (first, second)
+}
+
+// ---------------------------------------------------------------------
+// Extension: regionalism-degree sweep
+// ---------------------------------------------------------------------
+
+/// One point of the regionalism sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionalismPoint {
+    /// Degree of regionalism (0 = none, 1 = absolute).
+    pub degree: f64,
+    /// Mean per-event unicast cost.
+    pub unicast: f64,
+    /// Mean per-event ideal-multicast cost.
+    pub ideal: f64,
+    /// Ideal multicast's saving over unicast, in percent.
+    pub ideal_saving_pct: f64,
+}
+
+/// Sweeps the Section 3 *degree of regionalism* from 0 to 1 on one
+/// network — the knob Tables 1–2 sample at only two values. The paper's
+/// argument (Section 3): regional concentration of interest is what
+/// makes multicast pay; this sweep traces the whole curve.
+pub fn regionalism_sweep(
+    params: &TransitStubParams,
+    subscriptions: usize,
+    events: usize,
+    degrees: &[f64],
+    seed: u64,
+) -> Vec<RegionalismPoint> {
+    degrees
+        .iter()
+        .map(|&degree| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = netsim::Topology::generate(params, &mut rng);
+            let model = Section3Model {
+                regionalism: degree,
+                dist: PredicateDist::Uniform,
+                num_subscriptions: subscriptions,
+                num_events: events,
+            };
+            let w = model.generate(&topo, &mut rng);
+            let mut ev = Evaluator::new(&topo, &w);
+            let b = ev.baseline_costs();
+            RegionalismPoint {
+                degree,
+                unicast: b.unicast,
+                ideal: b.ideal,
+                ideal_saving_pct: 100.0 * (1.0 - b.ideal / b.unicast.max(1e-9)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Extension: multicast-mode comparison (dense vs sparse vs app-level)
+// ---------------------------------------------------------------------
+
+/// Runs the Figure 7 scenario with one algorithm (Forgy, the paper's
+/// recommendation) under all three multicast substrates — the
+/// dense/sparse comparison the paper mentions but does not evaluate.
+/// Returns `(baselines, one series per mode)`.
+pub fn modes_sweep(cfg: &Fig7Config) -> (BaselineCosts, Vec<GroupSweepSeries>) {
+    let scenario = StockScenario::generate(&cfg.model, &cfg.topo, cfg.density_events, cfg.seed);
+    let fw = scenario.framework(cfg.max_cells);
+    let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = ev.baseline_costs();
+    let forgy = KMeans::new(KMeansVariant::Forgy);
+    let mut series = Vec::new();
+    for mode in [
+        MulticastMode::NetworkSupported,
+        MulticastMode::SparseMode,
+        MulticastMode::ApplicationLevel,
+    ] {
+        let mut points = Vec::with_capacity(cfg.ks.len());
+        for &k in &cfg.ks {
+            let clustering = forgy.cluster(&fw, k);
+            let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, mode);
+            points.push((k, baselines.improvement_pct(cost)));
+        }
+        series.push(GroupSweepSeries {
+            algorithm: "forgy".to_string(),
+            mode,
+            points,
+        });
+    }
+    (baselines, series)
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 (No-Loss parameter sweep)
+// ---------------------------------------------------------------------
+
+/// Configuration for the Figure 8 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Workload model.
+    pub model: StockModel,
+    /// Topology parameters.
+    pub topo: TransitStubParams,
+    /// Events held out for density estimation.
+    pub density_events: usize,
+    /// Number of multicast groups K.
+    pub k: usize,
+    /// Rectangle-budget values to sweep.
+    pub rect_counts: Vec<usize>,
+    /// Iteration counts to sweep.
+    pub iteration_counts: Vec<usize>,
+    /// Iterations used during the rectangle sweep.
+    pub fixed_iterations: usize,
+    /// Rectangle budget used during the iteration sweep.
+    pub fixed_rects: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig8Config {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Fig8Config {
+            model: StockModel::default().with_sizes(1000, 500),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 1000,
+            k: 100,
+            rect_counts: vec![1000, 2000, 3000, 4000, 5000, 6000],
+            iteration_counts: vec![1, 2, 4, 6, 8, 10],
+            fixed_iterations: 8,
+            fixed_rects: 5000,
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down configuration.
+    pub fn quick() -> Self {
+        Fig8Config {
+            model: StockModel::default().with_sizes(200, 120),
+            topo: TransitStubParams::paper_100_nodes(),
+            density_events: 200,
+            k: 30,
+            rect_counts: vec![50, 100, 200, 400],
+            iteration_counts: vec![1, 2, 3, 4],
+            fixed_iterations: 3,
+            fixed_rects: 200,
+            seed: 2002,
+        }
+    }
+
+    /// A mid-size configuration on the full 600-node network.
+    pub fn medium() -> Self {
+        Fig8Config {
+            model: StockModel::default().with_sizes(1000, 250),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 500,
+            k: 100,
+            rect_counts: vec![500, 1000, 2000, 3000],
+            iteration_counts: vec![1, 2, 4, 6, 8],
+            fixed_iterations: 4,
+            fixed_rects: 2000,
+            seed: 2002,
+        }
+    }
+}
+
+/// The result of a Figure 8 run: improvement as a function of each
+/// No-Loss knob.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Baselines of the scenario.
+    pub baselines: BaselineCosts,
+    /// `(max_rects, improvement %)` with iterations fixed.
+    pub by_rects: Vec<(usize, f64)>,
+    /// `(iterations, improvement %)` with max_rects fixed.
+    pub by_iterations: Vec<(usize, f64)>,
+}
+
+/// Runs the Figure 8 experiment: the No-Loss algorithm's improvement as
+/// a function of the number of rectangles kept and of the number of
+/// intersection iterations.
+pub fn fig8(cfg: &Fig8Config) -> Fig8Result {
+    let scenario = StockScenario::generate(&cfg.model, &cfg.topo, cfg.density_events, cfg.seed);
+    let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = ev.baseline_costs();
+    let mut by_rects = Vec::with_capacity(cfg.rect_counts.len());
+    for &rects in &cfg.rect_counts {
+        let nl_cfg = NoLossConfig {
+            max_rects: rects,
+            iterations: cfg.fixed_iterations,
+            ..NoLossConfig::default()
+        };
+        let nl = scenario.noloss(&nl_cfg, cfg.k);
+        let cost = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
+        by_rects.push((rects, baselines.improvement_pct(cost)));
+    }
+    let mut by_iterations = Vec::with_capacity(cfg.iteration_counts.len());
+    for &iters in &cfg.iteration_counts {
+        let nl_cfg = NoLossConfig {
+            max_rects: cfg.fixed_rects,
+            iterations: iters,
+            ..NoLossConfig::default()
+        };
+        let nl = scenario.noloss(&nl_cfg, cfg.k);
+        let cost = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
+        by_iterations.push((iters, baselines.improvement_pct(cost)));
+    }
+    Fig8Result {
+        baselines,
+        by_rects,
+        by_iterations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 10 and 11 (quality and runtime vs cells / vs time)
+// ---------------------------------------------------------------------
+
+/// One measurement of a (cells-budget, quality, wall-clock) triple.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSweepPoint {
+    /// Hyper-cells given to the algorithm.
+    pub cells: usize,
+    /// Improvement percentage achieved.
+    pub improvement: f64,
+    /// Clustering wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A per-algorithm series of [`CellSweepPoint`]s.
+#[derive(Debug, Clone)]
+pub struct CellSweepSeries {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Measurements in increasing cells order.
+    pub points: Vec<CellSweepPoint>,
+}
+
+/// Configuration for the Figure 10/11 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig10Config {
+    /// Workload model.
+    pub model: StockModel,
+    /// Topology parameters.
+    pub topo: TransitStubParams,
+    /// Events held out for density estimation.
+    pub density_events: usize,
+    /// Number of multicast groups K.
+    pub k: usize,
+    /// Cells-budget values to sweep.
+    pub cell_counts: Vec<usize>,
+    /// Include the O(l³) full-scan pairs variant (very slow).
+    pub include_fullscan_pairs: bool,
+    /// Largest cell budget the Θ(l³) pairs variants (approximate and
+    /// full-scan) are run at; larger budgets are skipped for those
+    /// series and noted in the output. `None` = no cap.
+    pub slow_cell_cap: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig10Config {
+    /// The paper's configuration (the full-scan pairs variant is left
+    /// out by default; enable it to reproduce the paper's extreme
+    /// runtime gap).
+    pub fn paper() -> Self {
+        Fig10Config {
+            model: StockModel::default().with_sizes(1000, 500),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 1000,
+            k: 100,
+            cell_counts: vec![500, 1000, 2000, 3000, 4000, 6000],
+            include_fullscan_pairs: false,
+            // The secretary scan is Θ(l³): 6000 cells would take hours.
+            slow_cell_cap: Some(2000),
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down configuration.
+    pub fn quick() -> Self {
+        Fig10Config {
+            model: StockModel::default().with_sizes(200, 120),
+            topo: TransitStubParams::paper_100_nodes(),
+            density_events: 200,
+            k: 20,
+            cell_counts: vec![50, 100, 200],
+            include_fullscan_pairs: false,
+            slow_cell_cap: None,
+            seed: 2002,
+        }
+    }
+
+    /// A mid-size configuration on the full 600-node network, with the
+    /// full-scan pairs variant included so the runtime gap the paper
+    /// reports is visible.
+    pub fn medium() -> Self {
+        Fig10Config {
+            model: StockModel::default().with_sizes(1000, 250),
+            topo: TransitStubParams::paper_section51(),
+            density_events: 500,
+            k: 50,
+            cell_counts: vec![250, 500, 1000, 2000],
+            include_fullscan_pairs: true,
+            slow_cell_cap: None,
+            seed: 2002,
+        }
+    }
+}
+
+/// The result of a Figure 10 run (Figure 11 plots the same data as
+/// quality-vs-time).
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// Baselines of the scenario.
+    pub baselines: BaselineCosts,
+    /// One series per algorithm.
+    pub series: Vec<CellSweepSeries>,
+}
+
+/// Runs the Figure 10 experiment: solution quality and clustering
+/// runtime as a function of the number of hyper-cells given to each
+/// algorithm. Figure 11 is the same data re-plotted as quality vs time.
+pub fn fig10(cfg: &Fig10Config) -> Fig10Result {
+    let scenario = StockScenario::generate(&cfg.model, &cfg.topo, cfg.density_events, cfg.seed);
+    let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = ev.baseline_costs();
+
+    let mut algs: Vec<Box<dyn ClusteringAlgorithm>> = vec![
+        Box::new(KMeans::new(KMeansVariant::MacQueen)),
+        Box::new(KMeans::new(KMeansVariant::Forgy)),
+        Box::new(MstClustering::new()),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: cfg.seed })),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
+    ];
+    if cfg.include_fullscan_pairs {
+        algs.push(Box::new(PairwiseGrouping::new(PairsStrategy::ExactFullScan)));
+    }
+
+    let mut series: Vec<CellSweepSeries> = algs
+        .iter()
+        .map(|a| CellSweepSeries {
+            algorithm: a.name().to_string(),
+            points: Vec::with_capacity(cfg.cell_counts.len()),
+        })
+        .collect();
+
+    for &cells in &cfg.cell_counts {
+        let fw = scenario.framework(cells);
+        for (ai, alg) in algs.iter().enumerate() {
+            let name = alg.name();
+            let is_cubic = name == "approx-pairs" || name == "pairs-fullscan";
+            if is_cubic && cfg.slow_cell_cap.is_some_and(|cap| cells > cap) {
+                // Explicitly skipped (Θ(l³) at this budget); the series
+                // simply has no point here rather than a silent stall.
+                continue;
+            }
+            let start = Instant::now();
+            let clustering = alg.cluster(&fw, cfg.k);
+            let seconds = start.elapsed().as_secs_f64();
+            let cost = ev.grid_clustering_cost(
+                &fw,
+                &clustering,
+                0.0,
+                MulticastMode::NetworkSupported,
+            );
+            series[ai].points.push(CellSweepPoint {
+                cells,
+                improvement: baselines.improvement_pct(cost),
+                seconds,
+            });
+        }
+    }
+    Fig10Result { baselines, series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_have_sane_costs() {
+        let specs = vec![
+            TableSpec {
+                params: TransitStubParams::paper_100_nodes(),
+                label_nodes: 100,
+                subscriptions: 300,
+                dist: PredicateDist::Uniform,
+            },
+            TableSpec {
+                params: TransitStubParams::paper_100_nodes(),
+                label_nodes: 100,
+                subscriptions: 30,
+                dist: PredicateDist::Uniform,
+            },
+        ];
+        let rows = table_rows(0.4, &specs, 40, 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ideal <= r.unicast + 1e-9);
+            assert!(r.ideal <= r.broadcast + 1e-9);
+        }
+        // With many subscriptions, unicast is far worse than broadcast;
+        // with few, unicast is competitive (the paper's core point).
+        assert!(rows[0].unicast > rows[0].broadcast);
+        assert!(rows[1].unicast < rows[0].unicast);
+    }
+
+    #[test]
+    fn fig7_quick_produces_all_series() {
+        let cfg = Fig7Config::quick();
+        let res = fig7(&cfg);
+        // 4 grid algorithms + no-loss, × 2 modes.
+        assert_eq!(res.series.len(), 10);
+        for s in &res.series {
+            assert_eq!(s.points.len(), cfg.ks.len());
+            for &(_, impr) in &s.points {
+                assert!(
+                    impr <= 100.0 + 1e-6,
+                    "{} improvement {impr} exceeds ideal",
+                    s.algorithm
+                );
+            }
+        }
+        // Network-supported multicast typically beats application-level
+        // for the same algorithm at the same K; neither strictly
+        // dominates (the pruned SPT is not a Steiner tree), so allow a
+        // modest tolerance.
+        for pair in res.series.chunks(2) {
+            if pair.len() == 2 && pair[0].algorithm == pair[1].algorithm {
+                for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
+                    assert!(a.1 >= b.1 - 15.0, "{}: net {} far below app {}", pair[0].algorithm, a.1, b.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regionalism_sweep_monotone_in_saving() {
+        let pts = regionalism_sweep(
+            &TransitStubParams::paper_100_nodes(),
+            200,
+            60,
+            &[0.0, 0.5, 1.0],
+            4,
+        );
+        assert_eq!(pts.len(), 3);
+        // Stronger regionalism localizes interest: unicast cost falls.
+        assert!(pts[2].unicast < pts[0].unicast);
+        for p in &pts {
+            assert!(p.ideal <= p.unicast + 1e-9);
+            assert!((0.0..=100.0).contains(&p.ideal_saving_pct));
+        }
+    }
+
+    #[test]
+    fn fig9_runs_two_distinct_networks() {
+        let cfg = tiny_cfg();
+        let (a, b) = fig9(&cfg, cfg.seed + 1);
+        assert_eq!(a.series.len(), b.series.len());
+        // Different seeds: baselines should differ (different topology).
+        assert_ne!(a.baselines.unicast, b.baselines.unicast);
+    }
+
+    #[test]
+    fn modes_sweep_orders_substrates() {
+        let cfg = tiny_cfg();
+        let (baselines, series) = modes_sweep(&cfg);
+        assert!(baselines.unicast > 0.0);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.points.len(), cfg.ks.len());
+            assert_eq!(s.algorithm, "forgy");
+        }
+        // Dense-mode improvement is typically >= app-level at the same
+        // K; no strict dominance holds, so allow a modest tolerance.
+        let dense = &series[0];
+        let app = &series[2];
+        for (d, a) in dense.points.iter().zip(&app.points) {
+            assert!(d.1 >= a.1 - 15.0, "dense {} far below app {}", d.1, a.1);
+        }
+    }
+
+    fn tiny_cfg() -> Fig7Config {
+        Fig7Config {
+            model: StockModel::default().with_sizes(80, 40),
+            topo: TransitStubParams::paper_100_nodes(),
+            density_events: 80,
+            ks: vec![4, 8],
+            max_cells: 150,
+            max_cells_pairs: 100,
+            noloss: NoLossConfig {
+                max_rects: 100,
+                iterations: 2,
+                max_candidates_per_round: 10_000,
+            },
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn fig8_quick_sweeps_both_knobs() {
+        let cfg = Fig8Config::quick();
+        let res = fig8(&cfg);
+        assert_eq!(res.by_rects.len(), cfg.rect_counts.len());
+        assert_eq!(res.by_iterations.len(), cfg.iteration_counts.len());
+    }
+
+    #[test]
+    fn fig10_quick_reports_time_and_quality() {
+        let cfg = Fig10Config::quick();
+        let res = fig10(&cfg);
+        assert_eq!(res.series.len(), 5);
+        for s in &res.series {
+            assert_eq!(s.points.len(), cfg.cell_counts.len());
+            for p in &s.points {
+                assert!(p.seconds >= 0.0);
+                assert!(p.improvement.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Reusable experiment scenarios: a topology plus a generated workload,
+//! with the publication-density sample split out from the evaluation
+//! event stream.
+
+use geometry::{Grid, Point, Rect};
+use netsim::{Topology, TransitStubParams};
+use pubsub_core::{
+    CellProbability, GridFramework, NoLossClustering, NoLossConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{PublicationDensity, StockModel, Workload};
+
+/// A fully generated Section 5.1 scenario: the 600-node network, the
+/// stock workload, and a held-out density sample used to estimate
+/// `p_p` (so the estimate is not fitted on the very events being
+/// evaluated).
+#[derive(Debug, Clone)]
+pub struct StockScenario {
+    /// The network.
+    pub topo: Topology,
+    /// The workload whose `events` are the *evaluation* stream.
+    pub workload: Workload,
+    /// Held-out publication points (kept for empirical-density
+    /// ablations; the default pipeline uses the analytic density).
+    pub density_sample: Vec<Point>,
+    /// The analytic publication density of the generating model.
+    pub density: PublicationDensity,
+    /// The subscription rectangles (copied out of the workload for
+    /// convenience).
+    pub rects: Vec<Rect>,
+}
+
+impl StockScenario {
+    /// Generates a scenario: `density_events` extra events are drawn
+    /// and moved into the density sample; the rest remain for
+    /// evaluation.
+    pub fn generate(
+        model: &StockModel,
+        params: &TransitStubParams,
+        density_events: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::generate(params, &mut rng);
+        let mut model = model.clone();
+        model.num_events += density_events;
+        let mut workload = model.generate(&topo, &mut rng);
+        let split = workload.events.len() - density_events;
+        let density_sample: Vec<Point> = workload
+            .events
+            .drain(split..)
+            .map(|e| e.point)
+            .collect();
+        let rects = workload
+            .subscriptions
+            .iter()
+            .map(|s| s.rect.clone())
+            .collect();
+        StockScenario {
+            topo,
+            workload,
+            density_sample,
+            density: model.publication_density(),
+            rects,
+        }
+    }
+
+    /// Builds the grid framework for this scenario with at most
+    /// `max_cells` hyper-cells (the paper's "number of rectangles"),
+    /// using the analytic publication density for cell probabilities.
+    pub fn framework(&self, max_cells: usize) -> GridFramework {
+        let grid = self.grid();
+        let probs = CellProbability::from_mass_fn(&grid, |r| self.density.mass(r));
+        GridFramework::build(grid, &self.rects, &probs, Some(max_cells))
+    }
+
+    /// Like [`StockScenario::framework`], but estimating `p_p`
+    /// empirically from the held-out sample — the ablation baseline.
+    pub fn framework_empirical(&self, max_cells: usize) -> GridFramework {
+        let grid = self.grid();
+        let probs = CellProbability::empirical(&grid, &self.density_sample);
+        GridFramework::build(grid, &self.rects, &probs, Some(max_cells))
+    }
+
+    /// Runs the No-Loss algorithm on this scenario's rectangles with
+    /// the analytic publication density.
+    pub fn noloss(&self, config: &NoLossConfig, k: usize) -> NoLossClustering {
+        NoLossClustering::build_with_density(
+            &self.rects,
+            |r| self.density.mass(r),
+            &self.density_sample,
+            config,
+            k,
+        )
+    }
+
+    /// The discretization grid implied by the workload bounds.
+    pub fn grid(&self) -> Grid {
+        Grid::new(
+            self.workload.bounds.clone(),
+            self.workload.suggested_bins.clone(),
+        )
+        .expect("workload bounds are a valid grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_splits_density_sample() {
+        let model = StockModel::default().with_sizes(100, 50);
+        let sc = StockScenario::generate(
+            &model,
+            &TransitStubParams::paper_100_nodes(),
+            30,
+            7,
+        );
+        assert_eq!(sc.workload.events.len(), 50);
+        assert_eq!(sc.density_sample.len(), 30);
+        assert_eq!(sc.rects.len(), 100);
+    }
+
+    #[test]
+    fn framework_respects_max_cells() {
+        let model = StockModel::default().with_sizes(150, 20);
+        let sc = StockScenario::generate(
+            &model,
+            &TransitStubParams::paper_100_nodes(),
+            50,
+            8,
+        );
+        let big = sc.framework(100_000);
+        let small = sc.framework(10);
+        assert!(small.hypercells().len() <= 10);
+        assert!(big.hypercells().len() >= small.hypercells().len());
+    }
+
+    #[test]
+    fn same_seed_reproduces_scenario() {
+        let model = StockModel::default().with_sizes(50, 20);
+        let a = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 10, 9);
+        let b = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 10, 9);
+        assert_eq!(a.workload.subscriptions.len(), b.workload.subscriptions.len());
+        for (x, y) in a.workload.subscriptions.iter().zip(&b.workload.subscriptions) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in a.workload.events.iter().zip(&b.workload.events) {
+            assert_eq!(x, y);
+        }
+    }
+}

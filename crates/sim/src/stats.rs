@@ -1,0 +1,213 @@
+//! Multi-seed experiment statistics.
+//!
+//! The paper reports single runs (Figure 9 shows one alternative
+//! seed). For a credible reproduction it is useful to quantify the
+//! seed-to-seed spread: this module re-runs the Figure 7 sweep over a
+//! set of seeds and summarizes each algorithm's improvement curve as
+//! mean ± standard deviation.
+
+use crate::delivery::MulticastMode;
+use crate::experiments::{fig7, Fig7Config};
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or NaN values.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "sample contains NaN"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = if n < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            mean,
+            sd,
+            min,
+            max,
+            n,
+        }
+    }
+}
+
+/// Per-(algorithm, mode) improvement summaries across seeds.
+#[derive(Debug, Clone)]
+pub struct MultiSeedSeries {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Multicast substrate.
+    pub mode: MulticastMode,
+    /// One summary per K (aligned with the config's `ks`).
+    pub per_k: Vec<Summary>,
+}
+
+/// The result of a multi-seed Figure 7 study.
+#[derive(Debug, Clone)]
+pub struct MultiSeedFig7 {
+    /// The K values swept.
+    pub ks: Vec<usize>,
+    /// Summaries per series.
+    pub series: Vec<MultiSeedSeries>,
+}
+
+/// Runs the Figure 7 experiment once per seed and aggregates the
+/// improvement percentages.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn fig7_multi_seed(cfg: &Fig7Config, seeds: &[u64]) -> MultiSeedFig7 {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            fig7(&c)
+        })
+        .collect();
+    let first = &runs[0];
+    let series = first
+        .series
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let per_k = (0..s.points.len())
+                .map(|ki| {
+                    let samples: Vec<f64> = runs
+                        .iter()
+                        .map(|r| {
+                            debug_assert_eq!(r.series[si].algorithm, s.algorithm);
+                            r.series[si].points[ki].1
+                        })
+                        .collect();
+                    Summary::of(&samples)
+                })
+                .collect();
+            MultiSeedSeries {
+                algorithm: s.algorithm.clone(),
+                mode: s.mode,
+                per_k,
+            }
+        })
+        .collect();
+    MultiSeedFig7 {
+        ks: cfg.ks.clone(),
+        series,
+    }
+}
+
+/// Renders a multi-seed study as `mean±sd` cells.
+pub fn render_multi_seed(res: &MultiSeedFig7) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 across {} seeds (improvement %, mean±sd, network multicast)",
+        res.series
+            .first()
+            .and_then(|s| s.per_k.first())
+            .map_or(0, |s| s.n)
+    );
+    let net: Vec<_> = res
+        .series
+        .iter()
+        .filter(|s| s.mode == MulticastMode::NetworkSupported)
+        .collect();
+    let _ = write!(out, "{:>5}", "K");
+    for s in &net {
+        let _ = write!(out, " {:>16}", s.algorithm);
+    }
+    let _ = writeln!(out);
+    for (ki, &k) in res.ks.iter().enumerate() {
+        let _ = write!(out, "{k:>5}");
+        for s in &net {
+            let cell = format!("{:.1}±{:.1}", s.per_k[ki].mean, s.per_k[ki].sd);
+            let _ = write!(out, " {cell:>16}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::TransitStubParams;
+    use pubsub_core::NoLossConfig;
+    use workload::StockModel;
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.sd - 1.2909944).abs() < 1e-6);
+        assert_eq!(s.n, 4);
+        let single = Summary::of(&[7.0]);
+        assert_eq!(single.sd, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn multi_seed_aggregates_all_series() {
+        let cfg = Fig7Config {
+            model: StockModel::default().with_sizes(80, 40),
+            topo: TransitStubParams::paper_100_nodes(),
+            density_events: 80,
+            ks: vec![4, 8],
+            max_cells: 150,
+            max_cells_pairs: 100,
+            noloss: NoLossConfig {
+                max_rects: 100,
+                iterations: 2,
+                max_candidates_per_round: 10_000,
+            },
+            seed: 0,
+        };
+        let res = fig7_multi_seed(&cfg, &[1, 2, 3]);
+        assert_eq!(res.ks, vec![4, 8]);
+        assert_eq!(res.series.len(), 10);
+        for s in &res.series {
+            assert_eq!(s.per_k.len(), 2);
+            for summary in &s.per_k {
+                assert_eq!(summary.n, 3);
+                assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+            }
+        }
+        let text = render_multi_seed(&res);
+        assert!(text.contains("across 3 seeds"));
+        assert!(text.contains("forgy"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the live `PubSubSystem` façade across modes,
+//! thresholds and churn.
+
+use geometry::{Grid, Interval, Point, Rect};
+use netsim::{NodeId, Topology, TransitStubParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::{MulticastMode, PubSubSystem};
+
+fn topo() -> Topology {
+    Topology::generate(
+        &TransitStubParams::paper_100_nodes(),
+        &mut StdRng::seed_from_u64(77),
+    )
+}
+
+fn rect1(lo: f64, hi: f64) -> Rect {
+    Rect::new(vec![Interval::new(lo, hi).unwrap()])
+}
+
+/// Every delivery mode produces the same receiver sets — only costs
+/// differ — and every interested node is always served.
+#[test]
+fn all_modes_deliver_to_every_interested_node() {
+    let t = topo();
+    let nodes: Vec<NodeId> = t.stub_nodes().collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let subs: Vec<(NodeId, Rect)> = (0..60)
+        .map(|_| {
+            let n = nodes[rng.gen_range(0..nodes.len())];
+            let lo: f64 = rng.gen_range(0.0..15.0);
+            (n, rect1(lo, lo + rng.gen_range(1.0..5.0)))
+        })
+        .collect();
+    for mode in [
+        MulticastMode::NetworkSupported,
+        MulticastMode::SparseMode,
+        MulticastMode::ApplicationLevel,
+    ] {
+        let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+        let mut sys = PubSubSystem::new(&t, grid, 6).with_mode(mode);
+        for (n, r) in &subs {
+            sys.subscribe(*n, r.clone());
+        }
+        sys.refresh();
+        for probe in 0..20 {
+            let event = Point::new(vec![probe as f64 + 0.5]);
+            let report = sys.publish(nodes[probe % nodes.len()], &event);
+            // Receivers ⊇ nodes of interested subscriptions.
+            for &i in &report.interested {
+                assert!(
+                    report.receiver_nodes.contains(&subs[i].0),
+                    "{mode:?}: node of interested sub {i} not served"
+                );
+            }
+            assert!(report.cost >= 0.0);
+        }
+    }
+}
+
+/// Raising the threshold can only shift deliveries from multicast to
+/// unicast, never lose receivers.
+#[test]
+fn threshold_shifts_multicast_to_unicast() {
+    let t = topo();
+    let nodes: Vec<NodeId> = t.stub_nodes().collect();
+    let run = |threshold: f64| {
+        let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+        let mut sys = PubSubSystem::new(&t, grid, 4).with_threshold(threshold);
+        for i in 0..40 {
+            sys.subscribe(nodes[i % nodes.len()], rect1(0.0, 10.0 + (i % 5) as f64));
+        }
+        sys.refresh();
+        for probe in 0..30 {
+            sys.publish(nodes[probe % nodes.len()], &Point::new(vec![probe as f64 / 2.0]));
+        }
+        sys.stats()
+    };
+    let lax = run(0.0);
+    let strict = run(1.0);
+    assert_eq!(lax.events, strict.events);
+    assert!(strict.multicast_events <= lax.multicast_events);
+    assert!(strict.unicast_events >= lax.unicast_events);
+}
+
+/// Churn in the middle of a publish stream keeps the system coherent.
+#[test]
+fn interleaved_churn_and_publishing() {
+    let t = topo();
+    let nodes: Vec<NodeId> = t.stub_nodes().collect();
+    let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+    let mut sys = PubSubSystem::new(&t, grid, 5);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut live = Vec::new();
+    for round in 0..10 {
+        // Some joins...
+        for _ in 0..5 {
+            let n = nodes[rng.gen_range(0..nodes.len())];
+            let lo: f64 = rng.gen_range(0.0..15.0);
+            live.push(sys.subscribe(n, rect1(lo, lo + 3.0)));
+        }
+        // ...some leaves...
+        if live.len() > 8 {
+            for _ in 0..3 {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                sys.unsubscribe(id).unwrap();
+            }
+        }
+        sys.refresh();
+        // ...and a publish burst.
+        for _ in 0..5 {
+            let report = sys.publish(
+                nodes[rng.gen_range(0..nodes.len())],
+                &Point::new(vec![rng.gen_range(0.0..20.0)]),
+            );
+            assert!(report.cost.is_finite(), "round {round}");
+        }
+        assert_eq!(sys.num_subscriptions(), live.len(), "round {round}");
+    }
+    assert_eq!(sys.stats().events, 50);
+}

@@ -1,0 +1,261 @@
+//! A static centered interval tree: one-dimensional stabbing queries.
+//!
+//! The building block of the counting matcher (the per-attribute
+//! predicate index used by the counting algorithms of the matching
+//! literature the paper builds on — Aguilera et al. [2], Fabret et
+//! al. [7]). Given a point `x`, returns every interval `(lo, hi]`
+//! with `lo < x <= hi` in `O(log n + hits)`.
+
+use geometry::Interval;
+
+/// One node of the centered tree.
+#[derive(Debug, Clone)]
+struct Node<T> {
+    center: f64,
+    /// Intervals containing `center`, sorted by increasing `lo`.
+    by_lo: Vec<(Interval, T)>,
+    /// The same intervals, as indexes into `by_lo` sorted by
+    /// decreasing `hi`.
+    by_hi_desc: Vec<usize>,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+/// A static interval tree over half-open intervals.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::Interval;
+/// use spatial::IntervalTree;
+///
+/// let tree = IntervalTree::build(vec![
+///     (Interval::new(0.0, 10.0)?, 'a'),
+///     (Interval::new(5.0, 15.0)?, 'b'),
+///     (Interval::greater_than(12.0), 'c'),
+/// ]);
+/// let mut hits: Vec<char> = tree.stab(7.0).into_iter().copied().collect();
+/// hits.sort();
+/// assert_eq!(hits, vec!['a', 'b']);
+/// assert_eq!(tree.stab(20.0), vec![&'c']);
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalTree<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+}
+
+const BIG: f64 = 1e18;
+
+fn finite(x: f64) -> f64 {
+    x.clamp(-BIG, BIG)
+}
+
+impl<T> IntervalTree<T> {
+    /// Builds the tree; empty intervals are dropped.
+    pub fn build(items: Vec<(Interval, T)>) -> Self {
+        let items: Vec<(Interval, T)> =
+            items.into_iter().filter(|(iv, _)| !iv.is_empty()).collect();
+        let len = items.len();
+        IntervalTree {
+            root: build_node(items),
+            len,
+        }
+    }
+
+    /// Number of stored (non-empty) intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All values whose interval contains `x` (`lo < x <= hi`).
+    pub fn stab(&self, x: f64) -> Vec<&T> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if x <= n.center {
+                // Containing intervals here must have lo < x; walk the
+                // lo-ascending list until lo >= x.
+                for (iv, v) in &n.by_lo {
+                    if iv.lo() >= x {
+                        break;
+                    }
+                    // lo < x <= center <= hi ⇒ contained (hi >= center
+                    // by construction), except x == center needs the
+                    // usual check for hi.
+                    if iv.contains(x) {
+                        out.push(v);
+                    }
+                }
+                node = n.left.as_deref();
+            } else {
+                // x > center: containing intervals here must have
+                // hi >= x; walk the hi-descending list until hi < x.
+                for &i in &n.by_hi_desc {
+                    let (iv, v) = &n.by_lo[i];
+                    if iv.hi() < x {
+                        break;
+                    }
+                    if iv.contains(x) {
+                        out.push(v);
+                    }
+                }
+                node = n.right.as_deref();
+            }
+        }
+        out
+    }
+}
+
+fn build_node<T>(items: Vec<(Interval, T)>) -> Option<Box<Node<T>>> {
+    if items.is_empty() {
+        return None;
+    }
+    // Center: median of clamped midpoints.
+    let mut mids: Vec<f64> = items
+        .iter()
+        .map(|(iv, _)| (finite(iv.lo()) + finite(iv.hi())) / 2.0)
+        .collect();
+    mids.sort_by(|a, b| a.partial_cmp(b).expect("clamped midpoints are never NaN"));
+    let center = mids[mids.len() / 2];
+
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (iv, v) in items {
+        if iv.hi() < center {
+            left.push((iv, v));
+        } else if iv.lo() >= center {
+            right.push((iv, v));
+        } else {
+            // lo < center <= hi: contains the center point.
+            here.push((iv, v));
+        }
+    }
+    // Degenerate split: everything identical / centered — keep all here
+    // as a flat list (stab degrades to a scan of this node only).
+    if here.is_empty() && (left.is_empty() || right.is_empty()) {
+        here = if left.is_empty() {
+            std::mem::take(&mut right)
+        } else {
+            std::mem::take(&mut left)
+        };
+    }
+    here.sort_by(|a, b| {
+        a.0
+            .lo()
+            .partial_cmp(&b.0.lo())
+            .expect("interval bounds are never NaN")
+    });
+    let mut by_hi_desc: Vec<usize> = (0..here.len()).collect();
+    by_hi_desc.sort_by(|&a, &b| {
+        here[b]
+            .0
+            .hi()
+            .partial_cmp(&here[a].0.hi())
+            .expect("interval bounds are never NaN")
+    });
+    Some(Box::new(Node {
+        center,
+        by_lo: here,
+        by_hi_desc,
+        left: build_node(left),
+        right: build_node(right),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let tree: IntervalTree<u8> = IntervalTree::build(vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.stab(0.0).is_empty());
+    }
+
+    #[test]
+    fn half_open_boundaries() {
+        let tree = IntervalTree::build(vec![(Interval::new(0.0, 10.0).unwrap(), 'a')]);
+        assert!(tree.stab(0.0).is_empty()); // open left
+        assert_eq!(tree.stab(10.0), vec![&'a']); // closed right
+        assert!(tree.stab(10.5).is_empty());
+    }
+
+    #[test]
+    fn unbounded_intervals() {
+        let tree = IntervalTree::build(vec![
+            (Interval::all(), 0),
+            (Interval::greater_than(5.0), 1),
+            (Interval::at_most(3.0), 2),
+        ]);
+        let mut hits: Vec<i32> = tree.stab(1.0).into_iter().copied().collect();
+        hits.sort();
+        assert_eq!(hits, vec![0, 2]);
+        let mut hits: Vec<i32> = tree.stab(100.0).into_iter().copied().collect();
+        hits.sort();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_intervals_are_dropped() {
+        let tree = IntervalTree::build(vec![
+            (Interval::new(2.0, 2.0).unwrap(), 'x'),
+            (Interval::new(0.0, 5.0).unwrap(), 'y'),
+        ]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.stab(2.0), vec![&'y']);
+    }
+
+    #[test]
+    fn identical_intervals() {
+        let items: Vec<(Interval, usize)> = (0..50)
+            .map(|i| (Interval::new(0.0, 1.0).unwrap(), i))
+            .collect();
+        let tree = IntervalTree::build(items);
+        assert_eq!(tree.stab(0.5).len(), 50);
+        assert!(tree.stab(1.5).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_intervals() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let intervals: Vec<Interval> = (0..500)
+            .map(|_| {
+                let choice: f64 = rng.gen();
+                if choice < 0.1 {
+                    Interval::all()
+                } else if choice < 0.2 {
+                    Interval::greater_than(rng.gen_range(0.0..50.0))
+                } else if choice < 0.3 {
+                    Interval::at_most(rng.gen_range(0.0..50.0))
+                } else {
+                    let a = rng.gen_range(0.0..50.0);
+                    let b = rng.gen_range(0.0..50.0);
+                    Interval::from_unordered(a, b)
+                }
+            })
+            .collect();
+        let tree = IntervalTree::build(intervals.iter().copied().zip(0..).collect());
+        for _ in 0..500 {
+            let x: f64 = rng.gen_range(-5.0..55.0);
+            let mut got: Vec<usize> = tree.stab(x).into_iter().copied().collect();
+            got.sort();
+            let expect: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains(x))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, expect, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! An unbalanced binary partition tree over rectangles — the S-tree
+//! alternative the paper cites ("the S-tree algorithm described in [1]
+//! can be used instead" of the R*-tree).
+//!
+//! Each internal node splits the space by a hyperplane on one
+//! dimension. Rectangles entirely on one side descend into the
+//! corresponding child; rectangles *straddling* the hyperplane are
+//! stored at the node itself. A point-stabbing query tests the node's
+//! straddlers and recurses into exactly one child, giving logarithmic
+//! descent on well-separated data. Unlike an R-tree there is no
+//! overlap between sibling regions, at the cost of unbalanced
+//! structure on skewed data (hence the name of the original paper:
+//! *Using Unbalanced Trees for Indexing Multidimensional Objects*).
+
+use geometry::{Point, Rect};
+
+/// Straddler threshold: nodes with this many or fewer entries become
+/// plain leaf lists.
+const LEAF_SIZE: usize = 8;
+/// Finite sentinel replacing ±∞ in split-value computation.
+const BIG: f64 = 1e18;
+
+fn finite(x: f64) -> f64 {
+    x.clamp(-BIG, BIG)
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    /// A small unsplit bucket.
+    Leaf(Vec<(Rect, T)>),
+    /// A split node: straddlers stored here, the rest partitioned.
+    Split {
+        dim: usize,
+        at: f64,
+        straddlers: Vec<(Rect, T)>,
+        left: Box<Node<T>>,
+        right: Box<Node<T>>,
+    },
+}
+
+/// An S-tree: point-stabbing index over (possibly unbounded) aligned
+/// rectangles with non-overlapping sibling regions.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Interval, Point, Rect};
+/// use spatial::STree;
+///
+/// let subs = vec![
+///     (Rect::new(vec![Interval::new(0.0, 5.0)?]), 'a'),
+///     (Rect::new(vec![Interval::new(4.0, 9.0)?]), 'b'),
+/// ];
+/// let tree = STree::build(1, subs);
+/// let mut hits: Vec<char> = tree.stab(&Point::new(vec![4.5])).into_iter().copied().collect();
+/// hits.sort();
+/// assert_eq!(hits, vec!['a', 'b']);
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct STree<T> {
+    dim: usize,
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> STree<T> {
+    /// Builds the tree from rectangle/value pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or any rectangle's dimension differs.
+    pub fn build(dim: usize, items: Vec<(Rect, T)>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        for (r, _) in &items {
+            assert_eq!(r.dim(), dim, "rectangle dimension mismatch");
+        }
+        let len = items.len();
+        let root = build_node(dim, items, 0, 0);
+        STree { dim, root, len }
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree's dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// All values whose rectangle contains `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dim() != self.dim()`.
+    pub fn stab(&self, p: &Point) -> Vec<&T> {
+        assert_eq!(p.dim(), self.dim, "point dimension mismatch");
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    for (r, v) in entries {
+                        if r.contains(p) {
+                            out.push(v);
+                        }
+                    }
+                    return out;
+                }
+                Node::Split {
+                    dim,
+                    at,
+                    straddlers,
+                    left,
+                    right,
+                } => {
+                    for (r, v) in straddlers {
+                        if r.contains(p) {
+                            out.push(v);
+                        }
+                    }
+                    // Half-open semantics: the left side holds rects
+                    // with hi <= at, which can only contain points with
+                    // coordinate <= at.
+                    node = if p[*dim] <= *at { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Maximum depth (diagnostic: the tree is intentionally
+    /// unbalanced on skewed data).
+    pub fn depth(&self) -> usize {
+        fn depth_of<T>(n: &Node<T>) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.root)
+    }
+}
+
+fn build_node<T>(dim: usize, items: Vec<(Rect, T)>, split_dim: usize, depth: usize) -> Node<T> {
+    // Depth cap prevents pathological recursion when everything
+    // straddles every candidate plane.
+    if items.len() <= LEAF_SIZE || depth > 40 {
+        return Node::Leaf(items);
+    }
+    // Split at the median center along the cycling dimension.
+    let mut centers: Vec<f64> = items
+        .iter()
+        .map(|(r, _)| {
+            let iv = r.interval(split_dim);
+            (finite(iv.lo()) + finite(iv.hi())) / 2.0
+        })
+        .collect();
+    centers.sort_by(|a, b| a.partial_cmp(b).expect("clamped centers are never NaN"));
+    let at = centers[centers.len() / 2];
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut straddlers = Vec::new();
+    for (r, v) in items {
+        let iv = r.interval(split_dim);
+        if iv.hi() <= at {
+            left.push((r, v));
+        } else if iv.lo() >= at {
+            right.push((r, v));
+        } else {
+            straddlers.push((r, v));
+        }
+    }
+    // Degenerate split (everything straddles or lands on one side):
+    // try the next dimension; give up into a leaf after a full cycle.
+    if left.is_empty() && right.is_empty() {
+        let next = (split_dim + 1) % dim;
+        if next == 0 {
+            let mut all = straddlers;
+            all.extend(left);
+            all.extend(right);
+            return Node::Leaf(all);
+        }
+        return build_node(dim, straddlers, next, depth + 1);
+    }
+    let next = (split_dim + 1) % dim;
+    Node::Split {
+        dim: split_dim,
+        at,
+        straddlers,
+        left: Box::new(build_node(dim, left, next, depth + 1)),
+        right: Box::new(build_node(dim, right, next, depth + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Interval;
+    use rand::prelude::*;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    #[test]
+    fn empty_and_small() {
+        let tree: STree<u8> = STree::build(2, vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.stab(&Point::new(vec![0.0, 0.0])).is_empty());
+        let tree = STree::build(1, vec![(rect1(0.0, 1.0), 9u8)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.stab(&Point::new(vec![0.5])), vec![&9]);
+    }
+
+    #[test]
+    fn boundary_points_respect_half_open_split() {
+        // Many rects so the tree actually splits; probe exactly at a
+        // likely split plane.
+        let items: Vec<(Rect, usize)> =
+            (0..40).map(|i| (rect1(i as f64, i as f64 + 1.0), i)).collect();
+        let tree = STree::build(1, items);
+        for probe in 0..41 {
+            let x = probe as f64 + 0.0; // integer boundaries
+            let p = Point::new(vec![x]);
+            let expect: Vec<usize> = (0..40)
+                .filter(|&i| rect1(i as f64, i as f64 + 1.0).contains(&p))
+                .collect();
+            let mut got: Vec<usize> = tree.stab(&p).into_iter().copied().collect();
+            got.sort();
+            assert_eq!(got, expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_rectangles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items: Vec<(Rect, usize)> = (0..400)
+            .map(|i| {
+                let r = Rect::new(
+                    (0..3)
+                        .map(|_| {
+                            if rng.gen_bool(0.15) {
+                                Interval::all()
+                            } else {
+                                let a = rng.gen_range(0.0..50.0);
+                                let b = rng.gen_range(0.0..50.0);
+                                Interval::from_unordered(a, b)
+                            }
+                        })
+                        .collect(),
+                );
+                (r, i)
+            })
+            .collect();
+        let rects: Vec<Rect> = items.iter().map(|(r, _)| r.clone()).collect();
+        let tree = STree::build(3, items);
+        for _ in 0..300 {
+            let p = Point::new((0..3).map(|_| rng.gen_range(0.0..55.0)).collect());
+            let expect: Vec<usize> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&p))
+                .map(|(i, _)| i)
+                .collect();
+            let mut got: Vec<usize> = tree.stab(&p).into_iter().copied().collect();
+            got.sort();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn identical_rectangles_degenerate_gracefully() {
+        let items: Vec<(Rect, usize)> = (0..100).map(|i| (rect1(0.0, 10.0), i)).collect();
+        let tree = STree::build(1, items);
+        assert_eq!(tree.stab(&Point::new(vec![5.0])).len(), 100);
+        assert!(tree.stab(&Point::new(vec![15.0])).is_empty());
+    }
+
+    #[test]
+    fn depth_grows_sublinearly_on_spread_data() {
+        let items: Vec<(Rect, usize)> = (0..1000)
+            .map(|i| (rect1(i as f64, i as f64 + 0.5), i))
+            .collect();
+        let tree = STree::build(1, items);
+        assert!(tree.depth() < 40, "depth {}", tree.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let tree = STree::build(2, vec![(Rect::all(2), 0u8)]);
+        let _ = tree.stab(&Point::new(vec![0.0]));
+    }
+}

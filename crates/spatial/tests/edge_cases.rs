@@ -1,0 +1,112 @@
+//! Edge-case coverage for the spatial indexes.
+
+use geometry::{Interval, Point, Rect};
+use spatial::{IntervalTree, RTree, STree};
+
+fn rect1(lo: f64, hi: f64) -> Rect {
+    Rect::new(vec![Interval::new(lo, hi).unwrap()])
+}
+
+#[test]
+fn rtree_all_unbounded_entries() {
+    // Every entry is the whole space: heuristics must not NaN out.
+    let items: Vec<(Rect, usize)> = (0..30).map(|i| (Rect::all(3), i)).collect();
+    let tree = RTree::bulk_load(3, items.clone());
+    assert_eq!(tree.stab(&Point::new(vec![0.0, 0.0, 0.0])).len(), 30);
+    let mut incr = RTree::new(3);
+    for (r, v) in items {
+        incr.insert(r, v);
+    }
+    assert_eq!(incr.stab(&Point::new(vec![1e9, -1e9, 0.0])).len(), 30);
+}
+
+#[test]
+fn rtree_query_on_empty_tree() {
+    let tree: RTree<u8> = RTree::new(2);
+    assert!(tree.query_intersecting(&Rect::all(2)).is_empty());
+    assert!(tree.stab(&Point::new(vec![0.0, 0.0])).is_empty());
+}
+
+#[test]
+fn rtree_point_like_rectangles() {
+    // Degenerate-width (but non-empty) rectangles.
+    let items: Vec<(Rect, usize)> = (0..50)
+        .map(|i| {
+            let x = i as f64;
+            (rect1(x, x + 1e-9), i)
+        })
+        .collect();
+    let tree = RTree::bulk_load(1, items);
+    assert_eq!(tree.stab(&Point::new(vec![7.0 + 5e-10])), vec![&7]);
+    assert!(tree.stab(&Point::new(vec![7.5])).is_empty());
+}
+
+#[test]
+fn stree_all_identical_then_one_different() {
+    let mut items: Vec<(Rect, usize)> = (0..40).map(|i| (rect1(0.0, 1.0), i)).collect();
+    items.push((rect1(5.0, 6.0), 40));
+    let tree = STree::build(1, items);
+    assert_eq!(tree.stab(&Point::new(vec![0.5])).len(), 40);
+    assert_eq!(tree.stab(&Point::new(vec![5.5])), vec![&40]);
+}
+
+#[test]
+fn stree_unbounded_mixed_with_bounded() {
+    let items = vec![
+        (Rect::new(vec![Interval::all(), Interval::all()]), 0usize),
+        (
+            Rect::new(vec![Interval::greater_than(10.0), Interval::all()]),
+            1,
+        ),
+        (
+            Rect::new(vec![Interval::new(0.0, 5.0).unwrap(), Interval::at_most(3.0)]),
+            2,
+        ),
+    ];
+    let tree = STree::build(2, items);
+    let mut hits: Vec<usize> = tree
+        .stab(&Point::new(vec![2.0, 1.0]))
+        .into_iter()
+        .copied()
+        .collect();
+    hits.sort();
+    assert_eq!(hits, vec![0, 2]);
+    let mut hits: Vec<usize> = tree
+        .stab(&Point::new(vec![20.0, 100.0]))
+        .into_iter()
+        .copied()
+        .collect();
+    hits.sort();
+    assert_eq!(hits, vec![0, 1]);
+}
+
+#[test]
+fn interval_tree_nested_intervals() {
+    // Russian-doll nesting: stabbing the core hits every layer.
+    let items: Vec<(Interval, usize)> = (0..20)
+        .map(|i| {
+            let pad = i as f64;
+            (Interval::new(0.0 - pad, 40.0 + pad).unwrap(), i)
+        })
+        .collect();
+    let tree = IntervalTree::build(items);
+    assert_eq!(tree.stab(20.0).len(), 20);
+    // A point only the widest layers cover.
+    assert_eq!(tree.stab(-10.0).len(), 9); // pads 11..=19 reach -10? (0-pad < -10 ⇔ pad > 10)
+}
+
+#[test]
+fn interval_tree_disjoint_runs() {
+    let items: Vec<(Interval, usize)> = (0..100)
+        .map(|i| (Interval::new(i as f64 * 2.0, i as f64 * 2.0 + 1.0).unwrap(), i))
+        .collect();
+    let tree = IntervalTree::build(items);
+    // In a gap.
+    assert!(tree.stab(1.5).is_empty());
+    // Inside run 3: (6, 7].
+    assert_eq!(tree.stab(6.5), vec![&3]);
+    // Exactly on a closed upper bound.
+    assert_eq!(tree.stab(7.0), vec![&3]);
+    // Exactly on an open lower bound.
+    assert!(tree.stab(6.0).is_empty());
+}

@@ -1,0 +1,150 @@
+//! Subscription covering: pruning redundant subscriptions.
+//!
+//! A classic content-based pub-sub optimization (used by Siena and the
+//! Gryphon line of systems): if a node holds two subscriptions `A ⊆ B`,
+//! then `A` can never change which *nodes* receive a message — every
+//! event matching `A` also matches `B` at the same node — so `A` can be
+//! dropped before clustering. Fewer input rectangles mean smaller
+//! membership vectors and faster preprocessing with byte-identical
+//! node-level delivery.
+//!
+//! (Subscription-level matching does change: the pruned subscription no
+//! longer appears in match lists. Use this only where node-level
+//! delivery is what matters — as in the paper's cost evaluation.)
+
+use crate::types::Subscription;
+
+/// Result of a covering prune.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// The surviving subscriptions, in original relative order.
+    pub kept: Vec<Subscription>,
+    /// How many subscriptions were dropped as covered.
+    pub removed: usize,
+}
+
+/// Removes every subscription covered by another subscription *at the
+/// same node*. Exact duplicates keep their first occurrence.
+pub fn prune_covered(subscriptions: &[Subscription]) -> PruneOutcome {
+    let n = subscriptions.len();
+    let mut drop = vec![false; n];
+    // Group indices by node to keep the O(m²) containment scans local.
+    let mut by_node: std::collections::HashMap<netsim::NodeId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, s) in subscriptions.iter().enumerate() {
+        by_node.entry(s.node).or_default().push(i);
+    }
+    for group in by_node.values() {
+        for (x, &i) in group.iter().enumerate() {
+            if drop[i] {
+                continue;
+            }
+            for &j in group.iter().skip(x + 1) {
+                if drop[j] {
+                    continue;
+                }
+                let (a, b) = (&subscriptions[i].rect, &subscriptions[j].rect);
+                if b.contains_rect(a) && a.contains_rect(b) {
+                    // Identical: keep the earlier one.
+                    drop[j] = true;
+                } else if b.contains_rect(a) {
+                    drop[i] = true;
+                    break;
+                } else if a.contains_rect(b) {
+                    drop[j] = true;
+                }
+            }
+        }
+    }
+    let kept: Vec<Subscription> = subscriptions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop[*i])
+        .map(|(_, s)| s.clone())
+        .collect();
+    let removed = n - kept.len();
+    PruneOutcome { kept, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::{Interval, Point, Rect};
+    use netsim::NodeId;
+
+    fn sub(node: usize, lo: f64, hi: f64) -> Subscription {
+        Subscription {
+            node: NodeId(node),
+            rect: Rect::new(vec![Interval::new(lo, hi).unwrap()]),
+        }
+    }
+
+    #[test]
+    fn covered_subscription_is_dropped() {
+        let subs = vec![sub(1, 0.0, 10.0), sub(1, 2.0, 5.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 1);
+        assert_eq!(out.kept, vec![sub(1, 0.0, 10.0)]);
+    }
+
+    #[test]
+    fn different_nodes_never_cover_each_other() {
+        let subs = vec![sub(1, 0.0, 10.0), sub(2, 2.0, 5.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.kept.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_keep_first() {
+        let subs = vec![sub(3, 0.0, 5.0), sub(3, 0.0, 5.0), sub(3, 0.0, 5.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.kept.len(), 1);
+    }
+
+    #[test]
+    fn chains_collapse_to_the_broadest() {
+        let subs = vec![sub(1, 2.0, 3.0), sub(1, 1.0, 4.0), sub(1, 0.0, 5.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.kept, vec![sub(1, 0.0, 5.0)]);
+    }
+
+    #[test]
+    fn overlapping_but_uncovered_both_survive() {
+        let subs = vec![sub(1, 0.0, 6.0), sub(1, 4.0, 10.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 0);
+    }
+
+    #[test]
+    fn node_level_delivery_is_preserved() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        let subs: Vec<Subscription> = (0..200)
+            .map(|_| {
+                let a: f64 = rng.gen_range(0.0..20.0);
+                let b: f64 = rng.gen_range(0.0..20.0);
+                sub(rng.gen_range(0..10), a.min(b), a.max(b))
+            })
+            .collect();
+        let out = prune_covered(&subs);
+        assert!(out.removed > 0, "random overlaps should produce covers");
+        // For any event, the set of interested NODES is unchanged.
+        let nodes_for = |subs: &[Subscription], p: &Point| {
+            let mut ns: Vec<_> = subs
+                .iter()
+                .filter(|s| s.rect.contains(p))
+                .map(|s| s.node)
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        };
+        for _ in 0..200 {
+            let p = Point::new(vec![rng.gen_range(-1.0..21.0)]);
+            assert_eq!(nodes_for(&subs, &p), nodes_for(&out.kept, &p));
+        }
+    }
+}

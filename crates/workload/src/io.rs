@@ -1,0 +1,422 @@
+//! Plain-text (CSV) workload import/export.
+//!
+//! Section 6 (item 3) of the paper: "Evaluation of the algorithms with
+//! real-world data would be helpful. For example, stock trading data
+//! can be used to simulate a stream of events coming into the system."
+//! This module gives real traces a way in: subscriptions and events
+//! round-trip through a simple line format readable by any tooling.
+//!
+//! Formats (one record per line, `#`-prefixed comments ignored):
+//!
+//! * subscription: `node,lo1,hi1,lo2,hi2,…` — one `(lo, hi]` pair per
+//!   dimension, with `-inf` / `inf` for unbounded ends;
+//! * event: `publisher,x1,x2,…`.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use geometry::{Interval, Point, Rect};
+use netsim::NodeId;
+
+use crate::types::{Event, Subscription};
+
+/// Error produced while parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not have the expected number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An interval had `lo > hi`.
+    BadInterval {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Records disagree on dimensionality.
+    DimensionMismatch {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::FieldCount { line, got } => {
+                write!(f, "line {line}: unexpected field count {got}")
+            }
+            TraceError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse number {token:?}")
+            }
+            TraceError::BadInterval { line } => {
+                write!(f, "line {line}: interval lower bound exceeds upper bound")
+            }
+            TraceError::DimensionMismatch { line } => {
+                write!(f, "line {line}: dimensionality differs from earlier records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn fmt_bound(x: f64) -> String {
+    if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn parse_number(token: &str, line: usize) -> Result<f64, TraceError> {
+    match token.trim() {
+        "inf" | "+inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        t => t.parse().map_err(|_| TraceError::BadNumber {
+            line,
+            token: token.to_string(),
+        }),
+    }
+}
+
+/// Writes subscriptions in the line format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_subscriptions<W: Write>(
+    mut w: W,
+    subscriptions: &[Subscription],
+) -> std::io::Result<()> {
+    writeln!(w, "# node,lo1,hi1,lo2,hi2,...")?;
+    for s in subscriptions {
+        write!(w, "{}", s.node.index())?;
+        for iv in s.rect.intervals() {
+            write!(w, ",{},{}", fmt_bound(iv.lo()), fmt_bound(iv.hi()))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads subscriptions written by [`write_subscriptions`] (or produced
+/// by external tooling in the same format).
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] describing the first malformed line;
+/// I/O errors surface as `BadNumber` on the offending line would —
+/// callers needing I/O-error distinction should pre-read into a
+/// string.
+pub fn read_subscriptions<R: BufRead>(r: R) -> Result<Vec<Subscription>, TraceError> {
+    let mut out = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line_number = lineno + 1;
+        let line = line.map_err(|_| TraceError::BadNumber {
+            line: line_number,
+            token: "<io error>".into(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 3 || (fields.len() - 1) % 2 != 0 {
+            return Err(TraceError::FieldCount {
+                line: line_number,
+                got: fields.len(),
+            });
+        }
+        let node: usize = fields[0].trim().parse().map_err(|_| TraceError::BadNumber {
+            line: line_number,
+            token: fields[0].to_string(),
+        })?;
+        let d = (fields.len() - 1) / 2;
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => {
+                return Err(TraceError::DimensionMismatch { line: line_number })
+            }
+            _ => {}
+        }
+        let mut ivs = Vec::with_capacity(d);
+        for k in 0..d {
+            let lo = parse_number(fields[1 + 2 * k], line_number)?;
+            let hi = parse_number(fields[2 + 2 * k], line_number)?;
+            let iv = Interval::new(lo, hi)
+                .map_err(|_| TraceError::BadInterval { line: line_number })?;
+            ivs.push(iv);
+        }
+        out.push(Subscription {
+            node: NodeId(node),
+            rect: Rect::new(ivs),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes events in the line format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_events<W: Write>(mut w: W, events: &[Event]) -> std::io::Result<()> {
+    writeln!(w, "# publisher,x1,x2,...")?;
+    for e in events {
+        write!(w, "{}", e.publisher.index())?;
+        for d in 0..e.point.dim() {
+            write!(w, ",{}", e.point[d])?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads events written by [`write_events`].
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] describing the first malformed line.
+pub fn read_events<R: BufRead>(r: R) -> Result<Vec<Event>, TraceError> {
+    let mut out = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line_number = lineno + 1;
+        let line = line.map_err(|_| TraceError::BadNumber {
+            line: line_number,
+            token: "<io error>".into(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 2 {
+            return Err(TraceError::FieldCount {
+                line: line_number,
+                got: fields.len(),
+            });
+        }
+        let publisher: usize =
+            fields[0].trim().parse().map_err(|_| TraceError::BadNumber {
+                line: line_number,
+                token: fields[0].to_string(),
+            })?;
+        let d = fields.len() - 1;
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => {
+                return Err(TraceError::DimensionMismatch { line: line_number })
+            }
+            _ => {}
+        }
+        let coords: Result<Vec<f64>, TraceError> = fields[1..]
+            .iter()
+            .map(|t| parse_number(t, line_number))
+            .collect();
+        out.push(Event {
+            publisher: NodeId(publisher),
+            point: Point::new(coords?),
+        });
+    }
+    Ok(out)
+}
+
+/// Infers finite grid bounds and a per-dimension bin count from an
+/// imported trace: the bounding box of all event coordinates and all
+/// finite subscription bounds, padded slightly so no event sits on the
+/// open lower edge.
+///
+/// Returns `(bounds, bins)` with `bins_per_dim` bins in every
+/// dimension, ready for `Grid::new`.
+///
+/// # Panics
+///
+/// Panics if both inputs are empty, records disagree on dimension, or
+/// `bins_per_dim == 0`.
+pub fn infer_bounds(
+    subscriptions: &[Subscription],
+    events: &[Event],
+    bins_per_dim: usize,
+) -> (Rect, Vec<usize>) {
+    assert!(bins_per_dim > 0, "need at least one bin per dimension");
+    let dim = subscriptions
+        .first()
+        .map(|s| s.rect.dim())
+        .or_else(|| events.first().map(|e| e.point.dim()))
+        .expect("need at least one subscription or event");
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for s in subscriptions {
+        assert_eq!(s.rect.dim(), dim, "dimension mismatch");
+        for (d, iv) in s.rect.intervals().iter().enumerate() {
+            if iv.lo().is_finite() {
+                lo[d] = lo[d].min(iv.lo());
+            }
+            if iv.hi().is_finite() {
+                hi[d] = hi[d].max(iv.hi());
+            }
+        }
+    }
+    for e in events {
+        assert_eq!(e.point.dim(), dim, "dimension mismatch");
+        for d in 0..dim {
+            lo[d] = lo[d].min(e.point[d]);
+            hi[d] = hi[d].max(e.point[d]);
+        }
+    }
+    let ivs = (0..dim)
+        .map(|d| {
+            // Fall back to a unit box for dimensions nothing bounded.
+            let (a, mut b) = if lo[d].is_finite() && hi[d].is_finite() {
+                (lo[d], hi[d])
+            } else {
+                (0.0, 1.0)
+            };
+            if a >= b {
+                b = a + 1.0;
+            }
+            // Pad the open lower edge so boundary events stay inside.
+            let pad = (b - a) * 0.001 + 1e-9;
+            Interval::new(a - pad, b).expect("inferred bounds are ordered")
+        })
+        .collect();
+    (Rect::new(ivs), vec![bins_per_dim; dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_subscriptions() -> Vec<Subscription> {
+        vec![
+            Subscription {
+                node: NodeId(5),
+                rect: Rect::new(vec![
+                    Interval::new(0.0, 10.0).unwrap(),
+                    Interval::all(),
+                ]),
+            },
+            Subscription {
+                node: NodeId(9),
+                rect: Rect::new(vec![
+                    Interval::greater_than(3.5),
+                    Interval::at_most(7.25),
+                ]),
+            },
+        ]
+    }
+
+    #[test]
+    fn subscriptions_round_trip() {
+        let subs = sample_subscriptions();
+        let mut buf = Vec::new();
+        write_subscriptions(&mut buf, &subs).unwrap();
+        let parsed = read_subscriptions(buf.as_slice()).unwrap();
+        assert_eq!(parsed, subs);
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            Event {
+                publisher: NodeId(1),
+                point: Point::new(vec![1.5, -2.0]),
+            },
+            Event {
+                publisher: NodeId(44),
+                point: Point::new(vec![0.0, 20.0]),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_events(&mut buf, &events).unwrap();
+        let parsed = read_events(buf.as_slice()).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n3,0,5\n";
+        let subs = read_subscriptions(text.as_bytes()).unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(
+            read_subscriptions("1,0\n".as_bytes()),
+            Err(TraceError::FieldCount { line: 1, got: 2 })
+        );
+        assert_eq!(
+            read_subscriptions("x,0,5\n".as_bytes()),
+            Err(TraceError::BadNumber {
+                line: 1,
+                token: "x".into()
+            })
+        );
+        assert_eq!(
+            read_subscriptions("1,9,5\n".as_bytes()),
+            Err(TraceError::BadInterval { line: 1 })
+        );
+        assert_eq!(
+            read_subscriptions("1,0,5\n2,0,5,0,5\n".as_bytes()),
+            Err(TraceError::DimensionMismatch { line: 2 })
+        );
+        assert_eq!(
+            read_events("7\n".as_bytes()),
+            Err(TraceError::FieldCount { line: 1, got: 1 })
+        );
+        assert_eq!(
+            read_events("1,3\n2,3,4\n".as_bytes()),
+            Err(TraceError::DimensionMismatch { line: 2 })
+        );
+    }
+
+    #[test]
+    fn infer_bounds_covers_everything() {
+        let subs = sample_subscriptions();
+        let events = vec![Event {
+            publisher: NodeId(0),
+            point: Point::new(vec![-5.0, 30.0]),
+        }];
+        let (bounds, bins) = infer_bounds(&subs, &events, 10);
+        assert_eq!(bins, vec![10, 10]);
+        // Every event is strictly inside.
+        assert!(bounds.contains(&events[0].point));
+        // Finite subscription corners are covered.
+        assert!(bounds.interval(0).hi() >= 10.0);
+        assert!(bounds.interval(1).hi() >= 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn infer_bounds_rejects_empty() {
+        let _ = infer_bounds(&[], &[], 10);
+    }
+
+    #[test]
+    fn infinities_round_trip_textually() {
+        let text = "0,-inf,inf,2,inf\n";
+        let subs = read_subscriptions(text.as_bytes()).unwrap();
+        assert_eq!(*subs[0].rect.interval(0), Interval::all());
+        assert_eq!(*subs[0].rect.interval(1), Interval::greater_than(2.0));
+        let mut buf = Vec::new();
+        write_subscriptions(&mut buf, &subs).unwrap();
+        let again = read_subscriptions(buf.as_slice()).unwrap();
+        assert_eq!(again, subs);
+    }
+}

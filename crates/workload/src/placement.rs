@@ -1,0 +1,173 @@
+//! Assignment of subscribers (and publishers) to network nodes.
+//!
+//! Section 5.1 of the paper: subscriptions are split across the three
+//! transit blocks with a 40/30/30% breakdown; within a block, a
+//! Zipf-like distribution spreads them over stubs; within a stub,
+//! another (common) Zipf-like distribution spreads them over nodes.
+//! Section 3's preliminary experiments place subscribers uniformly.
+
+use netsim::{NodeId, Topology};
+use rand::Rng;
+
+use crate::dist::Zipf;
+
+/// Draws `n` subscriber nodes uniformly at random from the topology's
+/// stub nodes (Section 3's placement).
+///
+/// # Panics
+///
+/// Panics if the topology has no stub nodes.
+pub fn uniform_stub_placement(topo: &Topology, n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let stub_nodes: Vec<NodeId> = topo.stub_nodes().collect();
+    assert!(!stub_nodes.is_empty(), "topology has no stub nodes");
+    (0..n)
+        .map(|_| stub_nodes[rng.gen_range(0..stub_nodes.len())])
+        .collect()
+}
+
+/// Draws `n` subscriber nodes following the paper's Section 5.1 scheme:
+///
+/// 1. pick a transit block with the given `block_weights`;
+/// 2. pick a stub within the block from a Zipf over the block's stubs;
+/// 3. pick a node within the stub from a (common) Zipf over its nodes.
+///
+/// `alpha` is the Zipf exponent used at both levels (the paper says only
+/// "Zipf-like"; 1.0 is the classic choice).
+///
+/// # Panics
+///
+/// Panics if `block_weights.len() != topo.num_blocks()`, if weights do
+/// not sum to a positive value, or if some block has no stubs.
+pub fn zipf_placement(
+    topo: &Topology,
+    n: usize,
+    block_weights: &[f64],
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    assert_eq!(
+        block_weights.len(),
+        topo.num_blocks(),
+        "one weight per transit block"
+    );
+    let total: f64 = block_weights.iter().sum();
+    assert!(total > 0.0, "block weights must sum to a positive value");
+
+    // Per-block stub lists and Zipf distributions.
+    let block_stubs: Vec<Vec<&netsim::Stub>> = (0..topo.num_blocks())
+        .map(|b| topo.stubs_in_block(b).collect())
+        .collect();
+    let stub_zipfs: Vec<Zipf> = block_stubs
+        .iter()
+        .map(|stubs| {
+            assert!(!stubs.is_empty(), "every block must have stubs");
+            Zipf::new(stubs.len(), alpha).expect("positive support and alpha")
+        })
+        .collect();
+    // The per-node Zipf is "common" across stubs (same size everywhere in
+    // our generator).
+    let node_zipfs: Vec<Zipf> = block_stubs
+        .iter()
+        .flat_map(|stubs| stubs.iter().map(|s| s.nodes.len()))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|len| Zipf::new(len, alpha).expect("positive support"))
+        .collect();
+    let node_zipf_for = |len: usize| -> &Zipf {
+        node_zipfs
+            .iter()
+            .find(|z| z.support() == len)
+            .expect("zipf prepared for every stub size")
+    };
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // 1. Block by weight.
+        let mut u = rng.gen::<f64>() * total;
+        let mut block = 0;
+        for (b, &w) in block_weights.iter().enumerate() {
+            if u < w {
+                block = b;
+                break;
+            }
+            u -= w;
+            block = b;
+        }
+        // 2. Stub by Zipf rank.
+        let stubs = &block_stubs[block];
+        let stub = stubs[stub_zipfs[block].sample(rng) - 1];
+        // 3. Node by Zipf rank.
+        let node = stub.nodes[node_zipf_for(stub.nodes.len()).sample(rng) - 1];
+        out.push(node);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::TransitStubParams;
+    use rand::prelude::*;
+
+    fn topo() -> Topology {
+        Topology::generate(
+            &TransitStubParams::paper_section51(),
+            &mut StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn uniform_placement_uses_only_stub_nodes() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let nodes = uniform_stub_placement(&t, 500, &mut rng);
+        assert_eq!(nodes.len(), 500);
+        for n in nodes {
+            assert!(t.stub_of(n).is_some(), "{n} is a transit node");
+        }
+    }
+
+    #[test]
+    fn zipf_placement_respects_block_weights() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(3);
+        let nodes = zipf_placement(&t, 10_000, &[0.4, 0.3, 0.3], 1.0, &mut rng);
+        let mut counts = [0usize; 3];
+        for n in &nodes {
+            counts[t.block_of(*n)] += 1;
+        }
+        let f0 = counts[0] as f64 / 10_000.0;
+        assert!((f0 - 0.4).abs() < 0.02, "block 0 fraction {f0}");
+    }
+
+    #[test]
+    fn zipf_placement_is_skewed_within_blocks() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(4);
+        let nodes = zipf_placement(&t, 10_000, &[0.4, 0.3, 0.3], 1.0, &mut rng);
+        // The rank-1 stub of block 0 must receive more subscriptions than
+        // the rank-last stub.
+        let stubs: Vec<_> = t.stubs_in_block(0).collect();
+        let first = stubs.first().unwrap().id;
+        let last = stubs.last().unwrap().id;
+        let count_for = |sid| {
+            nodes
+                .iter()
+                .filter(|&&n| t.stub_of(n) == Some(sid))
+                .count()
+        };
+        assert!(
+            count_for(first) > count_for(last),
+            "first {} vs last {}",
+            count_for(first),
+            count_for(last)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per transit block")]
+    fn wrong_weight_count_panics() {
+        let t = topo();
+        let _ = zipf_placement(&t, 10, &[1.0], 1.0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the workload generators: structural
+//! invariants that must hold for any parameter draw.
+
+use netsim::{Topology, TransitStubParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{
+    Normal, Pareto, PredicateDist, PublicationModes, Section3Model, StockModel, Zipf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ----- distributions -----
+
+    #[test]
+    fn normal_cdf_is_monotone_and_bounded(
+        mean in -20.0..20.0f64,
+        sd in 0.1..10.0f64,
+        a in -50.0..50.0f64,
+        b in -50.0..50.0f64,
+    ) {
+        let n = Normal::new(mean, sd);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+        // Symmetry about the mean.
+        prop_assert!((n.cdf(mean) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support(n in 1usize..200, alpha in 0.2..3.0f64, seed in 0u64..1000) {
+        let z = Zipf::new(n, alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn pareto_samples_at_least_scale(scale in 0.1..10.0f64, shape in 0.3..4.0f64, seed in 0u64..1000) {
+        let p = Pareto::new(scale, shape).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(p.sample(&mut rng) >= scale);
+            prop_assert!(p.sample_capped(&mut rng, 20.0) <= 20.0);
+        }
+    }
+
+    // ----- Section 3 generator -----
+
+    #[test]
+    fn section3_workload_is_structurally_valid(
+        regionalism in 0.0..1.0f64,
+        uniform in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::generate(&TransitStubParams::paper_100_nodes(), &mut rng);
+        let model = Section3Model {
+            regionalism,
+            dist: if uniform { PredicateDist::Uniform } else { PredicateDist::Gaussian },
+            num_subscriptions: 60,
+            num_events: 30,
+        };
+        let w = model.generate(&topo, &mut rng);
+        prop_assert_eq!(w.subscriptions.len(), 60);
+        prop_assert_eq!(w.events.len(), 30);
+        for s in &w.subscriptions {
+            // Subscribers sit on stub nodes and have 4-dim non-empty rects.
+            prop_assert!(topo.stub_of(s.node).is_some());
+            prop_assert_eq!(s.rect.dim(), 4);
+            prop_assert!(!s.rect.is_empty());
+        }
+        for e in &w.events {
+            prop_assert!(topo.stub_of(e.publisher).is_some());
+            // Regional attribute equals the origin stub id.
+            prop_assert_eq!(e.point[0], topo.stub_of(e.publisher).unwrap().index() as f64);
+            prop_assert!(w.bounds.contains(&e.point));
+        }
+    }
+
+    // ----- stock generator -----
+
+    #[test]
+    fn stock_workload_is_structurally_valid(
+        modes in prop_oneof![
+            Just(PublicationModes::One),
+            Just(PublicationModes::Four),
+            Just(PublicationModes::Nine),
+        ],
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::generate(&TransitStubParams::paper_100_nodes(), &mut rng);
+        let model = StockModel::default().with_sizes(80, 40).with_modes(modes);
+        let w = model.generate(&topo, &mut rng);
+        prop_assert_eq!(w.subscriptions.len(), 80);
+        prop_assert_eq!(w.events.len(), 40);
+        for s in &w.subscriptions {
+            prop_assert!(topo.stub_of(s.node).is_some());
+            prop_assert!(!s.rect.is_empty());
+            // bst is always a unit-width equality on {0, 1, 2}.
+            let bst = s.rect.interval(0);
+            prop_assert_eq!(bst.length(), 1.0);
+            prop_assert!((0.0..=2.0).contains(&bst.hi()));
+        }
+        for e in &w.events {
+            prop_assert!(w.bounds.contains(&e.point));
+        }
+    }
+
+    #[test]
+    fn analytic_density_matches_event_sampling(
+        seed in 0u64..200,
+    ) {
+        // The analytic density's mass over the full bounds must be close
+        // to 1 minus the clamped tail (events are clamped into bounds,
+        // density is not).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::generate(&TransitStubParams::paper_100_nodes(), &mut rng);
+        let model = StockModel::default().with_sizes(10, 200);
+        let w = model.generate(&topo, &mut rng);
+        let density = model.publication_density();
+        let total = density.mass(&w.bounds);
+        prop_assert!(total > 0.5 && total <= 1.0 + 1e-9, "total mass {total}");
+    }
+}

@@ -1,0 +1,86 @@
+//! A live pub-sub system with subscription churn: subscribe, publish,
+//! unsubscribe, re-balance — the full dynamic path of the paper
+//! (Figure 5 matching + Section 6's dynamic-subscription discussion).
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --example live_system
+//! ```
+
+use geometry::{Grid, Interval, Point, Rect};
+use netsim::{NodeId, Topology, TransitStubParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::PubSubSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let topo = Topology::generate(&TransitStubParams::paper_300_nodes(), &mut rng);
+    let nodes: Vec<NodeId> = topo.stub_nodes().collect();
+
+    // Event space: a single "price" attribute 0..100.
+    let grid = Grid::cube(0.0, 100.0, 1, 50)?;
+    let mut system = PubSubSystem::new(&topo, grid, 16);
+
+    // Phase 1: 150 subscribers with banded price interest.
+    let mut ids = Vec::new();
+    for _ in 0..150 {
+        let node = nodes[rng.gen_range(0..nodes.len())];
+        let center: f64 = rng.gen_range(20.0..80.0);
+        let width: f64 = rng.gen_range(5.0..20.0);
+        let id = system.subscribe(
+            node,
+            Rect::new(vec![Interval::new(
+                (center - width / 2.0).max(0.0),
+                (center + width / 2.0).min(100.0),
+            )?]),
+        );
+        ids.push(id);
+    }
+    let moves = system.refresh();
+    println!(
+        "phase 1: {} subscribers clustered into groups ({moves} re-balancing moves)",
+        system.num_subscriptions()
+    );
+
+    // Publish a burst of events.
+    for _ in 0..200 {
+        let publisher = nodes[rng.gen_range(0..nodes.len())];
+        let price: f64 = rng.gen_range(0.0..100.0);
+        system.publish(publisher, &Point::new(vec![price]));
+    }
+    let s = system.stats();
+    println!(
+        "phase 1 stats: {} events, {} multicast / {} unicast, total cost {:.0}",
+        s.events, s.multicast_events, s.unicast_events, s.total_cost
+    );
+
+    // Phase 2: churn — a third of the subscribers leave, new ones join
+    // with interest concentrated around 50.
+    for id in ids.iter().take(50) {
+        system.unsubscribe(*id)?;
+    }
+    for _ in 0..60 {
+        let node = nodes[rng.gen_range(0..nodes.len())];
+        let center: f64 = rng.gen_range(45.0..55.0);
+        system.subscribe(
+            node,
+            Rect::new(vec![Interval::new(center - 5.0, center + 5.0)?]),
+        );
+    }
+    let moves = system.refresh();
+    println!(
+        "\nphase 2: churn applied ({} live subscribers); warm re-balance took {moves} moves",
+        system.num_subscriptions()
+    );
+
+    // Events around the new hot spot should now multicast tightly.
+    let report = system.publish(nodes[0], &Point::new(vec![50.0]));
+    println!(
+        "event at price 50: {} interested subscriptions, {} receiver nodes, cost {:.0}, group {:?}",
+        report.interested.len(),
+        report.receiver_nodes.len(),
+        report.cost,
+        report.multicast_group
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: cluster a handful of stock subscriptions into multicast
+//! groups and match an incoming event.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --example quickstart
+//! ```
+
+use geometry::{Grid, Interval, Point, Rect};
+use pubsub_core::{
+    BitSet, CellProbability, ClusteringAlgorithm, Delivery, GridFramework, GridMatcher, KMeans,
+    KMeansVariant,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Subscriptions are axis-aligned rectangles over the event space
+    // {name, price, volume}. A `*` predicate is an unbounded interval.
+    let subscriptions = vec![
+        // "IBM between 90 and 110, any volume"
+        Rect::new(vec![
+            Interval::equals_int(7),
+            Interval::new(90.0, 110.0)?,
+            Interval::all(),
+        ]),
+        // "IBM, any price, big trades only"
+        Rect::new(vec![
+            Interval::equals_int(7),
+            Interval::all(),
+            Interval::greater_than(10_000.0),
+        ]),
+        // "any cheap stock"
+        Rect::new(vec![
+            Interval::all(),
+            Interval::at_most(20.0),
+            Interval::all(),
+        ]),
+    ];
+
+    // Discretize the event space and build the clustering framework:
+    // rasterize → merge identical-membership cells → rank by popularity.
+    let grid = Grid::new(
+        Rect::new(vec![
+            Interval::new(-1.0, 20.0)?,  // stock name (linearized)
+            Interval::new(0.0, 200.0)?,  // price
+            Interval::new(0.0, 50_000.0)?, // volume
+        ]),
+        vec![21, 20, 10],
+    )?;
+    let probs = CellProbability::uniform(&grid);
+    let framework = GridFramework::build(grid, &subscriptions, &probs, None);
+    println!(
+        "{} subscriptions -> {} hyper-cells",
+        subscriptions.len(),
+        framework.hypercells().len()
+    );
+
+    // Cluster into two multicast groups with Forgy K-means.
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&framework, 2);
+    for (i, g) in clustering.groups().iter().enumerate() {
+        let members: Vec<usize> = g.members.iter().collect();
+        println!("group {i}: subscribers {members:?}");
+    }
+
+    // An IBM trade at $100.50 for 20,000 shares arrives.
+    let event = Point::new(vec![7.0, 100.5, 20_000.0]);
+    let interested = BitSet::from_members(
+        subscriptions.len(),
+        subscriptions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&event))
+            .map(|(i, _)| i),
+    );
+    println!(
+        "event {event}: interested subscribers {:?}",
+        interested.iter().collect::<Vec<_>>()
+    );
+
+    let matcher = GridMatcher::new(&framework, &clustering);
+    match matcher.match_event(&event, &interested) {
+        Delivery::Multicast { group } => {
+            println!("-> multicast to group {group}");
+        }
+        Delivery::Unicast => println!("-> unicast to the interested subscribers"),
+    }
+    Ok(())
+}

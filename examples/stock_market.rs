@@ -1,0 +1,75 @@
+//! The paper's headline scenario end to end: the 600-node transit-stub
+//! network, 1000 stock-market subscriptions, gaussian publications —
+//! compare unicast, broadcast, ideal multicast and clustered multicast.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --example stock_market
+//! ```
+
+use netsim::TransitStubParams;
+use pubsub_core::{ClusteringAlgorithm, KMeans, KMeansVariant};
+use sim::{Evaluator, MulticastMode, StockScenario};
+use workload::{PublicationModes, StockModel};
+
+fn main() {
+    // Section 5.1's scenario, scaled to run in seconds: the 600-node
+    // network, stock subscriptions with regional name interest, a
+    // single-mode gaussian publication distribution.
+    let model = StockModel::default()
+        .with_sizes(1000, 200)
+        .with_modes(PublicationModes::One);
+    let scenario = StockScenario::generate(
+        &model,
+        &TransitStubParams::paper_section51(),
+        400, // held-out events for density estimation
+        42,
+    );
+    println!(
+        "network: {} nodes, {} stubs; workload: {} subscriptions, {} events",
+        scenario.topo.num_nodes(),
+        scenario.topo.stubs().len(),
+        scenario.workload.subscriptions.len(),
+        scenario.workload.events.len()
+    );
+
+    let mut evaluator = Evaluator::new(&scenario.topo, &scenario.workload);
+    let baselines = evaluator.baseline_costs();
+    println!(
+        "baselines (mean cost/event): unicast={:.0} broadcast={:.0} ideal multicast={:.0}",
+        baselines.unicast, baselines.broadcast, baselines.ideal
+    );
+
+    // Cluster subscriptions into K multicast groups with Forgy K-means
+    // (the paper's recommended algorithm) and measure the delivered cost.
+    let framework = scenario.framework(2000);
+    println!(
+        "grid framework: {} hyper-cells kept",
+        framework.hypercells().len()
+    );
+    let forgy = KMeans::new(KMeansVariant::Forgy);
+    println!(
+        "{:>5} {:>12} {:>12} {:>18} {:>18}",
+        "K", "net cost", "app cost", "net improvement%", "app improvement%"
+    );
+    for k in [10, 25, 50, 100] {
+        let clustering = forgy.cluster(&framework, k);
+        let net = evaluator.grid_clustering_cost(
+            &framework,
+            &clustering,
+            0.0,
+            MulticastMode::NetworkSupported,
+        );
+        let app = evaluator.grid_clustering_cost(
+            &framework,
+            &clustering,
+            0.0,
+            MulticastMode::ApplicationLevel,
+        );
+        println!(
+            "{k:>5} {net:>12.0} {app:>12.0} {:>18.1} {:>18.1}",
+            baselines.improvement_pct(net),
+            baselines.improvement_pct(app)
+        );
+    }
+    println!("(0% = unicast, 100% = per-event ideal multicast)");
+}

@@ -1,0 +1,76 @@
+//! Feeding external traces through the pipeline (paper §6.3): export a
+//! generated workload to CSV, read it back as if it were real-world
+//! data, and evaluate delivery costs on the imported trace.
+//!
+//! ```text
+//! cargo run --release -p pubsub-bench --example trace_io
+//! ```
+
+use netsim::{Topology, TransitStubParams};
+use pubsub_core::{CellProbability, ClusteringAlgorithm, GridFramework, KMeans, KMeansVariant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::Evaluator;
+use workload::{io, StockModel, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a workload and serialize it — in real use this side
+    //    is replaced by your own trace producer.
+    let mut rng = StdRng::seed_from_u64(12);
+    let topo = Topology::generate(&TransitStubParams::paper_300_nodes(), &mut rng);
+    let generated = StockModel::default()
+        .with_sizes(400, 150)
+        .generate(&topo, &mut rng);
+    let mut subs_csv = Vec::new();
+    let mut events_csv = Vec::new();
+    io::write_subscriptions(&mut subs_csv, &generated.subscriptions)?;
+    io::write_events(&mut events_csv, &generated.events)?;
+    println!(
+        "exported {} subscriptions ({} bytes) and {} events ({} bytes)",
+        generated.subscriptions.len(),
+        subs_csv.len(),
+        generated.events.len(),
+        events_csv.len()
+    );
+
+    // 2. Import as an external consumer would.
+    let subscriptions = io::read_subscriptions(subs_csv.as_slice())?;
+    let events = io::read_events(events_csv.as_slice())?;
+    assert_eq!(subscriptions, generated.subscriptions);
+    assert_eq!(events, generated.events);
+    println!("round trip is bit-exact");
+
+    // 3. Infer a grid from the trace alone and run the pipeline.
+    let (bounds, bins) = io::infer_bounds(&subscriptions, &events, 12);
+    println!("inferred event-space bounds: {bounds}");
+    let workload = Workload {
+        bounds: bounds.clone(),
+        suggested_bins: bins.clone(),
+        subscriptions,
+        events,
+    };
+    let grid = geometry::Grid::new(bounds, bins)?;
+    let sample: Vec<geometry::Point> =
+        workload.events.iter().map(|e| e.point.clone()).collect();
+    let probs = CellProbability::empirical(&grid, &sample);
+    let rects: Vec<geometry::Rect> =
+        workload.subscriptions.iter().map(|s| s.rect.clone()).collect();
+    let fw = GridFramework::build(grid, &rects, &probs, Some(3000));
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 40);
+    let mut evaluator = Evaluator::new(&topo, &workload);
+    let b = evaluator.baseline_costs();
+    let cost = evaluator.grid_clustering_cost(
+        &fw,
+        &clustering,
+        0.0,
+        sim::MulticastMode::NetworkSupported,
+    );
+    println!(
+        "imported trace: unicast {:.0}, clustered {:.0}, ideal {:.0} -> improvement {:.1}%",
+        b.unicast,
+        cost,
+        b.ideal,
+        b.improvement_pct(cost)
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Reproducibility: identical seeds must reproduce identical topologies,
+//! workloads, clusterings and costs — the property that makes the
+//! experiment harness's numbers auditable.
+
+use netsim::{Topology, TransitStubParams};
+use pubsub_core::{ClusteringAlgorithm, KMeans, KMeansVariant, PairsStrategy, PairwiseGrouping};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::{Evaluator, MulticastMode, StockScenario};
+use workload::{PredicateDist, Section3Model, StockModel};
+
+#[test]
+fn topology_generation_is_deterministic() {
+    let params = TransitStubParams::paper_section51();
+    let a = Topology::generate(&params, &mut StdRng::seed_from_u64(31));
+    let b = Topology::generate(&params, &mut StdRng::seed_from_u64(31));
+    assert_eq!(a.graph().num_nodes(), b.graph().num_nodes());
+    assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+    for (ea, eb) in a.graph().edges().iter().zip(b.graph().edges()) {
+        assert_eq!(ea, eb);
+    }
+}
+
+#[test]
+fn section3_workload_is_deterministic() {
+    let params = TransitStubParams::paper_100_nodes();
+    let model = Section3Model {
+        regionalism: 0.4,
+        dist: PredicateDist::Gaussian,
+        num_subscriptions: 150,
+        num_events: 40,
+    };
+    let make = || {
+        let mut rng = StdRng::seed_from_u64(8);
+        let topo = Topology::generate(&params, &mut rng);
+        model.generate(&topo, &mut rng)
+    };
+    let (wa, wb) = (make(), make());
+    assert_eq!(wa.subscriptions, wb.subscriptions);
+    assert_eq!(wa.events, wb.events);
+}
+
+#[test]
+fn full_pipeline_costs_are_deterministic() {
+    let run = || {
+        let model = StockModel::default().with_sizes(200, 60);
+        let sc =
+            StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 120, 17);
+        let fw = sc.framework(300);
+        let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 15);
+        let mut ev = Evaluator::new(&sc.topo, &sc.workload);
+        let b = ev.baseline_costs();
+        let cost =
+            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        (b.unicast, b.broadcast, b.ideal, cost)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn seeded_approximate_pairs_is_deterministic() {
+    let model = StockModel::default().with_sizes(150, 40);
+    let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 100, 23);
+    let fw = sc.framework(200);
+    let alg = PairwiseGrouping::new(PairsStrategy::Approximate { seed: 5 });
+    let a = alg.cluster(&fw, 10);
+    let b = alg.cluster(&fw, 10);
+    assert_eq!(
+        a.total_expected_waste(&fw),
+        b.total_expected_waste(&fw)
+    );
+    assert_eq!(a.num_groups(), b.num_groups());
+}
+
+#[test]
+fn different_seeds_give_different_networks() {
+    let params = TransitStubParams::paper_100_nodes();
+    let a = Topology::generate(&params, &mut StdRng::seed_from_u64(1));
+    let b = Topology::generate(&params, &mut StdRng::seed_from_u64(2));
+    let same_edges = a
+        .graph()
+        .edges()
+        .iter()
+        .zip(b.graph().edges())
+        .all(|(x, y)| x == y);
+    assert!(!same_edges, "independent seeds produced identical networks");
+}

@@ -1,0 +1,157 @@
+//! Property-based integration tests of the matching pipeline's
+//! correctness invariants, on randomly generated rectangle populations.
+
+use geometry::{Grid, Interval, Point, Rect};
+use proptest::prelude::*;
+use pubsub_core::{
+    BitSet, CellProbability, ClusteringAlgorithm, Delivery, GridFramework, GridMatcher, KMeans,
+    KMeansVariant, MstClustering, NoLossClustering, NoLossConfig,
+};
+
+/// Random interval inside (0, 20], sometimes unbounded.
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        3 => (0.0..20.0f64, 0.0..20.0f64).prop_map(|(a, b)| Interval::from_unordered(a, b)),
+        1 => (0.0..20.0f64).prop_map(Interval::greater_than),
+        1 => (0.0..20.0f64).prop_map(Interval::at_most),
+        1 => Just(Interval::all()),
+    ]
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    prop::collection::vec(interval_strategy(), 2).prop_map(Rect::new)
+}
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.01..20.0f64, 2).prop_map(Point::new)
+}
+
+fn build_framework(subs: &[Rect]) -> GridFramework {
+    let grid = Grid::cube(0.0, 20.0, 2, 10).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    GridFramework::build(grid, subs, &probs, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A kept cell's membership vector includes every subscriber whose
+    /// rectangle contains any point of the cell — so grid matching can
+    /// only ever OVER-deliver, never under-deliver.
+    #[test]
+    fn grid_groups_cover_all_interested_subscribers(
+        subs in prop::collection::vec(rect_strategy(), 1..20),
+        p in point_strategy(),
+    ) {
+        let fw = build_framework(&subs);
+        let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 4);
+        let interested: Vec<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&p))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(group) = clustering.group_of_point(&fw, &p) {
+            let members = &clustering.groups()[group].members;
+            for &i in &interested {
+                prop_assert!(
+                    members.contains(i),
+                    "interested subscriber {i} missing from matched group"
+                );
+            }
+        } else {
+            // No cell kept for this point ⇒ framework must know nobody
+            // subscribed there (framework built with no truncation).
+            prop_assert!(interested.is_empty(),
+                "point with interested subscribers fell off the grid");
+        }
+    }
+
+    /// The matcher's multicast decision always targets a group whose
+    /// membership is a superset of the interested set.
+    #[test]
+    fn matcher_multicast_is_superset_of_interested(
+        subs in prop::collection::vec(rect_strategy(), 1..20),
+        p in point_strategy(),
+        threshold in 0.0..1.0f64,
+    ) {
+        let fw = build_framework(&subs);
+        let clustering = MstClustering::new().cluster(&fw, 4);
+        let matcher = GridMatcher::new(&fw, &clustering).with_threshold(threshold);
+        let interested = BitSet::from_members(
+            subs.len(),
+            subs.iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&p))
+                .map(|(i, _)| i),
+        );
+        if let Delivery::Multicast { group } = matcher.match_event(&p, &interested) {
+            prop_assert!(interested.is_subset(&clustering.groups()[group].members));
+        }
+    }
+
+    /// The no-loss property on arbitrary rectangle populations: any
+    /// matched region's subscribers all contain the event point.
+    #[test]
+    fn noloss_regions_never_over_deliver(
+        subs in prop::collection::vec(rect_strategy(), 1..15),
+        p in point_strategy(),
+    ) {
+        let cfg = NoLossConfig { max_rects: 60, iterations: 2, max_candidates_per_round: 5_000 };
+        let nl = NoLossClustering::build(&subs, &[], &cfg, 30);
+        if let Some(region) = nl.match_event(&p) {
+            let r = &nl.regions()[region];
+            prop_assert!(r.rect.contains(&p));
+            for s in r.subscribers.iter() {
+                prop_assert!(subs[s].contains(&p),
+                    "no-loss delivered to uninterested subscriber {s}");
+            }
+        }
+    }
+
+    /// The three matching engines agree on arbitrary inputs: R-tree
+    /// index, counting matcher, and the brute-force scan.
+    #[test]
+    fn matching_engines_agree(
+        subs in prop::collection::vec(rect_strategy(), 0..25),
+        p in point_strategy(),
+    ) {
+        let index = pubsub_core::SubscriptionIndex::build(&subs);
+        let counting = pubsub_core::CountingMatcher::build(&subs);
+        let brute: Vec<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&p))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(index.matching(&p), brute.clone());
+        prop_assert_eq!(counting.matching(&p), brute);
+    }
+
+    /// Every clustering algorithm produces a complete partition: each
+    /// hyper-cell lands in exactly one group.
+    #[test]
+    fn clusterings_partition_the_hypercells(
+        subs in prop::collection::vec(rect_strategy(), 1..20),
+        k in 1usize..8,
+    ) {
+        let fw = build_framework(&subs);
+        let algs: Vec<Box<dyn ClusteringAlgorithm>> = vec![
+            Box::new(KMeans::new(KMeansVariant::MacQueen)),
+            Box::new(KMeans::new(KMeansVariant::Forgy)),
+            Box::new(MstClustering::new()),
+        ];
+        for alg in &algs {
+            let c = alg.cluster(&fw, k);
+            let mut seen = vec![false; fw.hypercells().len()];
+            for g in c.groups() {
+                for &h in &g.hypercells {
+                    prop_assert!(!seen[h], "{}: hyper-cell {h} in two groups", alg.name());
+                    seen[h] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "{}: unassigned hyper-cell", alg.name());
+            prop_assert!(c.num_groups() <= k.max(1), "{}: too many groups", alg.name());
+        }
+    }
+}
