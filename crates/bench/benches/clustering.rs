@@ -33,7 +33,9 @@ fn bench_grid_algorithms(c: &mut Criterion) {
         Box::new(KMeans::new(KMeansVariant::Forgy)),
         Box::new(MstClustering::new()),
         Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
-        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: 1 })),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 1,
+        })),
     ];
     let mut group = c.benchmark_group("fig10_clustering_runtime");
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -41,11 +43,9 @@ fn bench_grid_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for (cells, fw) in &fws {
         for alg in &algs {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), cells),
-                fw,
-                |b, fw| b.iter(|| alg.cluster(fw, K)),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), cells), fw, |b, fw| {
+                b.iter(|| alg.cluster(fw, K))
+            });
         }
     }
     group.finish();
@@ -91,9 +91,7 @@ fn bench_dynamic_rebalance(c: &mut Criterion) {
     let build_population = |d: &mut DynamicClustering| {
         for i in 0..150 {
             let lo = (i % 90) as f64;
-            d.subscribe(Rect::new(vec![
-                Interval::new(lo, lo + 10.0).unwrap(),
-            ]));
+            d.subscribe(Rect::new(vec![Interval::new(lo, lo + 10.0).unwrap()]));
         }
     };
     let mut group = c.benchmark_group("dynamic_rebalance");

@@ -65,12 +65,7 @@ fn bench_rtree(c: &mut Criterion) {
     let tree = RTree::bulk_load(4, items);
     let probes: Vec<_> = sc.workload.events.iter().map(|e| e.point.clone()).collect();
     group.bench_function("stab_200_events", |b| {
-        b.iter(|| {
-            probes
-                .iter()
-                .map(|p| tree.stab(p).len())
-                .sum::<usize>()
-        })
+        b.iter(|| probes.iter().map(|p| tree.stab(p).len()).sum::<usize>())
     });
     group.finish();
 }
@@ -101,7 +96,12 @@ fn bench_index_comparison(c: &mut Criterion) {
         b.iter(|| probes.iter().map(|p| stree.stab(p).len()).sum::<usize>())
     });
     group.bench_function("counting_match", |b| {
-        b.iter(|| probes.iter().map(|p| counting.matching(p).len()).sum::<usize>())
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| counting.matching(p).len())
+                .sum::<usize>()
+        })
     });
     group.bench_function("brute_force", |b| {
         b.iter(|| {

@@ -67,23 +67,14 @@ fn main() {
         ),
         (
             "unmerged",
-            GridFramework::build_unmerged(
-                grid.clone(),
-                &scenario.rects,
-                &probs,
-                Some(max_cells),
-            ),
+            GridFramework::build_unmerged(grid.clone(), &scenario.rects, &probs, Some(max_cells)),
         ),
     ] {
         let start = Instant::now();
         let clustering = forgy.cluster(&fw, k);
         let secs = start.elapsed().as_secs_f64();
-        let cost = evaluator.grid_clustering_cost(
-            &fw,
-            &clustering,
-            0.0,
-            MulticastMode::NetworkSupported,
-        );
+        let cost =
+            evaluator.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         println!(
             "  {label}: {:>6} cells fed to clustering | improvement {:>5.1}% | cluster time {secs:.3}s",
             fw.hypercells().len(),
@@ -98,12 +89,8 @@ fn main() {
         ("empirical", scenario.framework_empirical(max_cells)),
     ] {
         let clustering = forgy.cluster(&fw, k);
-        let cost = evaluator.grid_clustering_cost(
-            &fw,
-            &clustering,
-            0.0,
-            MulticastMode::NetworkSupported,
-        );
+        let cost =
+            evaluator.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         let matched = scenario
             .workload
             .events
@@ -162,10 +149,7 @@ fn main() {
             ("application-level (MST)", MulticastMode::ApplicationLevel),
         ] {
             let cost = evaluator.grid_clustering_cost(&fw, &clustering, 0.0, mode);
-            println!(
-                "  {name:<26} {:>13.1}",
-                baselines.improvement_pct(cost)
-            );
+            println!("  {name:<26} {:>13.1}", baselines.improvement_pct(cost));
         }
     }
 
@@ -175,7 +159,10 @@ fn main() {
     // name-center spread to weaken that concentration and watch the
     // clustering benefit respond.
     println!("\n== ablation 7: regionalism of interest (name-center spread) ==");
-    println!("  {:>9} {:>13} {:>18}", "name sd", "improvement%", "ideal saves vs uni");
+    println!(
+        "  {:>9} {:>13} {:>18}",
+        "name sd", "improvement%", "ideal saves vs uni"
+    );
     for name_sd in [2.0, 4.0, 8.0, 16.0] {
         let m = model.clone().with_name_sd(name_sd);
         let sc = StockScenario::generate(&m, &topo, density_events, 2002);
@@ -183,8 +170,7 @@ fn main() {
         let mut ev = Evaluator::new(&sc.topo, &sc.workload);
         let b = ev.baseline_costs();
         let clustering = forgy.cluster(&fw, k);
-        let cost =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         println!(
             "  {name_sd:>9.1} {:>13.1} {:>17.1}%",
             b.improvement_pct(cost),
@@ -206,13 +192,15 @@ fn main() {
             outcome.removed * 100 / scenario.workload.subscriptions.len().max(1)
         );
         let grid = scenario.grid();
-        let probs = pubsub_core::CellProbability::from_mass_fn(&grid, |r| {
-            scenario.density.mass(r)
-        });
+        let probs = pubsub_core::CellProbability::from_mass_fn(&grid, |r| scenario.density.mass(r));
         let pruned_rects: Vec<geometry::Rect> =
             outcome.kept.iter().map(|s| s.rect.clone()).collect();
-        let fw_full =
-            pubsub_core::GridFramework::build(grid.clone(), &scenario.rects, &probs, Some(max_cells));
+        let fw_full = pubsub_core::GridFramework::build(
+            grid.clone(),
+            &scenario.rects,
+            &probs,
+            Some(max_cells),
+        );
         let fw_pruned =
             pubsub_core::GridFramework::build(grid, &pruned_rects, &probs, Some(max_cells));
         println!(

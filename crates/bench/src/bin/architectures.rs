@@ -68,7 +68,10 @@ fn main() {
         scenario.workload.subscriptions.len(),
         scenario.workload.events.len()
     );
-    println!("  {:<34} {:>10} {:>13}", "scheme", "cost/event", "improvement%");
+    println!(
+        "  {:<34} {:>10} {:>13}",
+        "scheme", "cost/event", "improvement%"
+    );
     for (name, cost) in [
         ("unicast", baselines.unicast),
         ("broadcast", baselines.broadcast),

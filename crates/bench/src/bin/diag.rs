@@ -8,12 +8,7 @@ use workload::StockModel;
 
 fn main() {
     let model = StockModel::default().with_sizes(1000, 250);
-    let sc = StockScenario::generate(
-        &model,
-        &TransitStubParams::paper_section51(),
-        500,
-        2002,
-    );
+    let sc = StockScenario::generate(&model, &TransitStubParams::paper_section51(), 500, 2002);
     let fw = sc.framework(2000);
     println!("hyper-cells kept: {}", fw.hypercells().len());
     let matched = sc

@@ -72,10 +72,8 @@ fn main() {
 
     for ev in &scenario.workload.events {
         let matching = index.matching(&ev.point);
-        let interested_set = pubsub_core::BitSet::from_members(
-            scenario.rects.len(),
-            matching.iter().copied(),
-        );
+        let interested_set =
+            pubsub_core::BitSet::from_members(scenario.rects.len(), matching.iter().copied());
         let mut nodes: Vec<netsim::NodeId> = matching
             .iter()
             .map(|&i| scenario.workload.subscriptions[i].node)

@@ -30,12 +30,7 @@ fn main() {
     );
     for &subs in &sub_counts {
         let model = StockModel::default().with_sizes(subs, events);
-        let sc = StockScenario::generate(
-            &model,
-            &TransitStubParams::paper_100_nodes(),
-            100,
-            31,
-        );
+        let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 100, 31);
         let points: Vec<geometry::Point> =
             sc.workload.events.iter().map(|e| e.point.clone()).collect();
         let index = SubscriptionIndex::build(&sc.rects);
@@ -50,15 +45,12 @@ fn main() {
             let secs = start.elapsed().as_secs_f64();
             (points.len() as f64 / secs, total)
         };
-        let (brute_eps, brute_total) =
-            time(&|p| sc.rects.iter().filter(|r| r.contains(p)).count());
+        let (brute_eps, brute_total) = time(&|p| sc.rects.iter().filter(|r| r.contains(p)).count());
         let (rtree_eps, rtree_total) = time(&|p| index.matching(p).len());
         let (count_eps, count_total) = time(&|p| counting.matching(p).len());
         assert_eq!(brute_total, rtree_total, "engines disagree");
         assert_eq!(brute_total, count_total, "engines disagree");
-        println!(
-            "{subs:>7} {brute_eps:>14.0} {rtree_eps:>14.0} {count_eps:>14.0}"
-        );
+        println!("{subs:>7} {brute_eps:>14.0} {rtree_eps:>14.0} {count_eps:>14.0}");
     }
     println!();
     println!("on this workload events match ~10% of all subscriptions, so output");

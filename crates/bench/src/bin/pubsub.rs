@@ -218,9 +218,7 @@ fn cmd_cluster(args: &Args) {
             "forgy" => Box::new(KMeans::new(KMeansVariant::Forgy)),
             "mst" => Box::new(MstClustering::new()),
             "pairs" => Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
-            "approx-pairs" => {
-                Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed }))
-            }
+            "approx-pairs" => Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed })),
             other => {
                 eprintln!(
                     "--algorithm must be kmeans|forgy|mst|pairs|approx-pairs|noloss (got {other})"
@@ -271,7 +269,9 @@ fn cmd_export(args: &Args) {
     write(&subs_path, &|buf| {
         workload::io::write_subscriptions(buf, &w.subscriptions)
     });
-    write(&events_path, &|buf| workload::io::write_events(buf, &w.events));
+    write(&events_path, &|buf| {
+        workload::io::write_events(buf, &w.events)
+    });
     println!(
         "wrote {} subscriptions to {subs_path} and {} events to {events_path}",
         w.subscriptions.len(),
@@ -328,15 +328,16 @@ fn cmd_replay(args: &Args) {
     let mut ev = Evaluator::new(&topo, &workload);
     let b = ev.baseline_costs();
     let grid = geometry::Grid::new(bounds, bin_counts).expect("inferred grid is valid");
-    let sample: Vec<geometry::Point> =
-        workload.events.iter().map(|e| e.point.clone()).collect();
+    let sample: Vec<geometry::Point> = workload.events.iter().map(|e| e.point.clone()).collect();
     let probs = pubsub_core::CellProbability::empirical(&grid, &sample);
-    let rects: Vec<geometry::Rect> =
-        workload.subscriptions.iter().map(|s| s.rect.clone()).collect();
+    let rects: Vec<geometry::Rect> = workload
+        .subscriptions
+        .iter()
+        .map(|s| s.rect.clone())
+        .collect();
     let fw = pubsub_core::GridFramework::build(grid, &rects, &probs, Some(6000));
     let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, k);
-    let cost =
-        ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+    let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
     println!(
         "replayed {} events against {} subscriptions on the {}-node topology:",
         workload.events.len(),

@@ -19,9 +19,7 @@ fn main() {
     };
     let degrees = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let pts = regionalism_sweep(&params, subs, events, &degrees, 7);
-    println!(
-        "degree of regionalism vs multicast benefit ({subs} subscriptions, {events} events)"
-    );
+    println!("degree of regionalism vs multicast benefit ({subs} subscriptions, {events} events)");
     println!(
         "{:>8} {:>10} {:>10} {:>14}",
         "degree", "unicast", "ideal", "ideal saves"

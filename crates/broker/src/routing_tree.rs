@@ -443,7 +443,10 @@ mod tests {
     #[test]
     fn forwards_only_toward_interest() {
         let g = path4();
-        let subs = vec![(NodeId(3), rect1(0.0, 10.0)), (NodeId(0), rect1(20.0, 30.0))];
+        let subs = vec![
+            (NodeId(3), rect1(0.0, 10.0)),
+            (NodeId(0), rect1(20.0, 30.0)),
+        ];
         let net = BrokerNetwork::build(&g, &subs);
         // Event matching only the far subscription travels the whole
         // path.
@@ -561,8 +564,7 @@ mod tests {
             })
             .collect();
         let mut net = BrokerNetwork::build(topo.graph(), &initial);
-        let mut live: Vec<Option<(NodeId, Rect)>> =
-            initial.iter().cloned().map(Some).collect();
+        let mut live: Vec<Option<(NodeId, Rect)>> = initial.iter().cloned().map(Some).collect();
         for _ in 0..30 {
             if rng.gen_bool(0.5) {
                 let node = nodes[rng.gen_range(0..nodes.len())];
@@ -617,8 +619,7 @@ mod tests {
             .collect();
         let core = topo.transit_nodes(0)[0];
         let mst = BrokerNetwork::build_with_tree(topo.graph(), &subs, TreeKind::Mst);
-        let cbt =
-            BrokerNetwork::build_with_tree(topo.graph(), &subs, TreeKind::CoreSpt(core));
+        let cbt = BrokerNetwork::build_with_tree(topo.graph(), &subs, TreeKind::CoreSpt(core));
         for trial in 0..20 {
             let publisher = nodes[(trial * 7) % nodes.len()];
             let event = Point::new(vec![rng.gen_range(0.0..20.0)]);

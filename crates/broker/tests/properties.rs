@@ -28,10 +28,7 @@ fn scenario(seed: u64, subs: usize) -> (Topology, Vec<(NodeId, Rect)>) {
             let node = nodes[rng.gen_range(0..nodes.len())];
             let a: f64 = rng.gen_range(0.0..20.0);
             let b: f64 = rng.gen_range(0.0..20.0);
-            (
-                node,
-                Rect::new(vec![Interval::from_unordered(a, b)]),
-            )
+            (node, Rect::new(vec![Interval::from_unordered(a, b)]))
         })
         .collect();
     (topo, subs)

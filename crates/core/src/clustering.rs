@@ -39,11 +39,7 @@ impl Clustering {
     /// Panics if `assignment.len() != framework.hypercells().len()`.
     pub fn from_assignment(framework: &GridFramework, assignment: Vec<usize>) -> Self {
         let hcs = framework.hypercells();
-        assert_eq!(
-            assignment.len(),
-            hcs.len(),
-            "one group per kept hyper-cell"
-        );
+        assert_eq!(assignment.len(), hcs.len(), "one group per kept hyper-cell");
         let num_groups = assignment.iter().copied().max().map_or(0, |g| g + 1);
         let mut groups: Vec<Group> = (0..num_groups)
             .map(|_| Group {
@@ -94,9 +90,7 @@ impl Clustering {
 
     /// The group an event point is matched to, if its cell was kept.
     pub fn group_of_point(&self, framework: &GridFramework, p: &Point) -> Option<usize> {
-        framework
-            .hyper_of_point(p)
-            .map(|h| self.group_of_hyper(h))
+        framework.hyper_of_point(p).map(|h| self.group_of_hyper(h))
     }
 
     /// The total expected waste of the clustering: for each hyper-cell,
@@ -299,10 +293,7 @@ mod tests {
         acc.add(&hcs[0]);
         acc.add(&hcs[1]);
         let full = acc.members();
-        assert_eq!(
-            full.count(),
-            hcs[0].members.union_count(&hcs[1].members)
-        );
+        assert_eq!(full.count(), hcs[0].members.union_count(&hcs[1].members));
         acc.remove(&hcs[1]);
         assert_eq!(acc.members(), hcs[0].members);
         assert_eq!(acc.num_cells(), 1);
@@ -315,12 +306,7 @@ mod tests {
         let mut acc = GroupAccumulator::new(fw.num_subscribers());
         acc.add(&hcs[0]);
         let d = acc.distance_to(&hcs[1]);
-        let expected = expected_waste(
-            hcs[1].prob,
-            &hcs[1].members,
-            hcs[0].prob,
-            &hcs[0].members,
-        );
+        let expected = expected_waste(hcs[1].prob, &hcs[1].members, hcs[0].prob, &hcs[0].members);
         assert!((d - expected).abs() < 1e-12, "{d} vs {expected}");
     }
 }

@@ -1,0 +1,144 @@
+//! Shared lower-triangular cache of pairwise expected-waste distances.
+//!
+//! Every grid-based algorithm starts from the same `l × l` singleton
+//! distance structure: Pairwise Grouping's nearest-neighbour
+//! initialization, MST clustering's edge generation, K-means seeding, and
+//! outlier removal all evaluate `d(a, b)` over pairs of *hyper-cells*
+//! (not yet merged groups). [`DistanceMatrix`] computes those `l(l−1)/2`
+//! values once — filled in parallel, row-chunked — and every consumer
+//! reads them back instead of re-walking two membership bit-vectors per
+//! query.
+//!
+//! Each stored value is produced by the very same
+//! [`expected_waste`](crate::expected_waste) call the algorithms would
+//! otherwise make, so cached and uncached runs are bit-for-bit identical;
+//! the cache is only valid for *singleton* pairs, and algorithms fall
+//! back to direct computation for merged groups (whose membership vectors
+//! differ from any hyper-cell's).
+
+use crate::framework::HyperCell;
+use crate::parallel;
+use crate::waste::expected_waste;
+
+/// Packed lower-triangular matrix of `d(i, j)` over hyper-cell indices.
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major lower triangle: row `i` holds `d(i, 0) .. d(i, i-1)`
+    /// starting at offset `i·(i−1)/2`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise expected-waste distances between the given
+    /// hyper-cells. Rows are filled in parallel; each entry is exactly
+    /// `expected_waste(h[i].prob, &h[i].members, h[j].prob, &h[j].members)`.
+    pub fn build(hypercells: &[HyperCell]) -> Self {
+        let n = hypercells.len();
+        let rows = parallel::par_map_indexed(n, 8, |i| {
+            let a = &hypercells[i];
+            (0..i)
+                .map(|j| {
+                    let b = &hypercells[j];
+                    expected_waste(a.prob, &a.members, b.prob, &b.members)
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of hyper-cells the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no hyper-cells.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The cached `d(i, j)`; `d(i, i)` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via slice indexing in release) if an
+    /// index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.data[hi * (hi - 1) / 2 + lo]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl std::fmt::Debug for DistanceMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceMatrix")
+            .field("n", &self.n)
+            .field("entries", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::BitSet;
+
+    fn cells() -> Vec<HyperCell> {
+        let sets: [&[usize]; 5] = [&[0, 1], &[1, 2, 3], &[0, 4], &[2], &[0, 1, 2, 3, 4]];
+        sets.iter()
+            .enumerate()
+            .map(|(i, s)| HyperCell {
+                cells: vec![],
+                members: BitSet::from_members(6, s.iter().copied()),
+                prob: 0.1 + 0.05 * i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_expected_waste() {
+        let h = cells();
+        let m = DistanceMatrix::build(&h);
+        assert_eq!(m.len(), 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let direct = expected_waste(h[i].prob, &h[i].members, h[j].prob, &h[j].members);
+                assert_eq!(m.get(i, j).to_bits(), direct.to_bits(), "({i},{j})");
+                assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let h = cells();
+        let serial = parallel::with_threads(1, || DistanceMatrix::build(&h));
+        let par = parallel::with_threads(8, || DistanceMatrix::build(&h));
+        assert_eq!(serial.data.len(), par.data.len());
+        for (a, b) in serial.data.iter().zip(&par.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m = DistanceMatrix::build(&[]);
+        assert!(m.is_empty());
+        let h = cells();
+        let m = DistanceMatrix::build(&h[..1]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -318,10 +318,7 @@ mod tests {
         let mut s = system(2);
         let a = s.subscribe(rect1(0.0, 5.0));
         s.unsubscribe(a).unwrap();
-        assert_eq!(
-            s.unsubscribe(a),
-            Err(DynamicError::UnknownSubscription(a))
-        );
+        assert_eq!(s.unsubscribe(a), Err(DynamicError::UnknownSubscription(a)));
         assert_eq!(
             s.unsubscribe(SubscriptionId(99)),
             Err(DynamicError::UnknownSubscription(SubscriptionId(99)))

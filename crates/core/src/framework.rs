@@ -13,11 +13,30 @@
 //!    Figures 8 and 10 sweep.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use geometry::{CellId, Grid, Point, Rect};
 
+use crate::distance::DistanceMatrix;
 use crate::membership::BitSet;
+use crate::parallel;
 use crate::waste::popularity;
+
+/// Default cap (in hyper-cells) above which [`GridFramework`] declines to
+/// materialize the pairwise distance cache (`l(l−1)/2` f64s ≈ 150 MB at
+/// 6144 cells). Override with `PUBSUB_DISTANCE_CACHE_CELLS`; 0 disables
+/// the cache entirely.
+const DEFAULT_DISTANCE_CACHE_CELLS: usize = 6144;
+
+fn distance_cache_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("PUBSUB_DISTANCE_CACHE_CELLS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_DISTANCE_CACHE_CELLS)
+    })
+}
 
 /// Per-cell publication probability `p_p` over a grid.
 ///
@@ -164,6 +183,10 @@ pub struct GridFramework {
     num_subscribers: usize,
     hypercells: Vec<HyperCell>,
     cell_to_hyper: HashMap<CellId, usize>,
+    /// Lazily-built pairwise distance cache, shared by clones. `None`
+    /// once initialized means "too large to cache" — consumers fall back
+    /// to computing distances on the fly.
+    distances: OnceLock<Option<Arc<DistanceMatrix>>>,
 }
 
 impl GridFramework {
@@ -183,10 +206,12 @@ impl GridFramework {
         probs: &CellProbability,
         max_cells: Option<usize>,
     ) -> Self {
-        let cell_sets: Vec<Vec<CellId>> = subscriptions
-            .iter()
-            .map(|rect| grid.cells_overlapping(rect))
-            .collect();
+        // Rasterization is embarrassingly parallel: each subscription's
+        // overlapping-cell set is independent of the others.
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map(subscriptions, parallel::MIN_PARALLEL_LEN, |rect| {
+                grid.cells_overlapping(rect)
+            });
         Self::build_from_cells(grid, &cell_sets, probs, max_cells)
     }
 
@@ -238,6 +263,7 @@ impl GridFramework {
             num_subscribers,
             hypercells,
             cell_to_hyper,
+            distances: OnceLock::new(),
         }
     }
 
@@ -258,17 +284,46 @@ impl GridFramework {
         max_cells: Option<usize>,
     ) -> Self {
         let num_subscribers = cell_sets.len();
-        // 1. Rasterize: membership vector per non-empty cell.
-        let mut cell_members: HashMap<CellId, BitSet> = HashMap::new();
-        for (i, cells) in cell_sets.iter().enumerate() {
-            for &cell in cells {
-                assert!(cell.index() < grid.num_cells(), "cell id out of range");
-                cell_members
-                    .entry(cell)
-                    .or_insert_with(|| BitSet::new(num_subscribers))
-                    .insert(i);
+        // 1. Rasterize: membership vector per non-empty cell. Subscriber
+        //    chunks build partial maps in parallel, then the partials are
+        //    OR-merged — set union is order-insensitive, so the result is
+        //    identical to the serial insertion loop.
+        let build_partial = |range: std::ops::Range<usize>| {
+            let mut partial: HashMap<CellId, BitSet> = HashMap::new();
+            for i in range {
+                for &cell in &cell_sets[i] {
+                    assert!(cell.index() < grid.num_cells(), "cell id out of range");
+                    partial
+                        .entry(cell)
+                        .or_insert_with(|| BitSet::new(num_subscribers))
+                        .insert(i);
+                }
             }
-        }
+            partial
+        };
+        let threads = parallel::num_threads();
+        let cell_members: HashMap<CellId, BitSet> =
+            if threads <= 1 || num_subscribers < parallel::MIN_PARALLEL_LEN {
+                build_partial(0..num_subscribers)
+            } else {
+                let chunk = num_subscribers.div_ceil(threads * 4).max(1);
+                let mut partials =
+                    parallel::par_chunks(num_subscribers, chunk, build_partial).into_iter();
+                let mut merged = partials.next().unwrap_or_default();
+                for partial in partials {
+                    for (cell, members) in partial {
+                        match merged.entry(cell) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                e.get_mut().union_with(&members)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(members);
+                            }
+                        }
+                    }
+                }
+                merged
+            };
         // 2. Merge identical membership vectors into hyper-cells.
         let mut by_members: HashMap<BitSet, Vec<CellId>> = HashMap::new();
         for (cell, members) in cell_members {
@@ -307,6 +362,7 @@ impl GridFramework {
             num_subscribers,
             hypercells,
             cell_to_hyper,
+            distances: OnceLock::new(),
         }
     }
 
@@ -335,6 +391,41 @@ impl GridFramework {
         self.grid.cell_of(p).and_then(|c| self.hyper_of_cell(c))
     }
 
+    /// The shared pairwise distance cache over this framework's
+    /// hyper-cells, building it (in parallel) on first access.
+    ///
+    /// Returns `None` when the framework exceeds the cache size cap
+    /// (`PUBSUB_DISTANCE_CACHE_CELLS`, default 6144 hyper-cells) or has
+    /// fewer than two hyper-cells; callers then compute distances
+    /// directly. Entries are exactly the values
+    /// [`expected_waste`](crate::expected_waste) would return for the
+    /// same hyper-cell pair, so using the cache never changes results.
+    /// Clones of a framework share the same cache.
+    pub fn distance_matrix(&self) -> Option<&DistanceMatrix> {
+        self.distances
+            .get_or_init(|| {
+                let l = self.hypercells.len();
+                if l < 2 || l > distance_cache_cap() {
+                    None
+                } else {
+                    Some(Arc::new(DistanceMatrix::build(&self.hypercells)))
+                }
+            })
+            .as_deref()
+    }
+
+    /// A clone whose distance cache starts empty (not shared with
+    /// `self`). Used by benchmarks to measure cold-cache runs.
+    pub fn with_cold_distance_cache(&self) -> GridFramework {
+        GridFramework {
+            grid: self.grid.clone(),
+            num_subscribers: self.num_subscribers,
+            hypercells: self.hypercells.clone(),
+            cell_to_hyper: self.cell_to_hyper.clone(),
+            distances: OnceLock::new(),
+        }
+    }
+
     /// Summary statistics of the prepared framework — the quantities
     /// that predict clustering behaviour (how much the merge step
     /// compressed, how much publication mass the kept cells cover, how
@@ -343,8 +434,7 @@ impl GridFramework {
         let num_hypercells = self.hypercells.len();
         let num_cells: usize = self.hypercells.iter().map(|h| h.cells.len()).sum();
         let covered_probability: f64 = self.hypercells.iter().map(|h| h.prob).sum();
-        let member_counts: Vec<usize> =
-            self.hypercells.iter().map(|h| h.members.count()).collect();
+        let member_counts: Vec<usize> = self.hypercells.iter().map(|h| h.members.count()).collect();
         let max_members = member_counts.iter().copied().max().unwrap_or(0);
         let mean_members = if num_hypercells == 0 {
             0.0
@@ -384,30 +474,35 @@ impl GridFramework {
             return self.clone();
         }
         // Isolation score: distance to the nearest other hyper-cell.
-        let mut scores: Vec<(f64, usize)> = (0..l)
-            .map(|i| {
-                let a = &self.hypercells[i];
-                let mut best = f64::INFINITY;
-                for (j, b) in self.hypercells.iter().enumerate() {
-                    if i != j {
-                        let d = crate::waste::expected_waste(
-                            a.prob, &a.members, b.prob, &b.members,
-                        );
-                        if d < best {
-                            best = d;
+        // Rows are independent, so they are scored in parallel; the
+        // shared distance cache (when present) holds exactly the values
+        // `expected_waste` would produce for these singleton pairs.
+        let matrix = self.distance_matrix();
+        let scores_vec = parallel::par_map_indexed(l, 8, |i| {
+            let a = &self.hypercells[i];
+            let mut best = f64::INFINITY;
+            for (j, b) in self.hypercells.iter().enumerate() {
+                if i != j {
+                    let d = match matrix {
+                        Some(m) => m.get(i, j),
+                        None => {
+                            crate::waste::expected_waste(a.prob, &a.members, b.prob, &b.members)
                         }
+                    };
+                    if d < best {
+                        best = d;
                     }
                 }
-                (best, i)
-            })
-            .collect();
+            }
+            (best, i)
+        });
+        let mut scores: Vec<(f64, usize)> = scores_vec;
         // Most isolated first; ties (e.g. mutually-nearest pairs, where
         // the distance is symmetric) break toward the least popular
         // cell — "rather unique combination of subscribers" means few
         // subscribers and little publication mass.
         scores.sort_by(|x, y| {
-            y.0
-                .partial_cmp(&x.0)
+            y.0.partial_cmp(&x.0)
                 .expect("distance is never NaN")
                 .then_with(|| {
                     self.hypercells[x.1]
@@ -435,6 +530,7 @@ impl GridFramework {
             num_subscribers: self.num_subscribers,
             hypercells,
             cell_to_hyper,
+            distances: OnceLock::new(),
         }
     }
 }
@@ -515,12 +611,7 @@ mod tests {
             rect1(3.0, 6.0),
             rect1(6.0, 10.0),
         ];
-        let full = GridFramework::build(
-            g.clone(),
-            &subs,
-            &CellProbability::uniform(&g),
-            None,
-        );
+        let full = GridFramework::build(g.clone(), &subs, &CellProbability::uniform(&g), None);
         assert_eq!(full.hypercells().len(), 3);
         let fw = GridFramework::build(g, &subs, &CellProbability::uniform(&grid10()), Some(1));
         assert_eq!(fw.hypercells().len(), 1);
@@ -555,12 +646,8 @@ mod tests {
             assert_eq!(hc.members.count(), 2);
         }
         // Matching is identical to the merged build.
-        let merged = GridFramework::build(
-            grid10(),
-            &subs,
-            &CellProbability::uniform(&grid10()),
-            None,
-        );
+        let merged =
+            GridFramework::build(grid10(), &subs, &CellProbability::uniform(&grid10()), None);
         for x in [0.5, 2.5, 4.9, 6.0] {
             let p = Point::new(vec![x]);
             assert_eq!(
@@ -612,9 +699,8 @@ mod tests {
     fn from_mass_fn_normalizes() {
         let g = grid10();
         // Mass proportional to the cell midpoint.
-        let p = CellProbability::from_mass_fn(&g, |r| {
-            (r.interval(0).lo() + r.interval(0).hi()) / 2.0
-        });
+        let p =
+            CellProbability::from_mass_fn(&g, |r| (r.interval(0).lo() + r.interval(0).hi()) / 2.0);
         let total: f64 = g.iter().map(|c| p.prob(c)).sum();
         assert!((total - 1.0).abs() < 1e-12);
         // Later cells carry more mass.
@@ -650,12 +736,7 @@ mod tests {
         assert_eq!(st.max_members, 2);
         assert!((st.mean_members - 1.5).abs() < 1e-12);
         // Empty framework.
-        let empty = GridFramework::build(
-            grid10(),
-            &[],
-            &CellProbability::uniform(&grid10()),
-            None,
-        );
+        let empty = GridFramework::build(grid10(), &[], &CellProbability::uniform(&grid10()), None);
         let st = empty.stats();
         assert_eq!(st.num_hypercells, 0);
         assert_eq!(st.mean_members, 0.0);

@@ -15,7 +15,9 @@
 //! the last member of.
 
 use crate::clustering::{Clustering, ClusteringAlgorithm, GroupAccumulator};
+use crate::distance::DistanceMatrix;
 use crate::framework::GridFramework;
+use crate::parallel;
 
 /// Which centroid-update discipline to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,12 +109,21 @@ impl KMeans {
         }
         let k = k.max(1).min(l.max(1));
         let ns = framework.num_subscribers();
-        let mut groups: Vec<GroupAccumulator> =
-            (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let matrix = framework.distance_matrix();
+        let mut groups: Vec<GroupAccumulator> = (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        // `sole[g]` is the hyper-cell index of a still-singleton group, so
+        // its distance can be read from the shared cache instead of
+        // recomputed (see `closest_group`).
+        let mut sole: Vec<Option<usize>> = vec![None; k];
         let mut assignment = initial.to_vec();
         for (h, &g) in assignment.iter().enumerate() {
             assert!(g < k, "seed group {g} out of range for k = {k}");
             groups[g].add(&hcs[h]);
+            sole[g] = if groups[g].num_cells() == 1 {
+                Some(h)
+            } else {
+                None
+            };
         }
         let mut total_moves = 0usize;
         for _ in 0..self.max_iterations {
@@ -122,10 +133,11 @@ impl KMeans {
                 if groups[cur].num_cells() == 1 {
                     continue;
                 }
-                let best = closest_group(&groups, framework, h);
+                let best = closest_group(&groups, framework, matrix, &sole, h);
                 if best != cur {
                     groups[cur].remove(&hcs[h]);
                     groups[best].add(&hcs[h]);
+                    sole[best] = None;
                     assignment[h] = best;
                     moved = true;
                     total_moves += 1;
@@ -161,18 +173,23 @@ impl ClusteringAlgorithm for KMeans {
 
         // Step 0: the K most popular hyper-cells seed the groups
         // (hyper-cells are already sorted by popularity).
-        let mut groups: Vec<GroupAccumulator> =
-            (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let matrix = framework.distance_matrix();
+        let mut groups: Vec<GroupAccumulator> = (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let mut sole: Vec<Option<usize>> = vec![None; k];
         let mut assignment: Vec<usize> = vec![usize::MAX; l];
         for (g, group) in groups.iter_mut().enumerate().take(k) {
             group.add(&hcs[g]);
+            sole[g] = Some(g);
             assignment[g] = g;
         }
         // Assign the rest to the closest seed group (updating vectors as
         // we go — this is the initial-partition step for both variants).
+        // Seed groups stay singletons until something joins them, so the
+        // shared distance cache serves most of these lookups.
         for h in k..l {
-            let g = closest_group(&groups, framework, h);
+            let g = closest_group(&groups, framework, matrix, &sole, h);
             groups[g].add(&hcs[h]);
+            sole[g] = None;
             assignment[h] = g;
         }
 
@@ -181,31 +198,39 @@ impl ClusteringAlgorithm for KMeans {
             let mut moved = false;
             match self.variant {
                 KMeansVariant::MacQueen => {
+                    // Each move updates the vectors the next hyper-cell
+                    // sees, so this pass is inherently sequential.
                     for h in 0..l {
                         let cur = assignment[h];
                         if groups[cur].num_cells() == 1 {
                             continue; // never empty a group
                         }
-                        let best = closest_group(&groups, framework, h);
+                        let best = closest_group(&groups, framework, matrix, &sole, h);
                         if best != cur {
                             groups[cur].remove(&hcs[h]);
                             groups[best].add(&hcs[h]);
+                            sole[best] = None;
                             assignment[h] = best;
                             moved = true;
                         }
                     }
                 }
                 KMeansVariant::Forgy => {
-                    // Distances against the frozen snapshot...
-                    let snapshot = groups.clone();
+                    // All distances are evaluated against the pre-pass
+                    // vectors, so every hyper-cell's closest group is
+                    // independent and the scan runs in parallel. `groups`
+                    // is not mutated until the apply loop below, which
+                    // makes it the frozen snapshot — no clone needed.
+                    let groups_ref = &groups;
+                    let sole_ref = &sole;
+                    let best_of = parallel::par_map_indexed(l, 64, |h| {
+                        closest_group(groups_ref, framework, matrix, sole_ref, h)
+                    });
                     let mut pending: Vec<(usize, usize)> = Vec::new();
                     let mut leaving = vec![0usize; k];
-                    for h in 0..l {
+                    for (h, &best) in best_of.iter().enumerate() {
                         let cur = assignment[h];
-                        let best = closest_group(&snapshot, framework, h);
-                        if best != cur
-                            && snapshot[cur].num_cells() > leaving[cur] + 1
-                        {
+                        if best != cur && groups[cur].num_cells() > leaving[cur] + 1 {
                             pending.push((h, best));
                             leaving[cur] += 1;
                         }
@@ -215,6 +240,7 @@ impl ClusteringAlgorithm for KMeans {
                         let cur = assignment[h];
                         groups[cur].remove(&hcs[h]);
                         groups[best].add(&hcs[h]);
+                        sole[best] = None;
                         assignment[h] = best;
                         moved = true;
                     }
@@ -230,12 +256,28 @@ impl ClusteringAlgorithm for KMeans {
 
 /// Index of the group with minimal expected-waste distance to hyper-cell
 /// `h` (ties go to the lower index, deterministically).
-fn closest_group(groups: &[GroupAccumulator], framework: &GridFramework, h: usize) -> usize {
+///
+/// When a group is still a singleton (`sole[g]` is `Some(s)`) and the
+/// framework's distance cache is populated, the distance is read from the
+/// cache. `GroupAccumulator::distance_to` forms the same two products as
+/// [`expected_waste`](crate::expected_waste) and IEEE-754 addition is
+/// commutative, so the cached value is bit-identical to the recomputed
+/// one.
+fn closest_group(
+    groups: &[GroupAccumulator],
+    framework: &GridFramework,
+    matrix: Option<&DistanceMatrix>,
+    sole: &[Option<usize>],
+    h: usize,
+) -> usize {
     let hc = &framework.hypercells()[h];
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (g, group) in groups.iter().enumerate() {
-        let d = group.distance_to(hc);
+        let d = match (matrix, sole[g]) {
+            (Some(m), Some(s)) => m.get(s, h),
+            _ => group.distance_to(hc),
+        };
         if d < best_d {
             best_d = d;
             best = g;
@@ -294,10 +336,7 @@ mod tests {
         let fw = two_communities();
         let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 1);
         assert_eq!(c.num_groups(), 1);
-        assert_eq!(
-            c.groups()[0].hypercells.len(),
-            fw.hypercells().len()
-        );
+        assert_eq!(c.groups()[0].hypercells.len(), fw.hypercells().len());
     }
 
     #[test]
@@ -328,7 +367,10 @@ mod tests {
             let w = km.cluster(&fw, k).total_expected_waste(&fw);
             // K-means is a heuristic, so allow small non-monotonicity,
             // but the broad trend must hold from K=1 to K=8.
-            assert!(w <= prev + 1e-9 || k < 8, "waste went {prev} -> {w} at k={k}");
+            assert!(
+                w <= prev + 1e-9 || k < 8,
+                "waste went {prev} -> {w} at k={k}"
+            );
             prev = w;
         }
         assert!(

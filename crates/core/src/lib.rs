@@ -57,6 +57,7 @@
 
 mod clustering;
 mod counting;
+mod distance;
 mod dynamic;
 mod framework;
 mod kmeans;
@@ -66,10 +67,12 @@ mod membership;
 mod mst_cluster;
 mod noloss;
 mod pairs;
+pub mod parallel;
 mod waste;
 
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
 pub use counting::CountingMatcher;
+pub use distance::DistanceMatrix;
 pub use dynamic::{DynamicClustering, DynamicError, SubscriptionId};
 pub use framework::{CellProbability, FrameworkStats, GridFramework, HyperCell};
 pub use kmeans::{KMeans, KMeansVariant};

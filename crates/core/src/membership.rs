@@ -107,6 +107,27 @@ impl BitSet {
             .sum()
     }
 
+    /// Both directed difference counts, `(|self \ other|, |other \ self|)`,
+    /// in a single pass over the words.
+    ///
+    /// Equivalent to `(self.difference_count(other),
+    /// other.difference_count(self))` but reads each word pair once —
+    /// this is the inner loop of the expected-waste distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn waste_counts(&self, other: &BitSet) -> (usize, usize) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        let mut only_self = 0usize;
+        let mut only_other = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            only_self += (a & !b).count_ones() as usize;
+            only_other += (b & !a).count_ones() as usize;
+        }
+        (only_self, only_other)
+    }
+
     /// `|self ∩ other|`.
     ///
     /// # Panics
@@ -154,7 +175,10 @@ impl BitSet {
     /// Panics on universe mismatch.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over member indices in increasing order.
@@ -236,6 +260,20 @@ mod tests {
         assert!(a.is_subset(&u));
         assert!(b.is_subset(&u));
         assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn waste_counts_match_two_difference_calls() {
+        let a = BitSet::from_members(200, [1, 2, 3, 70, 140, 199]);
+        let b = BitSet::from_members(200, [2, 3, 4, 71, 140]);
+        assert_eq!(
+            a.waste_counts(&b),
+            (a.difference_count(&b), b.difference_count(&a))
+        );
+        assert_eq!(a.waste_counts(&a), (0, 0));
+        let empty = BitSet::new(200);
+        assert_eq!(a.waste_counts(&empty), (a.count(), 0));
+        assert_eq!(empty.waste_counts(&a), (0, a.count()));
     }
 
     #[test]

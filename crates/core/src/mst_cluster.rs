@@ -17,6 +17,12 @@
 
 use crate::clustering::{group_distance, Clustering, ClusteringAlgorithm};
 use crate::framework::GridFramework;
+use crate::parallel;
+
+/// Below this vertex count the Prim relaxation row is computed serially
+/// even without the distance cache — the row is too cheap to amortize a
+/// thread fan-out per iteration.
+const PAR_RELAX_MIN_VERTICES: usize = 2048;
 
 /// The MST clustering algorithm.
 ///
@@ -60,22 +66,47 @@ impl ClusteringAlgorithm for MstClustering {
         }
         let k = k.max(1).min(l);
 
-        // Prim's algorithm over the implicit complete graph.
-        let d = |i: usize, j: usize| {
-            group_distance(
-                hcs[i].prob,
-                &hcs[i].members,
-                hcs[j].prob,
-                &hcs[j].members,
-            )
+        // Prim's algorithm over the implicit complete graph. MST edges
+        // are always between hyper-cells (never merged groups), so every
+        // distance is served by the shared cache when it fits; above the
+        // cache cap each relaxation row is recomputed, in parallel for
+        // large graphs.
+        let matrix = framework.distance_matrix();
+        let d = |i: usize, j: usize| match matrix {
+            Some(m) => m.get(i, j),
+            None => group_distance(hcs[i].prob, &hcs[i].members, hcs[j].prob, &hcs[j].members),
         };
         let mut in_tree = vec![false; l];
         let mut best = vec![f64::INFINITY; l];
         let mut best_from = vec![0usize; l];
         in_tree[0] = true;
-        for j in 1..l {
-            best[j] = d(0, j);
-        }
+        // With the cache a distance is a load — a parallel row would be
+        // all fan-out overhead. Without it each d() walks two membership
+        // vectors, which dominates for big graphs.
+        let par_rows = matrix.is_none() && l >= PAR_RELAX_MIN_VERTICES;
+        let row = |pick: usize, in_tree: &[bool]| -> Vec<f64> {
+            if par_rows {
+                parallel::par_map_indexed(l, 512, |j| {
+                    if in_tree[j] {
+                        f64::INFINITY
+                    } else {
+                        d(pick, j)
+                    }
+                })
+            } else {
+                (0..l)
+                    .map(|j| {
+                        if in_tree[j] {
+                            f64::INFINITY
+                        } else {
+                            d(pick, j)
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let first_row = row(0, &in_tree);
+        best[1..].copy_from_slice(&first_row[1..]);
         // MST edges as (weight, u, v).
         let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(l.saturating_sub(1));
         for _ in 1..l {
@@ -90,9 +121,13 @@ impl ClusteringAlgorithm for MstClustering {
             debug_assert_ne!(pick, usize::MAX);
             in_tree[pick] = true;
             edges.push((pick_w, best_from[pick], pick));
+            // Relax: the row of candidate weights is computed first (in
+            // parallel when worthwhile — each entry is independent), then
+            // applied in index order exactly as the serial loop would.
+            let weights = row(pick, &in_tree);
             for j in 0..l {
                 if !in_tree[j] {
-                    let w = d(pick, j);
+                    let w = weights[j];
                     if w < best[j] {
                         best[j] = w;
                         best_from[j] = pick;
@@ -189,12 +224,10 @@ mod tests {
             let coarse = alg.cluster(&fw, k);
             let fine = alg.cluster(&fw, k + 1);
             for fine_g in fine.groups() {
-                let covered = coarse.groups().iter().any(|cg| {
-                    fine_g
-                        .hypercells
-                        .iter()
-                        .all(|h| cg.hypercells.contains(h))
-                });
+                let covered = coarse
+                    .groups()
+                    .iter()
+                    .any(|cg| fine_g.hypercells.iter().all(|h| cg.hypercells.contains(h)));
                 assert!(covered, "k={k}: fine group not nested");
             }
         }

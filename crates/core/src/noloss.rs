@@ -23,6 +23,19 @@ use geometry::{Point, Rect};
 use spatial::RTree;
 
 use crate::membership::BitSet;
+use crate::parallel;
+
+/// Computes `u(s)` — the subscribers whose rectangles contain `rect` —
+/// by exact containment tests against every subscription.
+fn exact_containment(rect: &Rect, subscriptions: &[Rect]) -> BitSet {
+    let mut u = BitSet::new(subscriptions.len());
+    for (j, other) in subscriptions.iter().enumerate() {
+        if other.contains_rect(rect) {
+            u.insert(j);
+        }
+    }
+    u
+}
 
 /// Tuning knobs of the No-Loss algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,7 +161,7 @@ impl NoLossClustering {
     /// Panics if subscriptions disagree on dimension.
     pub fn build_with_density(
         subscriptions: &[Rect],
-        density: impl Fn(&Rect) -> f64,
+        density: impl Fn(&Rect) -> f64 + Sync,
         selection_sample: &[Point],
         config: &NoLossConfig,
         k: usize,
@@ -166,33 +179,31 @@ impl NoLossClustering {
         }
 
         // Initial pool: each subscription rectangle with the full set of
-        // subscribers whose rectangle contains it.
-        let mut pool: Vec<NoLossRegion> = Vec::with_capacity(n);
-        {
+        // subscribers whose rectangle contains it. Duplicate rectangles
+        // are collapsed first (a duplicate's containment set already
+        // includes both subscribers), then the `unique · n` containment
+        // scans — the quadratic part — run in parallel, one region per
+        // unique rectangle, in the original subscription order.
+        let mut pool: Vec<NoLossRegion> = {
             let mut by_key: HashMap<Vec<(u64, u64)>, usize> = HashMap::new();
-            for i in 0..n {
-                let key = rect_key(&subscriptions[i]);
-                if let Some(&idx) = by_key.get(&key) {
-                    // Exact duplicate rectangle: reuse the region (its
-                    // containment set already includes subscriber i).
-                    debug_assert!(pool[idx].subscribers.contains(i));
-                    continue;
-                }
-                let mut u = BitSet::new(n);
-                for (j, other) in subscriptions.iter().enumerate() {
-                    if other.contains_rect(&subscriptions[i]) {
-                        u.insert(j);
-                    }
-                }
+            let mut unique: Vec<usize> = Vec::with_capacity(n);
+            for (i, sub) in subscriptions.iter().enumerate() {
+                let key = rect_key(sub);
+                by_key.entry(key).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                });
+            }
+            parallel::par_map(&unique, 16, |&i| {
+                let u = exact_containment(&subscriptions[i], subscriptions);
                 let weight = density(&subscriptions[i]) * u.count() as f64;
-                by_key.insert(key, pool.len());
-                pool.push(NoLossRegion {
+                NoLossRegion {
                     rect: subscriptions[i].clone(),
                     subscribers: u,
                     weight,
-                });
-            }
-        }
+                }
+            })
+        };
         sort_by_weight(&mut pool);
         pool.truncate(config.max_rects);
         // The base regions are re-inserted after every truncation:
@@ -238,8 +249,8 @@ impl NoLossClustering {
                             let region = &mut pool[idx];
                             if !u.is_subset(&region.subscribers) {
                                 region.subscribers.union_with(&u);
-                                region.weight = density(&region.rect)
-                                    * region.subscribers.count() as f64;
+                                region.weight =
+                                    density(&region.rect) * region.subscribers.count() as f64;
                             }
                         }
                         Some(&idx) => {
@@ -247,8 +258,8 @@ impl NoLossClustering {
                             let region = &mut fresh[fi];
                             if !u.is_subset(&region.subscribers) {
                                 region.subscribers.union_with(&u);
-                                region.weight = density(&region.rect)
-                                    * region.subscribers.count() as f64;
+                                region.weight =
+                                    density(&region.rect) * region.subscribers.count() as f64;
                             }
                         }
                         None => {
@@ -284,18 +295,17 @@ impl NoLossClustering {
             // under-approximation of `u(s∩t)` (a third subscriber's
             // rectangle may contain the intersection without containing
             // either parent). Exact recomputation here is cheap —
-            // `max_rects · n` containment tests — and lets weights and
-            // the final group memberships match the paper's definition.
-            for region in &mut pool {
-                let mut u = BitSet::new(n);
-                for (j, other) in subscriptions.iter().enumerate() {
-                    if other.contains_rect(&region.rect) {
-                        u.insert(j);
-                    }
-                }
+            // `max_rects · n` containment tests, one region per thread
+            // chunk — and lets weights and the final group memberships
+            // match the paper's definition.
+            let refreshed = parallel::par_map(&pool, 16, |region| {
+                let u = exact_containment(&region.rect, subscriptions);
+                let weight = density(&region.rect) * u.count() as f64;
+                (u, weight)
+            });
+            for (region, (u, weight)) in pool.iter_mut().zip(refreshed) {
                 region.subscribers = u;
-                region.weight =
-                    density(&region.rect) * region.subscribers.count() as f64;
+                region.weight = weight;
             }
             sort_by_weight(&mut pool);
         }
@@ -343,23 +353,19 @@ impl NoLossClustering {
     /// We therefore break the selection by `|u|` first, weight second —
     /// identical when density is comparable, strictly better otherwise.
     pub fn match_event(&self, p: &Point) -> Option<usize> {
-        self.tree
-            .stab(p)
-            .into_iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let (ra, rb) = (&self.regions[a], &self.regions[b]);
-                ra.subscribers
-                    .count()
-                    .cmp(&rb.subscribers.count())
-                    .then_with(|| {
-                        ra.weight
-                            .partial_cmp(&rb.weight)
-                            .expect("weight is never NaN")
-                    })
-                    // Ties: prefer the lower index (deterministic).
-                    .then(b.cmp(&a))
-            })
+        self.tree.stab(p).into_iter().copied().max_by(|&a, &b| {
+            let (ra, rb) = (&self.regions[a], &self.regions[b]);
+            ra.subscribers
+                .count()
+                .cmp(&rb.subscribers.count())
+                .then_with(|| {
+                    ra.weight
+                        .partial_cmp(&rb.weight)
+                        .expect("weight is never NaN")
+                })
+                // Ties: prefer the lower index (deterministic).
+                .then(b.cmp(&a))
+        })
     }
 }
 
@@ -372,18 +378,16 @@ fn greedy_coverage_selection(
     sample: &[Point],
     k: usize,
 ) -> Vec<NoLossRegion> {
-    // Containment lists: which sample points each region contains.
-    let contained: Vec<Vec<usize>> = pool
-        .iter()
-        .map(|r| {
-            sample
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| r.rect.contains(p))
-                .map(|(i, _)| i)
-                .collect()
-        })
-        .collect();
+    // Containment lists: which sample points each region contains
+    // (independent per region, so computed in parallel).
+    let contained: Vec<Vec<usize>> = parallel::par_map(&pool, 16, |r| {
+        sample
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| r.rect.contains(p))
+            .map(|(i, _)| i)
+            .collect()
+    });
     let sizes: Vec<usize> = pool.iter().map(|r| r.subscribers.count()).collect();
     let mut best_cov = vec![0usize; sample.len()];
     let mut picked = vec![false; pool.len()];

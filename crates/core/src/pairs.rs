@@ -21,8 +21,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clustering::{group_distance, Clustering, ClusteringAlgorithm};
+use crate::distance::DistanceMatrix;
 use crate::framework::GridFramework;
 use crate::membership::BitSet;
+use crate::parallel;
 
 /// How pairwise grouping searches for the next pair to merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,26 +119,28 @@ impl ClusteringAlgorithm for PairwiseGrouping {
             .collect();
         let mut alive = l;
 
+        // While both endpoints of a candidate pair are still singleton
+        // groups (the common case early in agglomeration), their distance
+        // is a shared-cache lookup instead of a bit-vector walk.
+        let matrix = framework.distance_matrix();
         match self.strategy {
             PairsStrategy::Exact => {
-                merge_exact_nn(&mut groups, &mut alive, k);
+                merge_exact_nn(&mut groups, &mut alive, k, matrix);
             }
             PairsStrategy::ExactFullScan => {
-                merge_exact_fullscan(&mut groups, &mut alive, k);
+                merge_exact_fullscan(&mut groups, &mut alive, k, matrix);
             }
             PairsStrategy::Approximate { seed } => {
-                merge_approximate(&mut groups, &mut alive, k, seed);
+                merge_approximate(&mut groups, &mut alive, k, seed, matrix);
             }
         }
 
         // Materialize the assignment.
         let mut assignment = vec![usize::MAX; l];
-        let mut next = 0usize;
-        for group in groups.into_iter().flatten() {
+        for (next, group) in groups.into_iter().flatten().enumerate() {
             for h in group.hypercells {
                 assignment[h] = next;
             }
-            next += 1;
         }
         Clustering::from_assignment(framework, assignment)
     }
@@ -144,6 +148,19 @@ impl ClusteringAlgorithm for PairwiseGrouping {
 
 fn dist(a: &GroupState, b: &GroupState) -> f64 {
     group_distance(a.prob, &a.members, b.prob, &b.members)
+}
+
+/// Group distance, served from the shared cache when both groups are
+/// still singleton hyper-cells. A singleton's membership vector and
+/// probability are exactly its hyper-cell's, and the cache stores the
+/// very `expected_waste` value `dist` would compute, so the lookup is
+/// bit-identical to the direct path.
+fn dist_cached(matrix: Option<&DistanceMatrix>, a: &GroupState, b: &GroupState) -> f64 {
+    if let (Some(m), &[ia], &[ib]) = (matrix, a.hypercells.as_slice(), b.hypercells.as_slice()) {
+        m.get(ia, ib)
+    } else {
+        dist(a, b)
+    }
 }
 
 /// Merge `b` into `a`.
@@ -157,10 +174,14 @@ fn merge_into(groups: &mut [Option<GroupState>], a: usize, b: usize) {
 
 /// Exact agglomeration with nearest-neighbour bookkeeping: merges the
 /// globally closest pair each step.
-fn merge_exact_nn(groups: &mut [Option<GroupState>], alive: &mut usize, k: usize) {
+fn merge_exact_nn(
+    groups: &mut [Option<GroupState>],
+    alive: &mut usize,
+    k: usize,
+    matrix: Option<&DistanceMatrix>,
+) {
     let l = groups.len();
     // nn[i] = (distance, j) of i's nearest alive neighbour.
-    let mut nn: Vec<Option<(f64, usize)>> = vec![None; l];
     let recompute_nn = |groups: &[Option<GroupState>], i: usize| -> Option<(f64, usize)> {
         let gi = groups[i].as_ref()?;
         let mut best: Option<(f64, usize)> = None;
@@ -169,7 +190,7 @@ fn merge_exact_nn(groups: &mut [Option<GroupState>], alive: &mut usize, k: usize
                 continue;
             }
             if let Some(gj) = gj {
-                let d = dist(gi, gj);
+                let d = dist_cached(matrix, gi, gj);
                 if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, j));
                 }
@@ -177,55 +198,77 @@ fn merge_exact_nn(groups: &mut [Option<GroupState>], alive: &mut usize, k: usize
         }
         best
     };
-    for i in 0..l {
-        nn[i] = recompute_nn(groups, i);
-    }
+    // The O(l²) initialization scans rows independently — fan out. Each
+    // row's scan order (ascending j, strict improvement) is unchanged,
+    // so the per-row result is identical to the serial loop.
+    let groups_ref: &[Option<GroupState>] = groups;
+    let mut nn: Vec<Option<(f64, usize)>> =
+        parallel::par_map_indexed(l, 32, |i| recompute_nn(groups_ref, i));
     while *alive > k {
         // Globally closest pair = min over nn.
         let (i, (_, j)) = nn
             .iter()
             .enumerate()
             .filter_map(|(i, &e)| e.map(|e| (i, e)))
-            .min_by(|a, b| {
-                a.1 .0
-                    .partial_cmp(&b.1 .0)
-                    .expect("distance is never NaN")
-            })
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("distance is never NaN"))
             .expect("at least two groups alive");
         merge_into(groups, i, j);
         *alive -= 1;
         nn[j] = None;
-        nn[i] = recompute_nn(groups, i);
         // Any group whose nearest neighbour was i or j must rescan; the
         // merged group only grew, so distances to it may have changed.
-        for g in 0..l {
-            if g != i {
-                if let Some((_, t)) = nn[g] {
-                    if t == i || t == j {
-                        nn[g] = recompute_nn(groups, g);
-                    }
-                }
+        // The rescans are independent row scans — fan out when there are
+        // enough of them.
+        let mut stale: Vec<usize> = vec![i];
+        for (g, entry) in nn.iter().enumerate() {
+            match entry {
+                Some((_, t)) if g != i && (*t == i || *t == j) => stale.push(g),
+                _ => {}
             }
+        }
+        let groups_ref: &[Option<GroupState>] = groups;
+        let refreshed = parallel::par_map(&stale, 32, |&g| recompute_nn(groups_ref, g));
+        for (&g, entry) in stale.iter().zip(refreshed) {
+            nn[g] = entry;
         }
     }
 }
 
 /// The paper's literal `O(l³)` variant: full pair scan per merge.
-fn merge_exact_fullscan(groups: &mut [Option<GroupState>], alive: &mut usize, k: usize) {
+fn merge_exact_fullscan(
+    groups: &mut [Option<GroupState>],
+    alive: &mut usize,
+    k: usize,
+    matrix: Option<&DistanceMatrix>,
+) {
     while *alive > k {
-        let mut best: Option<(f64, usize, usize)> = None;
         let ids: Vec<usize> = (0..groups.len()).filter(|&i| groups[i].is_some()).collect();
-        for (x, &i) in ids.iter().enumerate() {
-            for &j in &ids[x + 1..] {
-                let d = dist(
-                    groups[i].as_ref().expect("alive"),
-                    groups[j].as_ref().expect("alive"),
-                );
-                if best.is_none_or(|(bd, _, _)| d < bd) {
-                    best = Some((d, i, j));
+        let n = ids.len();
+        // Scan the upper triangle in parallel, one contiguous block of
+        // rows per chunk. The serial loop picks the *first* pair (in
+        // row-major order) attaining the minimum; taking each chunk's
+        // first-minimum and then combining the chunks in order with a
+        // strict `<` reproduces exactly that pair for any chunking.
+        let groups_ref: &[Option<GroupState>] = groups;
+        let ids_ref: &[usize] = &ids;
+        let chunk = n.div_ceil(parallel::num_threads() * 4).max(1);
+        let best = parallel::par_chunks(n, chunk, |rows| {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for x in rows {
+                let i = ids_ref[x];
+                let gi = groups_ref[i].as_ref().expect("alive");
+                for &j in &ids_ref[x + 1..] {
+                    let d = dist_cached(matrix, gi, groups_ref[j].as_ref().expect("alive"));
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, i, j));
+                    }
                 }
             }
-        }
+            best
+        })
+        .into_iter()
+        .flatten()
+        .reduce(|acc, cand| if cand.0 < acc.0 { cand } else { acc });
         let (_, i, j) = best.expect("at least two groups alive");
         merge_into(groups, i, j);
         *alive -= 1;
@@ -240,6 +283,7 @@ fn merge_approximate(
     alive: &mut usize,
     k: usize,
     seed: u64,
+    matrix: Option<&DistanceMatrix>,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     while *alive > k {
@@ -266,7 +310,11 @@ fn merge_approximate(
                 }
                 y = x + 1;
             }
-            let d = dist(
+            // The scan order is RNG-driven and must stay sequential (the
+            // secretary rule stops at the first improvement), but each
+            // probe still benefits from the shared cache.
+            let d = dist_cached(
+                matrix,
                 groups[i].as_ref().expect("alive"),
                 groups[j].as_ref().expect("alive"),
             );
@@ -396,12 +444,10 @@ mod tests {
         let coarse = alg.cluster(&fw, 2);
         let fine = alg.cluster(&fw, 4);
         for fine_g in fine.groups() {
-            let covered = coarse.groups().iter().any(|cg| {
-                fine_g
-                    .hypercells
-                    .iter()
-                    .all(|h| cg.hypercells.contains(h))
-            });
+            let covered = coarse
+                .groups()
+                .iter()
+                .any(|cg| fine_g.hypercells.iter().all(|h| cg.hypercells.contains(h)));
             assert!(covered, "fine group not nested in any coarse group");
         }
     }

@@ -39,7 +39,8 @@ use crate::membership::BitSet;
 /// assert_eq!(expected_waste(0.5, &a, 0.25, &b), 0.5 * 2.0 + 0.25 * 1.0);
 /// ```
 pub fn expected_waste(pa: f64, a: &BitSet, pb: f64, b: &BitSet) -> f64 {
-    pa * b.difference_count(a) as f64 + pb * a.difference_count(b) as f64
+    let (only_a, only_b) = a.waste_counts(b);
+    pa * only_b as f64 + pb * only_a as f64
 }
 
 /// The popularity rating `r(a) = p_p(a) · |s(a)|` used to rank

@@ -177,7 +177,9 @@ fn approx_pairs_with_two_cells() {
 
 #[test]
 fn outlier_removal_of_everything_but_one() {
-    let subs: Vec<Rect> = (0..5).map(|i| rect1(i as f64 * 2.0, i as f64 * 2.0 + 2.0)).collect();
+    let subs: Vec<Rect> = (0..5)
+        .map(|i| rect1(i as f64 * 2.0, i as f64 * 2.0 + 2.0))
+        .collect();
     let fw = GridFramework::build(grid(), &subs, &CellProbability::uniform(&grid()), None);
     let filtered = fw.remove_outliers(1.0);
     // Dropping 100% still rounds to the full count; framework survives.

@@ -48,6 +48,16 @@ proptest! {
         prop_assert_eq!(a.is_subset(&b), a.difference_count(&b) == 0);
     }
 
+    #[test]
+    fn waste_counts_equal_two_call_path(a in bitset_strategy(150), b in bitset_strategy(150)) {
+        // The fused single-pass kernel must agree with the two
+        // independent directed-difference scans it replaced.
+        prop_assert_eq!(
+            a.waste_counts(&b),
+            (a.difference_count(&b), b.difference_count(&a))
+        );
+    }
+
     // ----- Expected-waste distance -----
 
     #[test]

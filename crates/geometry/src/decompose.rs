@@ -91,8 +91,15 @@ mod tests {
     #[test]
     fn product_counts_multiply() {
         let rects = decompose_multirange(&[
-            vec![Interval::equals_int(1), Interval::equals_int(2), Interval::equals_int(3)],
-            vec![Interval::new(0.0, 5.0).unwrap(), Interval::new(10.0, 15.0).unwrap()],
+            vec![
+                Interval::equals_int(1),
+                Interval::equals_int(2),
+                Interval::equals_int(3),
+            ],
+            vec![
+                Interval::new(0.0, 5.0).unwrap(),
+                Interval::new(10.0, 15.0).unwrap(),
+            ],
         ]);
         assert_eq!(rects.len(), 6);
     }
@@ -100,8 +107,14 @@ mod tests {
     #[test]
     fn decomposition_preserves_matching_semantics() {
         let dims = vec![
-            vec![Interval::new(0.0, 2.0).unwrap(), Interval::new(5.0, 7.0).unwrap()],
-            vec![Interval::new(0.0, 3.0).unwrap(), Interval::greater_than(8.0)],
+            vec![
+                Interval::new(0.0, 2.0).unwrap(),
+                Interval::new(5.0, 7.0).unwrap(),
+            ],
+            vec![
+                Interval::new(0.0, 3.0).unwrap(),
+                Interval::greater_than(8.0),
+            ],
         ];
         let rects = decompose_multirange(&dims);
         assert_eq!(rects.len(), 4);
@@ -113,9 +126,7 @@ mod tests {
                 let (x, y) = (xi as f64 * 0.5, yi as f64 * 0.5);
                 let direct = dims[0].iter().any(|iv| iv.contains(x))
                     && dims[1].iter().any(|iv| iv.contains(y));
-                let via_rects = rects
-                    .iter()
-                    .any(|r| r.contains(&Point::new(vec![x, y])));
+                let via_rects = rects.iter().any(|r| r.contains(&Point::new(vec![x, y])));
                 assert_eq!(direct, via_rects, "probe ({x}, {y})");
             }
         }

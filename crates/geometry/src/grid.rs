@@ -118,7 +118,7 @@ impl Grid {
         if bounds.is_empty() {
             return Err(GridError::EmptyBounds);
         }
-        if bins.iter().any(|&b| b == 0) {
+        if bins.contains(&0) {
             return Err(GridError::ZeroBins);
         }
         let mut num_cells: usize = 1;
@@ -250,9 +250,9 @@ impl Grid {
     pub fn cell_at(&self, coords: &[usize]) -> CellId {
         assert_eq!(coords.len(), self.dim(), "dimension mismatch");
         let mut idx = 0usize;
-        for d in 0..self.dim() {
-            assert!(coords[d] < self.bins[d], "cell coordinate out of range");
-            idx += coords[d] * self.strides[d];
+        for ((&c, &bins), &stride) in coords.iter().zip(&self.bins).zip(&self.strides) {
+            assert!(c < bins, "cell coordinate out of range");
+            idx += c * stride;
         }
         CellId(idx)
     }
@@ -437,10 +437,7 @@ mod tests {
     #[test]
     fn cells_overlapping_disjoint_rect_is_empty() {
         let g = grid_2d();
-        let r = Rect::new(vec![
-            Interval::new(25.0, 30.0).unwrap(),
-            Interval::all(),
-        ]);
+        let r = Rect::new(vec![Interval::new(25.0, 30.0).unwrap(), Interval::all()]);
         assert!(g.cells_overlapping(&r).is_empty());
     }
 

@@ -10,10 +10,13 @@ fn single_bin_grid_is_one_cell() {
     assert_eq!(g.num_cells(), 1);
     let c = g.cell_of(&Point::new(vec![5.0, 5.0])).unwrap();
     assert_eq!(c.index(), 0);
-    assert_eq!(g.cell_rect(c), Rect::new(vec![
-        Interval::new(0.0, 10.0).unwrap(),
-        Interval::new(0.0, 10.0).unwrap(),
-    ]));
+    assert_eq!(
+        g.cell_rect(c),
+        Rect::new(vec![
+            Interval::new(0.0, 10.0).unwrap(),
+            Interval::new(0.0, 10.0).unwrap(),
+        ])
+    );
     // Everything overlapping maps to the single cell.
     assert_eq!(g.cells_overlapping(&Rect::all(2)).len(), 1);
 }
@@ -87,10 +90,7 @@ fn decompose_large_products() {
         .collect();
     let rects = decompose_multirange(&per_dim);
     assert_eq!(rects.len(), 27);
-    let mut unique = rects
-        .iter()
-        .map(|r| format!("{r}"))
-        .collect::<Vec<_>>();
+    let mut unique = rects.iter().map(|r| format!("{r}")).collect::<Vec<_>>();
     unique.sort();
     unique.dedup();
     assert_eq!(unique.len(), 27);

@@ -238,11 +238,7 @@ impl Graph {
             let _ = writeln!(out, "  n{};", n.0);
         }
         for e in &self.edges {
-            let _ = writeln!(
-                out,
-                "  n{} -- n{} [label=\"{:.1}\"];",
-                e.u.0, e.v.0, e.cost
-            );
+            let _ = writeln!(out, "  n{} -- n{} [label=\"{:.1}\"];", e.u.0, e.v.0, e.cost);
         }
         let _ = writeln!(out, "}}");
         out

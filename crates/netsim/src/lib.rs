@@ -30,6 +30,6 @@ mod topology;
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
 pub use load::LoadTracker;
 pub use mst::{minimum_spanning_forest_cost, overlay_mst, UnionFind};
-pub use routing::Router;
+pub use routing::{FrozenRouter, Router};
 pub use shortest_path::ShortestPathTree;
 pub use topology::{CostRange, NodeKind, Stub, StubId, Topology, TopologyStats, TransitStubParams};

@@ -229,6 +229,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
     fn overlay_mst_matches_kruskal_on_random_inputs() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);

@@ -165,10 +165,7 @@ impl<'g> Router<'g> {
         }
         let cache = &self.spt_cache;
         let (_, mst_cost) = overlay_mst(members, |a, b| {
-            cache
-                .get(&a)
-                .expect("SPT cache warmed above")
-                .distance(b)
+            cache.get(&a).expect("SPT cache warmed above").distance(b)
         });
         mst_cost
     }
@@ -198,6 +195,157 @@ impl<'g> Router<'g> {
     /// the total shortest-path distance to all members (the 1-median
     /// restricted to the group). Returns `None` for an empty group.
     pub fn rendezvous_point(&mut self, members: &[NodeId]) -> Option<NodeId> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &candidate in members {
+            let spt = self.spt(candidate);
+            let total: f64 = members.iter().map(|&m| spt.distance(m)).sum();
+            if best.is_none_or(|(b, _)| total < b) {
+                best = Some((total, candidate));
+            }
+        }
+        best.map(|(_, rp)| rp)
+    }
+
+    /// Consumes the router into an immutable [`FrozenRouter`] holding
+    /// the SPTs cached so far. Freeze after warming every source the
+    /// queries will need; the frozen view never computes a tree.
+    pub fn freeze(self) -> FrozenRouter<'g> {
+        FrozenRouter {
+            graph: self.graph,
+            spts: self.spt_cache,
+        }
+    }
+}
+
+/// An immutable routing oracle: the same cost models as [`Router`], but
+/// every query takes `&self` so evaluations can fan out across threads.
+///
+/// Unlike [`Router`], a `FrozenRouter` never computes a shortest-path
+/// tree on demand — trees are supplied up front (computed in parallel by
+/// the caller, typically) via [`FrozenRouter::insert_spt`] or inherited
+/// through [`Router::freeze`]. Querying a source whose tree is missing
+/// panics, making an under-warmed cache loud instead of slow.
+///
+/// Every cost method calls the same [`ShortestPathTree`] routines as the
+/// mutable router, so frozen and mutable answers are bit-identical.
+#[derive(Debug)]
+pub struct FrozenRouter<'g> {
+    graph: &'g Graph,
+    spts: HashMap<NodeId, ShortestPathTree>,
+}
+
+impl<'g> FrozenRouter<'g> {
+    /// Creates an empty frozen router over `graph`; populate it with
+    /// [`FrozenRouter::insert_spt`].
+    pub fn new(graph: &'g Graph) -> Self {
+        FrozenRouter {
+            graph,
+            spts: HashMap::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Adds a precomputed shortest-path tree, keyed by its source.
+    pub fn insert_spt(&mut self, spt: ShortestPathTree) {
+        self.spts.insert(spt.source(), spt);
+    }
+
+    /// Whether the tree rooted at `src` is available.
+    pub fn contains(&self, src: NodeId) -> bool {
+        self.spts.contains_key(&src)
+    }
+
+    /// Number of distinct sources with a frozen tree.
+    pub fn cached_sources(&self) -> usize {
+        self.spts.len()
+    }
+
+    /// The frozen shortest-path tree rooted at `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tree for `src` was inserted before freezing.
+    pub fn spt(&self, src: NodeId) -> &ShortestPathTree {
+        self.spts
+            .get(&src)
+            .unwrap_or_else(|| panic!("no frozen SPT for source {src:?}; warm it before freezing"))
+    }
+
+    /// Shortest-path distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.spt(a).distance(b)
+    }
+
+    /// Unicast cost: `Σ_t dist(src, t)`.
+    pub fn unicast_cost(&self, src: NodeId, targets: impl IntoIterator<Item = NodeId>) -> f64 {
+        self.spt(src).unicast_cost(targets)
+    }
+
+    /// Broadcast cost: the full shortest-path tree from `src`.
+    pub fn broadcast_cost(&self, src: NodeId) -> f64 {
+        let all: Vec<NodeId> = self.graph.nodes().collect();
+        self.group_multicast_cost(src, &all)
+    }
+
+    /// Ideal multicast: the SPT pruned to exactly the interested nodes.
+    pub fn ideal_multicast_cost(
+        &self,
+        src: NodeId,
+        interested: impl IntoIterator<Item = NodeId>,
+    ) -> f64 {
+        let targets: Vec<NodeId> = interested.into_iter().collect();
+        self.group_multicast_cost(src, &targets)
+    }
+
+    /// Dense-mode multicast: the SPT rooted at `src` pruned to `members`.
+    pub fn group_multicast_cost(&self, src: NodeId, members: &[NodeId]) -> f64 {
+        self.spt(src)
+            .multicast_tree_cost(self.graph, members.iter().copied())
+    }
+
+    /// The publisher's cost of injecting into an overlay group (0 when
+    /// the publisher is a member, `+inf` for an empty group).
+    pub fn entry_cost(&self, src: NodeId, members: &[NodeId]) -> f64 {
+        if members.contains(&src) {
+            return 0.0;
+        }
+        let spt = self.spt(src);
+        members
+            .iter()
+            .map(|&m| spt.distance(m))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total weight of the overlay MST among `members`. Requires a
+    /// frozen tree for every member.
+    pub fn overlay_mst_cost(&self, members: &[NodeId]) -> f64 {
+        if members.len() < 2 {
+            return 0.0;
+        }
+        let (_, mst_cost) = overlay_mst(members, |a, b| self.spt(a).distance(b));
+        mst_cost
+    }
+
+    /// Application-level multicast: overlay MST plus the entry unicast.
+    pub fn app_multicast_cost(&self, src: NodeId, members: &[NodeId]) -> f64 {
+        if members.is_empty() {
+            return 0.0;
+        }
+        self.entry_cost(src, members) + self.overlay_mst_cost(members)
+    }
+
+    /// Sparse-mode multicast via rendezvous point `rp`.
+    pub fn sparse_multicast_cost(&self, src: NodeId, rp: NodeId, members: &[NodeId]) -> f64 {
+        self.distance(src, rp) + self.group_multicast_cost(rp, members)
+    }
+
+    /// The member minimizing total distance to all members (requires a
+    /// frozen tree per member). `None` for an empty group.
+    pub fn rendezvous_point(&self, members: &[NodeId]) -> Option<NodeId> {
         let mut best: Option<(f64, NodeId)> = None;
         for &candidate in members {
             let spt = self.spt(candidate);
@@ -257,9 +405,15 @@ mod tests {
         let mut r = Router::new(&g);
         // Members {1, 2}: overlay MST = one edge 1-2 with weight 1;
         // publisher 0 enters at member 1 (distance 1). Total 2.
-        assert_eq!(r.app_multicast_cost(NodeId(0), &[NodeId(1), NodeId(2)]), 2.0);
+        assert_eq!(
+            r.app_multicast_cost(NodeId(0), &[NodeId(1), NodeId(2)]),
+            2.0
+        );
         // Publisher inside the group: no entry cost.
-        assert_eq!(r.app_multicast_cost(NodeId(1), &[NodeId(1), NodeId(2)]), 1.0);
+        assert_eq!(
+            r.app_multicast_cost(NodeId(1), &[NodeId(1), NodeId(2)]),
+            1.0
+        );
         assert_eq!(r.app_multicast_cost(NodeId(0), &[]), 0.0);
     }
 
@@ -354,6 +508,61 @@ mod tests {
             let upper = r.distance(src, rp) + r.broadcast_cost(rp);
             assert!(sparse <= upper + 1e-9, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn frozen_router_matches_mutable_answers() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let topo = Topology::generate(&TransitStubParams::paper_100_nodes(), &mut rng);
+        let mut r = Router::new(topo.graph());
+        let nodes: Vec<NodeId> = topo.stub_nodes().collect();
+        let members: Vec<NodeId> = nodes.iter().step_by(5).copied().take(6).collect();
+        let src = nodes[1];
+        let uni = r.unicast_cost(src, members.iter().copied());
+        let dense = r.group_multicast_cost(src, &members);
+        let app = r.app_multicast_cost(src, &members);
+        let rp = r.rendezvous_point(&members).unwrap();
+        let sparse = r.sparse_multicast_cost(src, rp, &members);
+        let bcast = r.broadcast_cost(src);
+        let f = r.freeze();
+        assert!(f.contains(src));
+        assert_eq!(
+            f.unicast_cost(src, members.iter().copied()).to_bits(),
+            uni.to_bits()
+        );
+        assert_eq!(
+            f.group_multicast_cost(src, &members).to_bits(),
+            dense.to_bits()
+        );
+        assert_eq!(f.app_multicast_cost(src, &members).to_bits(), app.to_bits());
+        assert_eq!(f.rendezvous_point(&members), Some(rp));
+        assert_eq!(
+            f.sparse_multicast_cost(src, rp, &members).to_bits(),
+            sparse.to_bits()
+        );
+        assert_eq!(f.broadcast_cost(src).to_bits(), bcast.to_bits());
+    }
+
+    #[test]
+    fn frozen_router_accepts_inserted_trees() {
+        let g = line();
+        let mut f = FrozenRouter::new(&g);
+        assert!(!f.contains(NodeId(0)));
+        f.insert_spt(crate::shortest_path::ShortestPathTree::compute(
+            &g,
+            NodeId(0),
+        ));
+        assert_eq!(f.cached_sources(), 1);
+        assert_eq!(f.distance(NodeId(0), NodeId(2)), 2.0);
+        assert_eq!(f.group_multicast_cost(NodeId(0), &[NodeId(2)]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frozen SPT")]
+    fn frozen_router_panics_on_missing_source() {
+        let g = line();
+        let f = FrozenRouter::new(&g);
+        f.distance(NodeId(0), NodeId(1));
     }
 
     #[test]

@@ -186,11 +186,7 @@ impl ShortestPathTree {
     /// Convenience wrapper around
     /// [`ShortestPathTree::multicast_tree_cost_with`] that allocates its
     /// own scratch buffer.
-    pub fn multicast_tree_cost(
-        &self,
-        g: &Graph,
-        targets: impl IntoIterator<Item = NodeId>,
-    ) -> f64 {
+    pub fn multicast_tree_cost(&self, g: &Graph, targets: impl IntoIterator<Item = NodeId>) -> f64 {
         let mut seen = Vec::new();
         self.multicast_tree_cost_with(g, targets, &mut seen)
     }
@@ -309,6 +305,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // node-id loops read clearest indexed
     fn agrees_with_brute_force_on_random_graphs() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(42);

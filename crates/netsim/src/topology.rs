@@ -290,7 +290,9 @@ impl Topology {
             let u = blocks[a][rng.gen_range(0..blocks[a].len())];
             let v = blocks[b][rng.gen_range(0..blocks[b].len())];
             let cost = params.inter_block_cost.sample(rng);
-            graph.add_edge(u, v, cost).expect("inter-block endpoints exist");
+            graph
+                .add_edge(u, v, cost)
+                .expect("inter-block endpoints exist");
         }
         for a in 0..params.transit_blocks {
             for b in (a + 1)..params.transit_blocks {
@@ -306,8 +308,8 @@ impl Topology {
         // 3. Stubs: a connected cluster of stub nodes whose gateway (the
         //    first node) links up to its transit node.
         let mut next_stub = 0usize;
-        for b in 0..params.transit_blocks {
-            for &t in &blocks[b].clone() {
+        for (b, block) in blocks.iter().enumerate() {
+            for &t in block {
                 for _ in 0..params.stubs_per_transit {
                     let id = StubId(next_stub);
                     next_stub += 1;

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use netsim::TransitStubParams;
 use pubsub_core::{
-    ClusteringAlgorithm, KMeans, KMeansVariant, MstClustering, NoLossConfig,
+    parallel, ClusteringAlgorithm, KMeans, KMeansVariant, MstClustering, NoLossConfig,
     PairsStrategy, PairwiseGrouping,
 };
 use rand::rngs::StdRng;
@@ -58,21 +58,96 @@ pub fn paper_table1_specs() -> Vec<TableSpec> {
     let n300 = TransitStubParams::paper_300_nodes;
     let n600 = TransitStubParams::paper_600_nodes;
     vec![
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Gaussian },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Gaussian },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Gaussian },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 350, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Gaussian },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Gaussian },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Gaussian },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 5000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 1000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 80,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 80,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 350,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 10000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 10000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 5000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 1000,
+            dist: Gaussian,
+        },
     ]
 }
 
@@ -83,24 +158,114 @@ pub fn paper_table2_specs() -> Vec<TableSpec> {
     let n300 = TransitStubParams::paper_300_nodes;
     let n600 = TransitStubParams::paper_600_nodes;
     vec![
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 5000, dist: Gaussian },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 1000, dist: Gaussian },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Uniform },
-        TableSpec { params: n100(), label_nodes: 100, subscriptions: 80, dist: Gaussian },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 5000, dist: Gaussian },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 1000, dist: Gaussian },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 80, dist: Uniform },
-        TableSpec { params: n300(), label_nodes: 300, subscriptions: 80, dist: Gaussian },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 10000, dist: Gaussian },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 5000, dist: Gaussian },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Uniform },
-        TableSpec { params: n600(), label_nodes: 600, subscriptions: 1000, dist: Gaussian },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 5000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 1000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 80,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n100(),
+            label_nodes: 100,
+            subscriptions: 80,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 5000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 1000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 80,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n300(),
+            label_nodes: 300,
+            subscriptions: 80,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 10000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 10000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 5000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 5000,
+            dist: Gaussian,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 1000,
+            dist: Uniform,
+        },
+        TableSpec {
+            params: n600(),
+            label_nodes: 600,
+            subscriptions: 1000,
+            dist: Gaussian,
+        },
     ]
 }
 
@@ -113,31 +278,30 @@ pub fn table_rows(
     num_events: usize,
     seed: u64,
 ) -> Vec<TableRow> {
-    specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            let topo = netsim::Topology::generate(&spec.params, &mut rng);
-            let model = Section3Model {
-                regionalism,
-                dist: spec.dist,
-                num_subscriptions: spec.subscriptions,
-                num_events,
-            };
-            let w = model.generate(&topo, &mut rng);
-            let mut ev = Evaluator::new(&topo, &w);
-            let b = ev.baseline_costs();
-            TableRow {
-                nodes: spec.label_nodes,
-                subscriptions: spec.subscriptions,
-                dist: spec.dist,
-                unicast: b.unicast,
-                broadcast: b.broadcast,
-                ideal: b.ideal,
-            }
-        })
-        .collect()
+    // Rows are fully independent (each seeds its own RNG from the row
+    // index), so the whole grid fans out across threads.
+    parallel::par_map_indexed(specs.len(), 1, |i| {
+        let spec = &specs[i];
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let topo = netsim::Topology::generate(&spec.params, &mut rng);
+        let model = Section3Model {
+            regionalism,
+            dist: spec.dist,
+            num_subscriptions: spec.subscriptions,
+            num_events,
+        };
+        let w = model.generate(&topo, &mut rng);
+        let mut ev = Evaluator::new(&topo, &w);
+        let b = ev.baseline_costs();
+        TableRow {
+            nodes: spec.label_nodes,
+            subscriptions: spec.subscriptions,
+            dist: spec.dist,
+            unicast: b.unicast,
+            broadcast: b.broadcast,
+            ideal: b.ideal,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -256,34 +420,42 @@ pub fn fig7_on_scenario(cfg: &Fig7Config, scenario: &StockScenario) -> Fig7Resul
     let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
     let baselines = ev.baseline_costs();
 
-    let grid_algs: Vec<(Box<dyn ClusteringAlgorithm>, &pubsub_core::GridFramework)> = vec![
+    let grid_algs: Vec<(
+        Box<dyn ClusteringAlgorithm + Sync>,
+        &pubsub_core::GridFramework,
+    )> = vec![
         (
-            Box::new(KMeans::new(KMeansVariant::MacQueen)) as Box<dyn ClusteringAlgorithm>,
+            Box::new(KMeans::new(KMeansVariant::MacQueen)) as Box<dyn ClusteringAlgorithm + Sync>,
             &fw,
         ),
         (Box::new(KMeans::new(KMeansVariant::Forgy)), &fw),
         (Box::new(MstClustering::new()), &fw),
         (
-            Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: cfg.seed })),
+            Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+                seed: cfg.seed,
+            })),
             &fw_pairs,
         ),
     ];
 
     let mut series = Vec::new();
     for (alg, framework) in &grid_algs {
+        // The K points of one series are independent clusterings of the
+        // same framework: compute them in parallel, then evaluate costs
+        // against the shared evaluator in K order.
+        let clusterings = parallel::par_map(&cfg.ks, 1, |&k| alg.cluster(framework, k));
         let mut net_points = Vec::with_capacity(cfg.ks.len());
         let mut app_points = Vec::with_capacity(cfg.ks.len());
-        for &k in &cfg.ks {
-            let clustering = alg.cluster(framework, k);
+        for (&k, clustering) in cfg.ks.iter().zip(&clusterings) {
             let net = ev.grid_clustering_cost(
                 framework,
-                &clustering,
+                clustering,
                 0.0,
                 MulticastMode::NetworkSupported,
             );
             let app = ev.grid_clustering_cost(
                 framework,
-                &clustering,
+                clustering,
                 0.0,
                 MulticastMode::ApplicationLevel,
             );
@@ -302,13 +474,13 @@ pub fn fig7_on_scenario(cfg: &Fig7Config, scenario: &StockScenario) -> Fig7Resul
         });
     }
 
-    // No-Loss.
+    // No-Loss: the K clusterings are likewise independent builds.
+    let noloss_clusterings = parallel::par_map(&cfg.ks, 1, |&k| scenario.noloss(&cfg.noloss, k));
     let mut net_points = Vec::with_capacity(cfg.ks.len());
     let mut app_points = Vec::with_capacity(cfg.ks.len());
-    for &k in &cfg.ks {
-        let nl = scenario.noloss(&cfg.noloss, k);
-        let net = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
-        let app = ev.noloss_cost(&nl, MulticastMode::ApplicationLevel);
+    for (&k, nl) in cfg.ks.iter().zip(&noloss_clusterings) {
+        let net = ev.noloss_cost(nl, MulticastMode::NetworkSupported);
+        let app = ev.noloss_cost(nl, MulticastMode::ApplicationLevel);
         net_points.push((k, baselines.improvement_pct(net)));
         app_points.push((k, baselines.improvement_pct(app)));
     }
@@ -365,28 +537,27 @@ pub fn regionalism_sweep(
     degrees: &[f64],
     seed: u64,
 ) -> Vec<RegionalismPoint> {
-    degrees
-        .iter()
-        .map(|&degree| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let topo = netsim::Topology::generate(params, &mut rng);
-            let model = Section3Model {
-                regionalism: degree,
-                dist: PredicateDist::Uniform,
-                num_subscriptions: subscriptions,
-                num_events: events,
-            };
-            let w = model.generate(&topo, &mut rng);
-            let mut ev = Evaluator::new(&topo, &w);
-            let b = ev.baseline_costs();
-            RegionalismPoint {
-                degree,
-                unicast: b.unicast,
-                ideal: b.ideal,
-                ideal_saving_pct: 100.0 * (1.0 - b.ideal / b.unicast.max(1e-9)),
-            }
-        })
-        .collect()
+    // Each degree regenerates its own topology and workload from the
+    // same seed — independent, so the sweep fans out across threads.
+    parallel::par_map(degrees, 1, |&degree| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = netsim::Topology::generate(params, &mut rng);
+        let model = Section3Model {
+            regionalism: degree,
+            dist: PredicateDist::Uniform,
+            num_subscriptions: subscriptions,
+            num_events: events,
+        };
+        let w = model.generate(&topo, &mut rng);
+        let mut ev = Evaluator::new(&topo, &w);
+        let b = ev.baseline_costs();
+        RegionalismPoint {
+            degree,
+            unicast: b.unicast,
+            ideal: b.ideal,
+            ideal_saving_pct: 100.0 * (1.0 - b.ideal / b.unicast.max(1e-9)),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -403,6 +574,9 @@ pub fn modes_sweep(cfg: &Fig7Config) -> (BaselineCosts, Vec<GroupSweepSeries>) {
     let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
     let baselines = ev.baseline_costs();
     let forgy = KMeans::new(KMeansVariant::Forgy);
+    // One clustering per K, shared across the three modes (clustering is
+    // deterministic, so this matches recomputing it per mode).
+    let clusterings = parallel::par_map(&cfg.ks, 1, |&k| forgy.cluster(&fw, k));
     let mut series = Vec::new();
     for mode in [
         MulticastMode::NetworkSupported,
@@ -410,9 +584,8 @@ pub fn modes_sweep(cfg: &Fig7Config) -> (BaselineCosts, Vec<GroupSweepSeries>) {
         MulticastMode::ApplicationLevel,
     ] {
         let mut points = Vec::with_capacity(cfg.ks.len());
-        for &k in &cfg.ks {
-            let clustering = forgy.cluster(&fw, k);
-            let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, mode);
+        for (&k, clustering) in cfg.ks.iter().zip(&clusterings) {
+            let cost = ev.grid_clustering_cost(&fw, clustering, 0.0, mode);
             points.push((k, baselines.improvement_pct(cost)));
         }
         series.push(GroupSweepSeries {
@@ -517,26 +690,32 @@ pub fn fig8(cfg: &Fig8Config) -> Fig8Result {
     let scenario = StockScenario::generate(&cfg.model, &cfg.topo, cfg.density_events, cfg.seed);
     let mut ev = Evaluator::new(&scenario.topo, &scenario.workload);
     let baselines = ev.baseline_costs();
-    let mut by_rects = Vec::with_capacity(cfg.rect_counts.len());
-    for &rects in &cfg.rect_counts {
+    // Each knob setting is an independent No-Loss build: fan the builds
+    // out, then evaluate costs in sweep order.
+    let rect_nls = parallel::par_map(&cfg.rect_counts, 1, |&rects| {
         let nl_cfg = NoLossConfig {
             max_rects: rects,
             iterations: cfg.fixed_iterations,
             ..NoLossConfig::default()
         };
-        let nl = scenario.noloss(&nl_cfg, cfg.k);
-        let cost = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
+        scenario.noloss(&nl_cfg, cfg.k)
+    });
+    let mut by_rects = Vec::with_capacity(cfg.rect_counts.len());
+    for (&rects, nl) in cfg.rect_counts.iter().zip(&rect_nls) {
+        let cost = ev.noloss_cost(nl, MulticastMode::NetworkSupported);
         by_rects.push((rects, baselines.improvement_pct(cost)));
     }
-    let mut by_iterations = Vec::with_capacity(cfg.iteration_counts.len());
-    for &iters in &cfg.iteration_counts {
+    let iter_nls = parallel::par_map(&cfg.iteration_counts, 1, |&iters| {
         let nl_cfg = NoLossConfig {
             max_rects: cfg.fixed_rects,
             iterations: iters,
             ..NoLossConfig::default()
         };
-        let nl = scenario.noloss(&nl_cfg, cfg.k);
-        let cost = ev.noloss_cost(&nl, MulticastMode::NetworkSupported);
+        scenario.noloss(&nl_cfg, cfg.k)
+    });
+    let mut by_iterations = Vec::with_capacity(cfg.iteration_counts.len());
+    for (&iters, nl) in cfg.iteration_counts.iter().zip(&iter_nls) {
+        let cost = ev.noloss_cost(nl, MulticastMode::NetworkSupported);
         by_iterations.push((iters, baselines.improvement_pct(cost)));
     }
     Fig8Result {
@@ -664,11 +843,15 @@ pub fn fig10(cfg: &Fig10Config) -> Fig10Result {
         Box::new(KMeans::new(KMeansVariant::MacQueen)),
         Box::new(KMeans::new(KMeansVariant::Forgy)),
         Box::new(MstClustering::new()),
-        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: cfg.seed })),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: cfg.seed,
+        })),
         Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
     ];
     if cfg.include_fullscan_pairs {
-        algs.push(Box::new(PairwiseGrouping::new(PairsStrategy::ExactFullScan)));
+        algs.push(Box::new(PairwiseGrouping::new(
+            PairsStrategy::ExactFullScan,
+        )));
     }
 
     let mut series: Vec<CellSweepSeries> = algs
@@ -679,6 +862,10 @@ pub fn fig10(cfg: &Fig10Config) -> Fig10Result {
         })
         .collect();
 
+    // This sweep stays serial on purpose: each point's wall-clock time
+    // is the measurement, and concurrent clusterings would contend for
+    // cores and corrupt the timings. The algorithms still parallelize
+    // internally, which is exactly what the figure should measure.
     for &cells in &cfg.cell_counts {
         let fw = scenario.framework(cells);
         for (ai, alg) in algs.iter().enumerate() {
@@ -692,12 +879,8 @@ pub fn fig10(cfg: &Fig10Config) -> Fig10Result {
             let start = Instant::now();
             let clustering = alg.cluster(&fw, cfg.k);
             let seconds = start.elapsed().as_secs_f64();
-            let cost = ev.grid_clustering_cost(
-                &fw,
-                &clustering,
-                0.0,
-                MulticastMode::NetworkSupported,
-            );
+            let cost =
+                ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
             series[ai].points.push(CellSweepPoint {
                 cells,
                 improvement: baselines.improvement_pct(cost),
@@ -763,7 +946,13 @@ mod tests {
         for pair in res.series.chunks(2) {
             if pair.len() == 2 && pair[0].algorithm == pair[1].algorithm {
                 for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
-                    assert!(a.1 >= b.1 - 15.0, "{}: net {} far below app {}", pair[0].algorithm, a.1, b.1);
+                    assert!(
+                        a.1 >= b.1 - 15.0,
+                        "{}: net {} far below app {}",
+                        pair[0].algorithm,
+                        a.1,
+                        b.1
+                    );
                 }
             }
         }

@@ -64,7 +64,11 @@ pub fn render_group_sweep(title: &str, res: &Fig7Result) -> String {
         if series.is_empty() {
             continue;
         }
-        let _ = writeln!(out, "-- {} multicast (improvement % over unicast)", mode_label(mode));
+        let _ = writeln!(
+            out,
+            "-- {} multicast (improvement % over unicast)",
+            mode_label(mode)
+        );
         let _ = write!(out, "{:>5}", "K");
         for s in &series {
             let _ = write!(out, " {:>13}", s.algorithm);
@@ -108,7 +112,11 @@ pub fn render_fig10(res: &Fig10Result) -> String {
     let _ = writeln!(out, "Figure 10: quality and runtime vs number of cells");
     for s in &res.series {
         let _ = writeln!(out, "-- {}", s.algorithm);
-        let _ = writeln!(out, "{:>8} {:>13} {:>10}", "cells", "improvement", "seconds");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>13} {:>10}",
+            "cells", "improvement", "seconds"
+        );
         for p in &s.points {
             let _ = writeln!(
                 out,

@@ -4,9 +4,7 @@
 
 use geometry::{Grid, Point, Rect};
 use netsim::{Topology, TransitStubParams};
-use pubsub_core::{
-    CellProbability, GridFramework, NoLossClustering, NoLossConfig,
-};
+use pubsub_core::{CellProbability, GridFramework, NoLossClustering, NoLossConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workload::{PublicationDensity, StockModel, Workload};
@@ -47,11 +45,7 @@ impl StockScenario {
         model.num_events += density_events;
         let mut workload = model.generate(&topo, &mut rng);
         let split = workload.events.len() - density_events;
-        let density_sample: Vec<Point> = workload
-            .events
-            .drain(split..)
-            .map(|e| e.point)
-            .collect();
+        let density_sample: Vec<Point> = workload.events.drain(split..).map(|e| e.point).collect();
         let rects = workload
             .subscriptions
             .iter()
@@ -112,12 +106,7 @@ mod tests {
     #[test]
     fn generate_splits_density_sample() {
         let model = StockModel::default().with_sizes(100, 50);
-        let sc = StockScenario::generate(
-            &model,
-            &TransitStubParams::paper_100_nodes(),
-            30,
-            7,
-        );
+        let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 30, 7);
         assert_eq!(sc.workload.events.len(), 50);
         assert_eq!(sc.density_sample.len(), 30);
         assert_eq!(sc.rects.len(), 100);
@@ -126,12 +115,7 @@ mod tests {
     #[test]
     fn framework_respects_max_cells() {
         let model = StockModel::default().with_sizes(150, 20);
-        let sc = StockScenario::generate(
-            &model,
-            &TransitStubParams::paper_100_nodes(),
-            50,
-            8,
-        );
+        let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 50, 8);
         let big = sc.framework(100_000);
         let small = sc.framework(10);
         assert!(small.hypercells().len() <= 10);
@@ -143,8 +127,16 @@ mod tests {
         let model = StockModel::default().with_sizes(50, 20);
         let a = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 10, 9);
         let b = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 10, 9);
-        assert_eq!(a.workload.subscriptions.len(), b.workload.subscriptions.len());
-        for (x, y) in a.workload.subscriptions.iter().zip(&b.workload.subscriptions) {
+        assert_eq!(
+            a.workload.subscriptions.len(),
+            b.workload.subscriptions.len()
+        );
+        for (x, y) in a
+            .workload
+            .subscriptions
+            .iter()
+            .zip(&b.workload.subscriptions)
+        {
             assert_eq!(x, y);
         }
         for (x, y) in a.workload.events.iter().zip(&b.workload.events) {

@@ -32,10 +32,7 @@ impl Summary {
     /// Panics on an empty sample or NaN values.
     pub fn of(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "cannot summarize an empty sample");
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "sample contains NaN"
-        );
+        assert!(samples.iter().all(|x| !x.is_nan()), "sample contains NaN");
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let sd = if n < 2 {

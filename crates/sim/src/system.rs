@@ -88,8 +88,7 @@ impl<'a> PubSubSystem<'a> {
     /// K-means, the paper's recommended algorithm).
     pub fn new(topo: &'a Topology, grid: Grid, k: usize) -> Self {
         let probs = CellProbability::uniform(&grid);
-        let dynamic =
-            DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::Forgy), k);
+        let dynamic = DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::Forgy), k);
         PubSubSystem {
             topo,
             router: Router::new(topo.graph()),
@@ -116,7 +115,10 @@ impl<'a> PubSubSystem<'a> {
     ///
     /// Panics if `threshold` is outside `[0, 1]`.
     pub fn with_threshold(mut self, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold is a proportion");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold is a proportion"
+        );
         self.threshold = threshold;
         self
     }
@@ -175,8 +177,7 @@ impl<'a> PubSubSystem<'a> {
             .groups()
             .iter()
             .map(|g| {
-                let mut ns: Vec<NodeId> =
-                    g.members.iter().map(|i| self.nodes[i]).collect();
+                let mut ns: Vec<NodeId> = g.members.iter().map(|i| self.nodes[i]).collect();
                 ns.sort_unstable();
                 ns.dedup();
                 ns
@@ -191,8 +192,7 @@ impl<'a> PubSubSystem<'a> {
         let interested = self.index.matching(event);
         let interested_set =
             BitSet::from_members(self.rects.len().max(1), interested.iter().copied());
-        let mut interested_nodes: Vec<NodeId> =
-            interested.iter().map(|&i| self.nodes[i]).collect();
+        let mut interested_nodes: Vec<NodeId> = interested.iter().map(|&i| self.nodes[i]).collect();
         interested_nodes.sort_unstable();
         interested_nodes.dedup();
 
@@ -210,10 +210,7 @@ impl<'a> PubSubSystem<'a> {
                         self.router.app_multicast_cost(publisher, members)
                     }
                     MulticastMode::SparseMode => {
-                        let rp = self
-                            .router
-                            .rendezvous_point(members)
-                            .unwrap_or(publisher);
+                        let rp = self.router.rendezvous_point(members).unwrap_or(publisher);
                         self.router.sparse_multicast_cost(publisher, rp, members)
                     }
                 };
@@ -331,8 +328,8 @@ mod tests {
         let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
         let mut sys = PubSubSystem::new(&t, grid, 2);
         let nodes: Vec<NodeId> = t.stub_nodes().collect();
-        for i in 0..6 {
-            sys.subscribe(nodes[i], rect1(0.0, 10.0));
+        for &node in nodes.iter().take(6) {
+            sys.subscribe(node, rect1(0.0, 10.0));
         }
         sys.refresh();
         // In-grid interesting event → multicast; off-interest event →
@@ -364,6 +361,9 @@ mod tests {
         // Either substrate can win on a single delivery (the pruned SPT
         // is not a Steiner tree); both must be positive and comparable.
         assert!(net > 0.0 && app > 0.0);
-        assert!(app <= 3.0 * net && net <= 3.0 * app, "net {net} vs app {app}");
+        assert!(
+            app <= 3.0 * net && net <= 3.0 * app,
+            "net {net} vs app {app}"
+        );
     }
 }

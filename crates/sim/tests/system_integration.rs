@@ -72,7 +72,10 @@ fn threshold_shifts_multicast_to_unicast() {
         }
         sys.refresh();
         for probe in 0..30 {
-            sys.publish(nodes[probe % nodes.len()], &Point::new(vec![probe as f64 / 2.0]));
+            sys.publish(
+                nodes[probe % nodes.len()],
+                &Point::new(vec![probe as f64 / 2.0]),
+            );
         }
         sys.stats()
     };

@@ -148,8 +148,7 @@ fn build_node<T>(items: Vec<(Interval, T)>) -> Option<Box<Node<T>>> {
         };
     }
     here.sort_by(|a, b| {
-        a.0
-            .lo()
+        a.0.lo()
             .partial_cmp(&b.0.lo())
             .expect("interval bounds are never NaN")
     });

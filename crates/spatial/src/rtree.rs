@@ -56,7 +56,6 @@ impl<T> Node<T> {
             Node::Inner(es) => hull(Box::new(es.iter().map(|(r, _)| r))),
         }
     }
-
 }
 
 /// An R-tree mapping rectangles to values, answering point-stabbing and
@@ -193,7 +192,11 @@ impl<T> RTree<T> {
 /// Recursive insert; returns `Some((mbr1, n1, mbr2, n2))` when the child
 /// split and the caller must replace it by two nodes.
 #[allow(clippy::type_complexity)]
-fn insert_rec<T>(node: &mut Node<T>, rect: Rect, value: T) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
+fn insert_rec<T>(
+    node: &mut Node<T>,
+    rect: Rect,
+    value: T,
+) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
     match node {
         Node::Leaf(entries) => {
             entries.push((rect, value));
@@ -245,10 +248,13 @@ fn mbr_of<E>(entries: &[(Rect, E)]) -> Rect {
     it.fold(first, |acc, r| acc.hull(r))
 }
 
+/// The two sides produced by a node split.
+type SplitSides<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
 /// Guttman's quadratic split: seed with the pair wasting the most area,
 /// then greedily assign remaining entries to the side preferring them
 /// most, honoring the minimum fill.
-fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Vec<(Rect, E)>, Vec<(Rect, E)>) {
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitSides<E> {
     debug_assert!(entries.len() > MAX_ENTRIES);
     // Pick seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
@@ -354,9 +360,9 @@ fn str_pack_leaves<T>(dim: usize, items: Vec<(Rect, T)>) -> Vec<Node<T>> {
             break;
         }
         let remaining_dims = dim - d;
-        let target_slabs_per_group =
-            ((leaves as f64 / groups.len() as f64).powf(1.0 / remaining_dims as f64)).ceil()
-                as usize;
+        let target_slabs_per_group = ((leaves as f64 / groups.len() as f64)
+            .powf(1.0 / remaining_dims as f64))
+        .ceil() as usize;
         let mut next = Vec::new();
         for mut g in groups {
             g.sort_by(|a, b| {
@@ -432,7 +438,11 @@ mod tests {
         tree.insert(rect1(0.0, 5.0), 'a');
         tree.insert(rect1(4.0, 9.0), 'b');
         tree.insert(rect1(10.0, 12.0), 'c');
-        let mut hits: Vec<char> = tree.stab(&Point::new(vec![4.5])).into_iter().copied().collect();
+        let mut hits: Vec<char> = tree
+            .stab(&Point::new(vec![4.5]))
+            .into_iter()
+            .copied()
+            .collect();
         hits.sort();
         assert_eq!(hits, vec!['a', 'b']);
         assert!(tree.stab(&Point::new(vec![9.5])).is_empty());

@@ -224,8 +224,9 @@ mod tests {
     fn boundary_points_respect_half_open_split() {
         // Many rects so the tree actually splits; probe exactly at a
         // likely split plane.
-        let items: Vec<(Rect, usize)> =
-            (0..40).map(|i| (rect1(i as f64, i as f64 + 1.0), i)).collect();
+        let items: Vec<(Rect, usize)> = (0..40)
+            .map(|i| (rect1(i as f64, i as f64 + 1.0), i))
+            .collect();
         let tree = STree::build(1, items);
         for probe in 0..41 {
             let x = probe as f64 + 0.0; // integer boundaries

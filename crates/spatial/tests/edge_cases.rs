@@ -59,7 +59,10 @@ fn stree_unbounded_mixed_with_bounded() {
             1,
         ),
         (
-            Rect::new(vec![Interval::new(0.0, 5.0).unwrap(), Interval::at_most(3.0)]),
+            Rect::new(vec![
+                Interval::new(0.0, 5.0).unwrap(),
+                Interval::at_most(3.0),
+            ]),
             2,
         ),
     ];
@@ -98,7 +101,12 @@ fn interval_tree_nested_intervals() {
 #[test]
 fn interval_tree_disjoint_runs() {
     let items: Vec<(Interval, usize)> = (0..100)
-        .map(|i| (Interval::new(i as f64 * 2.0, i as f64 * 2.0 + 1.0).unwrap(), i))
+        .map(|i| {
+            (
+                Interval::new(i as f64 * 2.0, i as f64 * 2.0 + 1.0).unwrap(),
+                i,
+            )
+        })
         .collect();
     let tree = IntervalTree::build(items);
     // In a gap.

@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn mixture_weights_normalize() {
-        let m = NormalMixture::new(vec![(2.0, Normal::new(0.0, 1.0)), (6.0, Normal::new(5.0, 1.0))]);
+        let m = NormalMixture::new(vec![
+            (2.0, Normal::new(0.0, 1.0)),
+            (6.0, Normal::new(5.0, 1.0)),
+        ]);
         assert!((m.components()[0].0 - 0.25).abs() < 1e-12);
         assert!((m.components()[1].0 - 0.75).abs() < 1e-12);
         // Total mass over the whole line is 1.

@@ -277,8 +277,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 9.0).abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
     }
@@ -320,7 +320,7 @@ mod tests {
     fn zipf_empirical_frequencies_match_pmf() {
         let z = Zipf::new(10, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let n = 100_000;
         for _ in 0..n {
             counts[z.sample(&mut rng) - 1] += 1;

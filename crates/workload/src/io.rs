@@ -62,7 +62,10 @@ impl fmt::Display for TraceError {
                 write!(f, "line {line}: interval lower bound exceeds upper bound")
             }
             TraceError::DimensionMismatch { line } => {
-                write!(f, "line {line}: dimensionality differs from earlier records")
+                write!(
+                    f,
+                    "line {line}: dimensionality differs from earlier records"
+                )
             }
         }
     }
@@ -134,16 +137,19 @@ pub fn read_subscriptions<R: BufRead>(r: R) -> Result<Vec<Subscription>, TraceEr
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() < 3 || (fields.len() - 1) % 2 != 0 {
+        if fields.len() < 3 || !(fields.len() - 1).is_multiple_of(2) {
             return Err(TraceError::FieldCount {
                 line: line_number,
                 got: fields.len(),
             });
         }
-        let node: usize = fields[0].trim().parse().map_err(|_| TraceError::BadNumber {
-            line: line_number,
-            token: fields[0].to_string(),
-        })?;
+        let node: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| TraceError::BadNumber {
+                line: line_number,
+                token: fields[0].to_string(),
+            })?;
         let d = (fields.len() - 1) / 2;
         match dim {
             None => dim = Some(d),
@@ -156,8 +162,8 @@ pub fn read_subscriptions<R: BufRead>(r: R) -> Result<Vec<Subscription>, TraceEr
         for k in 0..d {
             let lo = parse_number(fields[1 + 2 * k], line_number)?;
             let hi = parse_number(fields[2 + 2 * k], line_number)?;
-            let iv = Interval::new(lo, hi)
-                .map_err(|_| TraceError::BadInterval { line: line_number })?;
+            let iv =
+                Interval::new(lo, hi).map_err(|_| TraceError::BadInterval { line: line_number })?;
             ivs.push(iv);
         }
         out.push(Subscription {
@@ -210,8 +216,10 @@ pub fn read_events<R: BufRead>(r: R) -> Result<Vec<Event>, TraceError> {
                 got: fields.len(),
             });
         }
-        let publisher: usize =
-            fields[0].trim().parse().map_err(|_| TraceError::BadNumber {
+        let publisher: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| TraceError::BadNumber {
                 line: line_number,
                 token: fields[0].to_string(),
             })?;
@@ -305,17 +313,11 @@ mod tests {
         vec![
             Subscription {
                 node: NodeId(5),
-                rect: Rect::new(vec![
-                    Interval::new(0.0, 10.0).unwrap(),
-                    Interval::all(),
-                ]),
+                rect: Rect::new(vec![Interval::new(0.0, 10.0).unwrap(), Interval::all()]),
             },
             Subscription {
                 node: NodeId(9),
-                rect: Rect::new(vec![
-                    Interval::greater_than(3.5),
-                    Interval::at_most(7.25),
-                ]),
+                rect: Rect::new(vec![Interval::greater_than(3.5), Interval::at_most(7.25)]),
             },
         ]
     }

@@ -150,12 +150,7 @@ mod tests {
         let stubs: Vec<_> = t.stubs_in_block(0).collect();
         let first = stubs.first().unwrap().id;
         let last = stubs.last().unwrap().id;
-        let count_for = |sid| {
-            nodes
-                .iter()
-                .filter(|&&n| t.stub_of(n) == Some(sid))
-                .count()
-        };
+        let count_for = |sid| nodes.iter().filter(|&&n| t.stub_of(n) == Some(sid)).count();
         assert!(
             count_for(first) > count_for(last),
             "first {} vs last {}",

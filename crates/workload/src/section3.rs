@@ -151,7 +151,7 @@ impl Section3Model {
                 ivs.push(Interval::all());
             }
             // Dimensions 1..=3: value predicates.
-            for d in 0..3 {
+            for (d, row) in rows.iter().enumerate().take(3) {
                 let iv = match self.dist {
                     PredicateDist::Uniform => {
                         // Present with probability 0.98 · 0.78^d.
@@ -165,7 +165,6 @@ impl Section3Model {
                         }
                     }
                     PredicateDist::Gaussian => {
-                        let row = &rows[d];
                         let u: f64 = rng.gen();
                         if u < row.q1 {
                             Interval::all()
@@ -374,7 +373,11 @@ mod tests {
         for e in &w.events {
             let stub = t.stub_of(e.publisher).unwrap();
             assert_eq!(e.point[0], stub.index() as f64);
-            assert!(w.bounds.contains(&e.point), "event {} out of bounds", e.point);
+            assert!(
+                w.bounds.contains(&e.point),
+                "event {} out of bounds",
+                e.point
+            );
         }
     }
 

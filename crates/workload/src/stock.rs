@@ -229,8 +229,7 @@ impl StockModel {
     /// Panics if the topology has no stub nodes.
     pub fn generate(&self, topo: &Topology, rng: &mut impl Rng) -> Workload {
         let mut block_weights = self.block_weights.clone();
-        let mean =
-            block_weights.iter().sum::<f64>() / block_weights.len().max(1) as f64;
+        let mean = block_weights.iter().sum::<f64>() / block_weights.len().max(1) as f64;
         block_weights.resize(topo.num_blocks(), mean);
         let quote_row = ParametricRow {
             q0: 0.15,
@@ -271,8 +270,7 @@ impl StockModel {
             // name: center normal around the block-specific mean,
             // Zipf length.
             let center =
-                Normal::new(NAME_MEANS[block.min(NAME_MEANS.len() - 1)], self.name_sd)
-                    .sample(rng);
+                Normal::new(NAME_MEANS[block.min(NAME_MEANS.len() - 1)], self.name_sd).sample(rng);
             let len = name_len_zipf.sample(rng) as f64;
             let name = Interval::from_unordered(center - len / 2.0, center + len / 2.0);
             let rect = Rect::new(vec![
@@ -511,7 +509,10 @@ mod tests {
         let peak_low = count_in(3.5, 4.5);
         let peak_high = count_in(15.5, 16.5);
         assert!(valley < peak_low, "valley {valley} vs low peak {peak_low}");
-        assert!(valley < peak_high, "valley {valley} vs high peak {peak_high}");
+        assert!(
+            valley < peak_high,
+            "valley {valley} vs high peak {peak_high}"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ fn zero_sized_workloads() {
     .generate(&t, &mut rng);
     assert!(w.subscriptions.is_empty());
     assert!(w.events.is_empty());
-    let w = StockModel::default().with_sizes(0, 0).generate(&t, &mut rng);
+    let w = StockModel::default()
+        .with_sizes(0, 0)
+        .generate(&t, &mut rng);
     assert!(w.subscriptions.is_empty());
     assert!(w.events.is_empty());
 }
@@ -37,7 +39,9 @@ fn zero_sized_workloads() {
 fn single_subscription_single_event() {
     let t = topo();
     let mut rng = StdRng::seed_from_u64(3);
-    let w = StockModel::default().with_sizes(1, 1).generate(&t, &mut rng);
+    let w = StockModel::default()
+        .with_sizes(1, 1)
+        .generate(&t, &mut rng);
     assert_eq!(w.subscriptions.len(), 1);
     assert_eq!(w.events.len(), 1);
     // Matching either finds the one subscription or nothing.

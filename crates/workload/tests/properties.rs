@@ -5,9 +5,7 @@ use netsim::{Topology, TransitStubParams};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use workload::{
-    Normal, Pareto, PredicateDist, PublicationModes, Section3Model, StockModel, Zipf,
-};
+use workload::{Normal, Pareto, PredicateDist, PublicationModes, Section3Model, StockModel, Zipf};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

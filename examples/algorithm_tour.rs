@@ -18,12 +18,7 @@ use workload::StockModel;
 fn main() {
     let k = 50;
     let model = StockModel::default().with_sizes(600, 150);
-    let scenario = StockScenario::generate(
-        &model,
-        &TransitStubParams::paper_section51(),
-        300,
-        11,
-    );
+    let scenario = StockScenario::generate(&model, &TransitStubParams::paper_section51(), 300, 11);
     let framework = scenario.framework(1200);
     let mut evaluator = Evaluator::new(&scenario.topo, &scenario.workload);
     let baselines = evaluator.baseline_costs();
@@ -48,7 +43,9 @@ fn main() {
         Box::new(KMeans::new(KMeansVariant::Forgy)),
         Box::new(MstClustering::new()),
         Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
-        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: 1 })),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 1,
+        })),
     ];
     for alg in &algorithms {
         let start = Instant::now();

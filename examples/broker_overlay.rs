@@ -25,8 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let width: f64 = rng.gen_range(4.0..16.0);
             (
                 node,
-                Rect::new(vec![Interval::new(center - width / 2.0, center + width / 2.0)
-                    .expect("ordered bounds")]),
+                Rect::new(vec![Interval::new(
+                    center - width / 2.0,
+                    center + width / 2.0,
+                )
+                .expect("ordered bounds")]),
             )
         })
         .collect();
@@ -56,10 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Churn: every join touches every link of the tree.
-    let (_, prop) = net.subscribe(
-        nodes[0],
-        Rect::new(vec![Interval::new(40.0, 60.0)?]),
-    );
+    let (_, prop) = net.subscribe(nodes[0], Rect::new(vec![Interval::new(40.0, 60.0)?]));
     println!(
         "one new subscription propagated to {} per-link filters \
          (= every link of the {}-broker tree)",

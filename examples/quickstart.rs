@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // rasterize → merge identical-membership cells → rank by popularity.
     let grid = Grid::new(
         Rect::new(vec![
-            Interval::new(-1.0, 20.0)?,  // stock name (linearized)
-            Interval::new(0.0, 200.0)?,  // price
+            Interval::new(-1.0, 20.0)?,    // stock name (linearized)
+            Interval::new(0.0, 200.0)?,    // price
             Interval::new(0.0, 50_000.0)?, // volume
         ]),
         vec![21, 20, 10],

@@ -21,8 +21,7 @@ fn main() {
     for &regionalism in &[0.0, 0.4, 0.8] {
         for &subs in &[200usize, 1000] {
             let mut rng = StdRng::seed_from_u64(7);
-            let topo =
-                Topology::generate(&TransitStubParams::paper_300_nodes(), &mut rng);
+            let topo = Topology::generate(&TransitStubParams::paper_300_nodes(), &mut rng);
             let model = Section3Model {
                 regionalism,
                 dist: PredicateDist::Uniform,

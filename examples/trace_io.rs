@@ -50,21 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         events,
     };
     let grid = geometry::Grid::new(bounds, bins)?;
-    let sample: Vec<geometry::Point> =
-        workload.events.iter().map(|e| e.point.clone()).collect();
+    let sample: Vec<geometry::Point> = workload.events.iter().map(|e| e.point.clone()).collect();
     let probs = CellProbability::empirical(&grid, &sample);
-    let rects: Vec<geometry::Rect> =
-        workload.subscriptions.iter().map(|s| s.rect.clone()).collect();
+    let rects: Vec<geometry::Rect> = workload
+        .subscriptions
+        .iter()
+        .map(|s| s.rect.clone())
+        .collect();
     let fw = GridFramework::build(grid, &rects, &probs, Some(3000));
     let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 40);
     let mut evaluator = Evaluator::new(&topo, &workload);
     let b = evaluator.baseline_costs();
-    let cost = evaluator.grid_clustering_cost(
-        &fw,
-        &clustering,
-        0.0,
-        sim::MulticastMode::NetworkSupported,
-    );
+    let cost =
+        evaluator.grid_clustering_cost(&fw, &clustering, 0.0, sim::MulticastMode::NetworkSupported);
     println!(
         "imported trace: unicast {:.0}, clustered {:.0}, ideal {:.0} -> improvement {:.1}%",
         b.unicast,

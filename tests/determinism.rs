@@ -44,14 +44,12 @@ fn section3_workload_is_deterministic() {
 fn full_pipeline_costs_are_deterministic() {
     let run = || {
         let model = StockModel::default().with_sizes(200, 60);
-        let sc =
-            StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 120, 17);
+        let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 120, 17);
         let fw = sc.framework(300);
         let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 15);
         let mut ev = Evaluator::new(&sc.topo, &sc.workload);
         let b = ev.baseline_costs();
-        let cost =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         (b.unicast, b.broadcast, b.ideal, cost)
     };
     assert_eq!(run(), run());
@@ -65,10 +63,7 @@ fn seeded_approximate_pairs_is_deterministic() {
     let alg = PairwiseGrouping::new(PairsStrategy::Approximate { seed: 5 });
     let a = alg.cluster(&fw, 10);
     let b = alg.cluster(&fw, 10);
-    assert_eq!(
-        a.total_expected_waste(&fw),
-        b.total_expected_waste(&fw)
-    );
+    assert_eq!(a.total_expected_waste(&fw), b.total_expected_waste(&fw));
     assert_eq!(a.num_groups(), b.num_groups());
 }
 

@@ -20,7 +20,9 @@ fn all_grid_algorithms() -> Vec<Box<dyn ClusteringAlgorithm>> {
         Box::new(KMeans::new(KMeansVariant::Forgy)),
         Box::new(MstClustering::new()),
         Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
-        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate { seed: 3 })),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 3,
+        })),
     ]
 }
 
@@ -33,8 +35,7 @@ fn every_algorithm_respects_cost_bounds() {
     assert!(b.ideal <= b.unicast + 1e-9);
     for alg in all_grid_algorithms() {
         let clustering = alg.cluster(&fw, 25);
-        let cost =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         // No clustering can beat the per-event ideal groups.
         assert!(
             cost >= b.ideal - 1e-9,
@@ -58,8 +59,7 @@ fn clustering_beats_unicast_on_the_paper_workload() {
     let b = ev.baseline_costs();
     for alg in all_grid_algorithms() {
         let clustering = alg.cluster(&fw, 50);
-        let cost =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         let improvement = b.improvement_pct(cost);
         assert!(
             improvement > 0.0,
@@ -79,10 +79,8 @@ fn more_groups_help_each_algorithm_broadly() {
     for alg in all_grid_algorithms() {
         let few = alg.cluster(&fw, 4);
         let many = alg.cluster(&fw, 64);
-        let cost_few =
-            ev.grid_clustering_cost(&fw, &few, 0.0, MulticastMode::NetworkSupported);
-        let cost_many =
-            ev.grid_clustering_cost(&fw, &many, 0.0, MulticastMode::NetworkSupported);
+        let cost_few = ev.grid_clustering_cost(&fw, &few, 0.0, MulticastMode::NetworkSupported);
+        let cost_many = ev.grid_clustering_cost(&fw, &many, 0.0, MulticastMode::NetworkSupported);
         assert!(
             b.improvement_pct(cost_many) >= b.improvement_pct(cost_few) - 5.0,
             "{}: K=64 ({:.1}%) much worse than K=4 ({:.1}%)",
@@ -133,14 +131,12 @@ fn multi_mode_publications_still_work() {
         PublicationModes::Nine,
     ] {
         let model = StockModel::default().with_sizes(200, 60).with_modes(modes);
-        let sc =
-            StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 150, 5);
+        let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 150, 5);
         let fw = sc.framework(400);
         let mut ev = Evaluator::new(&sc.topo, &sc.workload);
         let b = ev.baseline_costs();
         let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 20);
-        let cost =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
         assert!(cost >= b.ideal - 1e-9, "{modes:?}");
         assert!(cost.is_finite(), "{modes:?}");
     }
@@ -160,13 +156,15 @@ fn application_level_multicast_stays_in_the_same_ballpark() {
     let b = ev.baseline_costs();
     for alg in all_grid_algorithms() {
         let clustering = alg.cluster(&fw, 25);
-        let net =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
-        let app =
-            ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::ApplicationLevel);
+        let net = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+        let app = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::ApplicationLevel);
         assert!(net >= b.ideal - 1e-9, "{}", alg.name());
         assert!(app >= b.ideal - 1e-9, "{}", alg.name());
-        assert!(app <= 3.0 * net && net <= 3.0 * app, "{}: net {net} vs app {app}", alg.name());
+        assert!(
+            app <= 3.0 * net && net <= 3.0 * app,
+            "{}: net {net} vs app {app}",
+            alg.name()
+        );
     }
 }
 
@@ -178,12 +176,8 @@ fn threshold_sweep_never_worse_than_plain_multicast_and_unicast_extremes() {
     let b = ev.baseline_costs();
     let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 25);
     for threshold in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let cost = ev.grid_clustering_cost(
-            &fw,
-            &clustering,
-            threshold,
-            MulticastMode::NetworkSupported,
-        );
+        let cost =
+            ev.grid_clustering_cost(&fw, &clustering, threshold, MulticastMode::NetworkSupported);
         assert!(cost >= b.ideal - 1e-9, "threshold {threshold}");
         // At threshold 1.0 nearly everything unicasts: cost ≈ unicast.
         if threshold == 1.0 {

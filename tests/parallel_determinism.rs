@@ -1,0 +1,127 @@
+//! Thread-count invariance of the parallel pipeline: every fan-out
+//! introduced by `pubsub_core::parallel` must be bit-for-bit
+//! deterministic — one worker or eight, the framework, the clusterings
+//! of all five algorithms and the Figure 7 numbers must be identical.
+//!
+//! The tests force both extremes through the thread-local override
+//! (`parallel::with_threads`), so they are meaningful even on a
+//! single-CPU machine and regardless of `PUBSUB_THREADS`.
+
+use netsim::TransitStubParams;
+use pubsub_core::parallel::with_threads;
+use pubsub_core::{
+    Clustering, ClusteringAlgorithm, GridFramework, KMeans, KMeansVariant, MstClustering,
+    NoLossConfig, PairsStrategy, PairwiseGrouping,
+};
+use sim::experiments::{fig7, Fig7Config};
+use sim::StockScenario;
+use workload::StockModel;
+
+/// The five clustering algorithms of the paper's evaluation.
+fn algorithms() -> Vec<Box<dyn ClusteringAlgorithm>> {
+    vec![
+        Box::new(KMeans::new(KMeansVariant::MacQueen)),
+        Box::new(KMeans::new(KMeansVariant::Forgy)),
+        Box::new(MstClustering::new()),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 99,
+        })),
+    ]
+}
+
+fn assignment(fw: &GridFramework, c: &Clustering) -> Vec<usize> {
+    (0..fw.hypercells().len())
+        .map(|h| c.group_of_hyper(h))
+        .collect()
+}
+
+#[test]
+fn framework_build_is_thread_count_invariant() {
+    let model = StockModel::default().with_sizes(150, 60);
+    let build = |threads: usize| {
+        with_threads(threads, || {
+            let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 100, 5);
+            sc.framework(300)
+        })
+    };
+    let (a, b) = (build(1), build(8));
+    assert_eq!(a.hypercells().len(), b.hypercells().len());
+    for (ha, hb) in a.hypercells().iter().zip(b.hypercells()) {
+        assert_eq!(ha.cells, hb.cells);
+        assert_eq!(ha.members, hb.members);
+        assert_eq!(ha.prob.to_bits(), hb.prob.to_bits());
+    }
+}
+
+#[test]
+fn all_five_algorithms_are_thread_count_invariant() {
+    let model = StockModel::default().with_sizes(200, 80);
+    let sc = StockScenario::generate(&model, &TransitStubParams::paper_100_nodes(), 120, 7);
+    let fw = sc.framework(300);
+    for alg in algorithms() {
+        // A cold cache per run makes each thread count rebuild the
+        // shared distance matrix itself (in parallel at 8 workers).
+        let run = |threads: usize| {
+            let cold = fw.with_cold_distance_cache();
+            with_threads(threads, || alg.cluster(&cold, 12))
+        };
+        let (c1, c8) = (run(1), run(8));
+        assert_eq!(
+            assignment(&fw, &c1),
+            assignment(&fw, &c8),
+            "{} assignments diverged across thread counts",
+            alg.name()
+        );
+        assert_eq!(
+            c1.total_expected_waste(&fw).to_bits(),
+            c8.total_expected_waste(&fw).to_bits(),
+            "{} waste diverged across thread counts",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_numbers_are_thread_count_invariant() {
+    let cfg = Fig7Config {
+        model: StockModel::default().with_sizes(150, 80),
+        topo: TransitStubParams::paper_100_nodes(),
+        density_events: 150,
+        ks: vec![4, 12],
+        max_cells: 300,
+        max_cells_pairs: 150,
+        noloss: NoLossConfig {
+            max_rects: 150,
+            iterations: 2,
+            max_candidates_per_round: 30_000,
+        },
+        seed: 2002,
+    };
+    let run = |threads: usize| with_threads(threads, || fig7(&cfg));
+    let (a, b) = (run(1), run(8));
+    assert_eq!(a.baselines.unicast.to_bits(), b.baselines.unicast.to_bits());
+    assert_eq!(
+        a.baselines.broadcast.to_bits(),
+        b.baselines.broadcast.to_bits()
+    );
+    assert_eq!(a.baselines.ideal.to_bits(), b.baselines.ideal.to_bits());
+    assert_eq!(a.series.len(), b.series.len());
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.algorithm, sb.algorithm);
+        assert_eq!(sa.mode, sb.mode);
+        assert_eq!(sa.points.len(), sb.points.len(), "{}", sa.algorithm);
+        for (&(ka, pa), &(kb, pb)) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(ka, kb, "{}", sa.algorithm);
+            assert_eq!(
+                pa.to_bits(),
+                pb.to_bits(),
+                "{} K={} improvement diverged: {} vs {}",
+                sa.algorithm,
+                ka,
+                pa,
+                pb
+            );
+        }
+    }
+}

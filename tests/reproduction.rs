@@ -7,7 +7,7 @@
 //! ```
 
 use pubsub_core::{ClusteringAlgorithm, KMeans, KMeansVariant};
-use sim::experiments::{fig7, table_rows, paper_table1_specs, Fig7Config};
+use sim::experiments::{fig7, paper_table1_specs, table_rows, Fig7Config};
 use sim::{Evaluator, MulticastMode, StockScenario};
 
 #[test]
@@ -66,8 +66,7 @@ fn forgy_beats_no_clustering_by_a_wide_margin() {
     let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 100);
     let mut ev = Evaluator::new(&sc.topo, &sc.workload);
     let b = ev.baseline_costs();
-    let cost =
-        ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
+    let cost = ev.grid_clustering_cost(&fw, &clustering, 0.0, MulticastMode::NetworkSupported);
     let improvement = b.improvement_pct(cost);
     assert!(
         improvement > 70.0,
