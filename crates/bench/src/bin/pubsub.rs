@@ -318,7 +318,11 @@ fn cmd_replay(args: &Args) {
             exit(1);
         }
     }
-    let (bounds, bin_counts) = workload::io::infer_bounds(&subscriptions, &events, bins);
+    let (bounds, bin_counts) = workload::io::infer_bounds(&subscriptions, &events, bins)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot infer grid bounds from the trace: {e}");
+            exit(1);
+        });
     let workload = workload::Workload {
         bounds: bounds.clone(),
         suggested_bins: bin_counts.clone(),

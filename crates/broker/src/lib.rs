@@ -26,4 +26,6 @@
 
 mod routing_tree;
 
-pub use routing_tree::{BrokerDelivery, BrokerNetwork, BrokerState, Propagation, TreeKind};
+pub use routing_tree::{
+    BrokerDelivery, BrokerNetwork, BrokerState, Propagation, RepairReport, TreeKind,
+};

@@ -327,6 +327,21 @@ mod tests {
             s.resubscribe(SubscriptionId(99), rect1(0.0, 1.0)),
             Err(DynamicError::UnknownSubscription(SubscriptionId(99)))
         );
+        // A tombstoned id is just as dead as a never-issued one, and
+        // the failed calls leave no pending change behind.
+        assert_eq!(
+            s.resubscribe(a, rect1(0.0, 1.0)),
+            Err(DynamicError::UnknownSubscription(a))
+        );
+        let pending = s.pending_changes();
+        let _ = s.unsubscribe(a);
+        let _ = s.resubscribe(a, rect1(2.0, 3.0));
+        assert_eq!(s.pending_changes(), pending);
+        // Errors render their id for diagnostics.
+        assert_eq!(
+            DynamicError::UnknownSubscription(a).to_string(),
+            format!("subscription #{} does not exist", a.0)
+        );
     }
 
     #[test]

@@ -182,3 +182,106 @@ proptest! {
         }
     }
 }
+
+// ----- Dynamic clustering churn -----
+
+/// One random churn operation against a `DynamicClustering`.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Subscribe(f64, f64),
+    /// Unsubscribe the id at this index among issued ids (mod count).
+    Unsubscribe(usize),
+    /// Resubscribe the id at this index to a new interval.
+    Resubscribe(usize, f64, f64),
+    Rebalance,
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0.0..18.0f64, 0.5..2.0f64).prop_map(|(lo, w)| ChurnOp::Subscribe(lo, lo + w)),
+        (0usize..64).prop_map(ChurnOp::Unsubscribe),
+        (0usize..64, 0.0..18.0f64, 0.5..2.0f64).prop_map(|(i, lo, w)| ChurnOp::Resubscribe(
+            i,
+            lo,
+            lo + w
+        )),
+        Just(ChurnOp::Rebalance),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dynamic_churn_keeps_ids_and_counts_consistent(
+        ops in prop::collection::vec(churn_op_strategy(), 1..40),
+        k in 1usize..5,
+    ) {
+        use pubsub_core::{DynamicClustering, DynamicError};
+        let grid = Grid::cube(0.0, 20.0, 1, 20).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let mut s = DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), k);
+        // Shadow model: the rect each issued id currently holds.
+        let mut live: Vec<Option<Rect>> = Vec::new();
+        for op in &ops {
+            match *op {
+                ChurnOp::Subscribe(lo, hi) => {
+                    let rect = Rect::new(vec![Interval::new(lo, hi).unwrap()]);
+                    let id = s.subscribe(rect.clone());
+                    // Ids are issued densely and stay stable forever.
+                    prop_assert_eq!(id.index(), live.len());
+                    live.push(Some(rect));
+                }
+                ChurnOp::Unsubscribe(i) if !live.is_empty() => {
+                    let i = i % live.len();
+                    let id = pubsub_core::SubscriptionId(i);
+                    match (&live[i], s.unsubscribe(id)) {
+                        (Some(_), Ok(())) => live[i] = None,
+                        (None, Err(DynamicError::UnknownSubscription(bad))) => {
+                            prop_assert_eq!(bad, id);
+                        }
+                        (state, res) => {
+                            return Err(TestCaseError::fail(format!(
+                                "unsubscribe({i}) gave {res:?} with shadow {state:?}"
+                            )));
+                        }
+                    }
+                }
+                ChurnOp::Resubscribe(i, lo, hi) if !live.is_empty() => {
+                    let i = i % live.len();
+                    let id = pubsub_core::SubscriptionId(i);
+                    let rect = Rect::new(vec![Interval::new(lo, hi).unwrap()]);
+                    match (&live[i], s.resubscribe(id, rect.clone())) {
+                        (Some(_), Ok(())) => live[i] = Some(rect),
+                        (None, Err(DynamicError::UnknownSubscription(bad))) => {
+                            prop_assert_eq!(bad, id);
+                        }
+                        (state, res) => {
+                            return Err(TestCaseError::fail(format!(
+                                "resubscribe({i}) gave {res:?} with shadow {state:?}"
+                            )));
+                        }
+                    }
+                }
+                ChurnOp::Unsubscribe(_) | ChurnOp::Resubscribe(..) => {}
+                ChurnOp::Rebalance => {
+                    s.rebalance();
+                    prop_assert_eq!(s.pending_changes(), 0);
+                }
+            }
+            prop_assert_eq!(
+                s.num_subscriptions(),
+                live.iter().filter(|r| r.is_some()).count()
+            );
+        }
+        // After a final rebalance, points covered by no live rect have
+        // no group, and every live rect's center has one.
+        s.rebalance();
+        for r in live.iter().flatten() {
+            let iv = r.interval(0);
+            let center = geometry::Point::new(vec![(iv.lo() + iv.hi()) / 2.0]);
+            prop_assert!(s.group_of_point(&center).is_some(), "live center uncovered");
+        }
+        if live.iter().all(|r| r.is_none()) {
+            prop_assert_eq!(s.group_of_point(&geometry::Point::new(vec![10.0])), None);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+mod faults;
 mod graph;
 mod load;
 mod mst;
@@ -27,9 +28,10 @@ mod routing;
 mod shortest_path;
 mod topology;
 
+pub use faults::{DegradedView, Fault, FaultModel, FaultSchedule};
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
 pub use load::LoadTracker;
 pub use mst::{minimum_spanning_forest_cost, overlay_mst, UnionFind};
-pub use routing::{FrozenRouter, Router};
+pub use routing::{FrozenRouter, Router, RoutingError, ViewTransition};
 pub use shortest_path::ShortestPathTree;
 pub use topology::{CostRange, NodeKind, Stub, StubId, Topology, TopologyStats, TransitStubParams};

@@ -19,10 +19,47 @@
 //!   member; the publisher unicasts into the nearest member.
 
 use std::collections::HashMap;
+use std::fmt;
 
+use crate::faults::DegradedView;
 use crate::graph::{Graph, NodeId};
 use crate::mst::overlay_mst;
 use crate::shortest_path::ShortestPathTree;
+
+/// Error produced by routing queries that cannot be answered from the
+/// warmed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// No shortest-path tree was warmed for this source before the
+    /// router was frozen; infallible queries fall back to an on-demand
+    /// (uncached) Dijkstra run instead.
+    ColdSource(NodeId),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::ColdSource(n) => {
+                write!(f, "no frozen shortest-path tree for source {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// How a [`Router::set_view`] transition affected the SPT cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewTransition {
+    /// Whether an edge *improved* (revival / degradation easing), which
+    /// forces every cached tree out — a better edge can create
+    /// shortcuts for trees that never touched it.
+    pub full_rebuild: bool,
+    /// Trees dropped by this transition.
+    pub invalidated: usize,
+    /// Trees that survived (they dodge every changed edge).
+    pub retained: usize,
+}
 
 /// A routing oracle over a fixed network: caches one shortest-path tree
 /// per source and answers delivery-cost queries for every scheme in the
@@ -44,32 +81,76 @@ use crate::shortest_path::ShortestPathTree;
 #[derive(Debug)]
 pub struct Router<'g> {
     graph: &'g Graph,
+    /// The failure state the router currently routes under.
+    view: DegradedView,
+    /// Materialized degraded graph (same ids as `graph`, dead edges at
+    /// `+inf`); `None` while the view is healthy so the fault-free path
+    /// runs the exact original code.
+    degraded: Option<Graph>,
     spt_cache: HashMap<NodeId, ShortestPathTree>,
     scratch: Vec<bool>,
 }
 
 impl<'g> Router<'g> {
-    /// Creates a router over `graph`.
+    /// Creates a router over `graph` with a fully healthy view.
     pub fn new(graph: &'g Graph) -> Self {
         Router {
             graph,
+            view: DegradedView::healthy(graph),
+            degraded: None,
             spt_cache: HashMap::new(),
             scratch: Vec::new(),
         }
     }
 
-    /// The underlying graph.
+    /// The underlying (healthy) graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
     }
 
-    /// The (cached) shortest-path tree rooted at `src`.
+    /// The failure view the router currently routes under.
+    pub fn view(&self) -> &DegradedView {
+        &self.view
+    }
+
+    /// Installs a new failure view, incrementally invalidating the SPT
+    /// cache: only trees that traverse a changed edge (or whose source
+    /// flipped liveness) are dropped — unless some edge *improved*, in
+    /// which case every tree goes (a revived link can shortcut paths
+    /// that never used it). Returns what happened to the cache.
+    pub fn set_view(&mut self, view: DegradedView) -> ViewTransition {
+        let before = self.spt_cache.len();
+        let full_rebuild = view.has_improvement_over(&self.view, self.graph);
+        if full_rebuild {
+            self.spt_cache.clear();
+        } else {
+            let prev = &self.view;
+            let graph = self.graph;
+            self.spt_cache
+                .retain(|_, tree| !view.invalidates_tree(prev, graph, tree));
+        }
+        let retained = self.spt_cache.len();
+        self.degraded = if view.is_healthy() {
+            None
+        } else {
+            Some(view.apply(self.graph))
+        };
+        self.view = view;
+        ViewTransition {
+            full_rebuild,
+            invalidated: before - retained,
+            retained,
+        }
+    }
+
+    /// The (cached) shortest-path tree rooted at `src`, computed over
+    /// the degraded graph when a faulty view is installed.
     ///
     /// # Panics
     ///
     /// Panics if `src` is out of range.
     pub fn spt(&mut self, src: NodeId) -> &ShortestPathTree {
-        let graph = self.graph;
+        let graph = self.degraded.as_ref().unwrap_or(self.graph);
         self.spt_cache
             .entry(src)
             .or_insert_with(|| ShortestPathTree::compute(graph, src))
@@ -110,7 +191,7 @@ impl<'g> Router<'g> {
     pub fn group_multicast_cost(&mut self, src: NodeId, members: &[NodeId]) -> f64 {
         // Split borrows: take the scratch buffer out during the call.
         let mut scratch = std::mem::take(&mut self.scratch);
-        let graph = self.graph;
+        let graph = self.degraded.as_ref().unwrap_or(self.graph);
         let spt = self
             .spt_cache
             .entry(src)
@@ -159,13 +240,17 @@ impl<'g> Router<'g> {
             return 0.0;
         }
         // Pairwise member distances need one SPT per member; warm the
-        // cache first so the closure below can borrow immutably.
+        // cache first so the closure below can borrow immutably. A
+        // cache miss (impossible today, but cheap to tolerate) falls
+        // back to an on-demand Dijkstra run instead of aborting.
         for &m in members {
             self.spt(m);
         }
         let cache = &self.spt_cache;
-        let (_, mst_cost) = overlay_mst(members, |a, b| {
-            cache.get(&a).expect("SPT cache warmed above").distance(b)
+        let graph = self.degraded.as_ref().unwrap_or(self.graph);
+        let (_, mst_cost) = overlay_mst(members, |a, b| match cache.get(&a) {
+            Some(spt) => spt.distance(b),
+            None => ShortestPathTree::compute(graph, a).distance(b),
         });
         mst_cost
     }
@@ -207,11 +292,14 @@ impl<'g> Router<'g> {
     }
 
     /// Consumes the router into an immutable [`FrozenRouter`] holding
-    /// the SPTs cached so far. Freeze after warming every source the
-    /// queries will need; the frozen view never computes a tree.
+    /// the SPTs cached so far (and the installed failure view, if any).
+    /// Freeze after warming every source the queries will need; a
+    /// source missed during warming degrades to an on-demand Dijkstra
+    /// run per query instead of panicking.
     pub fn freeze(self) -> FrozenRouter<'g> {
         FrozenRouter {
             graph: self.graph,
+            degraded: self.degraded,
             spts: self.spt_cache,
         }
     }
@@ -220,17 +308,23 @@ impl<'g> Router<'g> {
 /// An immutable routing oracle: the same cost models as [`Router`], but
 /// every query takes `&self` so evaluations can fan out across threads.
 ///
-/// Unlike [`Router`], a `FrozenRouter` never computes a shortest-path
+/// Unlike [`Router`], a `FrozenRouter` never *caches* a shortest-path
 /// tree on demand — trees are supplied up front (computed in parallel by
 /// the caller, typically) via [`FrozenRouter::insert_spt`] or inherited
 /// through [`Router::freeze`]. Querying a source whose tree is missing
-/// panics, making an under-warmed cache loud instead of slow.
+/// degrades gracefully: [`FrozenRouter::try_spt`] reports
+/// [`RoutingError::ColdSource`], and the infallible cost methods fall
+/// back to an on-demand (uncached) Dijkstra run — correct answers,
+/// merely slower, instead of aborting the evaluation.
 ///
 /// Every cost method calls the same [`ShortestPathTree`] routines as the
 /// mutable router, so frozen and mutable answers are bit-identical.
 #[derive(Debug)]
 pub struct FrozenRouter<'g> {
     graph: &'g Graph,
+    /// Degraded materialization inherited from [`Router::freeze`];
+    /// `None` for a healthy view.
+    degraded: Option<Graph>,
     spts: HashMap<NodeId, ShortestPathTree>,
 }
 
@@ -240,13 +334,20 @@ impl<'g> FrozenRouter<'g> {
     pub fn new(graph: &'g Graph) -> Self {
         FrozenRouter {
             graph,
+            degraded: None,
             spts: HashMap::new(),
         }
     }
 
-    /// The underlying graph.
+    /// The underlying (healthy) graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// The graph costs are read from: the degraded materialization
+    /// inherited from [`Router::freeze`], or the pristine graph.
+    fn active_graph(&self) -> &Graph {
+        self.degraded.as_ref().unwrap_or(self.graph)
     }
 
     /// Adds a precomputed shortest-path tree, keyed by its source.
@@ -264,25 +365,29 @@ impl<'g> FrozenRouter<'g> {
         self.spts.len()
     }
 
-    /// The frozen shortest-path tree rooted at `src`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no tree for `src` was inserted before freezing.
-    pub fn spt(&self, src: NodeId) -> &ShortestPathTree {
-        self.spts
-            .get(&src)
-            .unwrap_or_else(|| panic!("no frozen SPT for source {src:?}; warm it before freezing"))
+    /// The frozen shortest-path tree rooted at `src`, or
+    /// [`RoutingError::ColdSource`] when `src` was never warmed.
+    pub fn try_spt(&self, src: NodeId) -> Result<&ShortestPathTree, RoutingError> {
+        self.spts.get(&src).ok_or(RoutingError::ColdSource(src))
+    }
+
+    /// Runs `f` against the tree for `src`: the frozen tree when
+    /// warmed, otherwise a freshly computed (uncached) one.
+    fn with_spt<R>(&self, src: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
+        match self.spts.get(&src) {
+            Some(spt) => f(spt),
+            None => f(&ShortestPathTree::compute(self.active_graph(), src)),
+        }
     }
 
     /// Shortest-path distance between two nodes.
     pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
-        self.spt(a).distance(b)
+        self.with_spt(a, |spt| spt.distance(b))
     }
 
     /// Unicast cost: `Σ_t dist(src, t)`.
     pub fn unicast_cost(&self, src: NodeId, targets: impl IntoIterator<Item = NodeId>) -> f64 {
-        self.spt(src).unicast_cost(targets)
+        self.with_spt(src, |spt| spt.unicast_cost(targets))
     }
 
     /// Broadcast cost: the full shortest-path tree from `src`.
@@ -303,8 +408,9 @@ impl<'g> FrozenRouter<'g> {
 
     /// Dense-mode multicast: the SPT rooted at `src` pruned to `members`.
     pub fn group_multicast_cost(&self, src: NodeId, members: &[NodeId]) -> f64 {
-        self.spt(src)
-            .multicast_tree_cost(self.graph, members.iter().copied())
+        self.with_spt(src, |spt| {
+            spt.multicast_tree_cost(self.active_graph(), members.iter().copied())
+        })
     }
 
     /// The publisher's cost of injecting into an overlay group (0 when
@@ -313,20 +419,21 @@ impl<'g> FrozenRouter<'g> {
         if members.contains(&src) {
             return 0.0;
         }
-        let spt = self.spt(src);
-        members
-            .iter()
-            .map(|&m| spt.distance(m))
-            .fold(f64::INFINITY, f64::min)
+        self.with_spt(src, |spt| {
+            members
+                .iter()
+                .map(|&m| spt.distance(m))
+                .fold(f64::INFINITY, f64::min)
+        })
     }
 
-    /// Total weight of the overlay MST among `members`. Requires a
-    /// frozen tree for every member.
+    /// Total weight of the overlay MST among `members`. Cold members
+    /// fall back to on-demand Dijkstra runs.
     pub fn overlay_mst_cost(&self, members: &[NodeId]) -> f64 {
         if members.len() < 2 {
             return 0.0;
         }
-        let (_, mst_cost) = overlay_mst(members, |a, b| self.spt(a).distance(b));
+        let (_, mst_cost) = overlay_mst(members, |a, b| self.distance(a, b));
         mst_cost
     }
 
@@ -343,13 +450,15 @@ impl<'g> FrozenRouter<'g> {
         self.distance(src, rp) + self.group_multicast_cost(rp, members)
     }
 
-    /// The member minimizing total distance to all members (requires a
-    /// frozen tree per member). `None` for an empty group.
+    /// The member minimizing total distance to all members (cold
+    /// members fall back to on-demand Dijkstra). `None` for an empty
+    /// group.
     pub fn rendezvous_point(&self, members: &[NodeId]) -> Option<NodeId> {
         let mut best: Option<(f64, NodeId)> = None;
         for &candidate in members {
-            let spt = self.spt(candidate);
-            let total: f64 = members.iter().map(|&m| spt.distance(m)).sum();
+            let total: f64 = self.with_spt(candidate, |spt| {
+                members.iter().map(|&m| spt.distance(m)).sum()
+            });
             if best.is_none_or(|(b, _)| total < b) {
                 best = Some((total, candidate));
             }
@@ -558,11 +667,87 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no frozen SPT")]
-    fn frozen_router_panics_on_missing_source() {
+    fn frozen_router_cold_source_falls_back() {
         let g = line();
         let f = FrozenRouter::new(&g);
-        f.distance(NodeId(0), NodeId(1));
+        // try_spt reports the miss as a typed error...
+        assert_eq!(
+            f.try_spt(NodeId(0)).unwrap_err(),
+            RoutingError::ColdSource(NodeId(0))
+        );
+        assert!(!f.try_spt(NodeId(0)).unwrap_err().to_string().is_empty());
+        // ...while cost queries degrade to on-demand Dijkstra with the
+        // same answers a warmed router gives.
+        assert_eq!(f.distance(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(f.group_multicast_cost(NodeId(0), &[NodeId(2)]), 2.0);
+        assert_eq!(f.overlay_mst_cost(&[NodeId(1), NodeId(2)]), 1.0);
+        assert_eq!(f.rendezvous_point(&[NodeId(1), NodeId(2)]), Some(NodeId(1)));
+        // The fallback never populates the cache.
+        assert_eq!(f.cached_sources(), 0);
+    }
+
+    #[test]
+    fn router_view_reroutes_and_invalidates_incrementally() {
+        use crate::faults::{Fault, FaultSchedule};
+        use crate::graph::EdgeId;
+        let g = line();
+        let mut r = Router::new(&g);
+        assert!(r.view().is_healthy());
+        // Warm trees from both ends.
+        assert_eq!(r.distance(NodeId(0), NodeId(2)), 2.0);
+        assert_eq!(r.distance(NodeId(2), NodeId(0)), 2.0);
+        assert_eq!(r.cached_sources(), 2);
+
+        // Fail the middle edge 1-2: both trees traverse it.
+        let schedule = FaultSchedule::new(2)
+            .with(0, Fault::LinkDown(EdgeId(1)))
+            .with(1, Fault::LinkUp(EdgeId(1)));
+        let down = schedule.view_at(&g, 0);
+        let t = r.set_view(down);
+        assert!(!t.full_rebuild);
+        assert_eq!(t.invalidated, 2);
+        assert_eq!(t.retained, 0);
+        // Routing now detours over the expensive shortcut.
+        assert_eq!(r.distance(NodeId(0), NodeId(2)), 5.0);
+        assert_eq!(r.distance(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(
+            r.group_multicast_cost(NodeId(0), &[NodeId(1), NodeId(2)]),
+            6.0
+        );
+
+        // Reviving the edge is an improvement: full rebuild, healthy
+        // answers return bit-identically.
+        let up = schedule.view_at(&g, 1);
+        let t = r.set_view(up);
+        assert!(t.full_rebuild);
+        assert_eq!(r.distance(NodeId(0), NodeId(2)), 2.0);
+
+        // A failure the cached tree dodges leaves it in place.
+        let far = FaultSchedule::new(1)
+            .with(0, Fault::LinkDown(EdgeId(2)))
+            .view_at(&g, 0);
+        let warm_before = r.cached_sources();
+        let t = r.set_view(far);
+        assert!(!t.full_rebuild);
+        assert_eq!(t.retained, warm_before);
+        assert_eq!(r.distance(NodeId(0), NodeId(2)), 2.0);
+    }
+
+    #[test]
+    fn frozen_router_inherits_degraded_view() {
+        use crate::faults::{Fault, FaultSchedule};
+        use crate::graph::EdgeId;
+        let g = line();
+        let mut r = Router::new(&g);
+        let down = FaultSchedule::new(1)
+            .with(0, Fault::LinkDown(EdgeId(1)))
+            .view_at(&g, 0);
+        r.set_view(down);
+        let warm = r.distance(NodeId(0), NodeId(2));
+        let f = r.freeze();
+        assert_eq!(f.distance(NodeId(0), NodeId(2)).to_bits(), warm.to_bits());
+        // Cold fallback also routes under the degraded view.
+        assert_eq!(f.distance(NodeId(1), NodeId(2)), 6.0);
     }
 
     #[test]

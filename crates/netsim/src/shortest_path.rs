@@ -218,6 +218,12 @@ impl ShortestPathTree {
         edges
     }
 
+    /// All edges of the full shortest-path tree (one parent edge per
+    /// reachable non-source node), in node-id order.
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.parent.iter().filter_map(|p| p.map(|(_, e)| e))
+    }
+
     /// Sum of shortest-path distances from the source to each target —
     /// the unicast delivery cost (each receiver gets its own copy along
     /// its own path). Unreachable targets are ignored.

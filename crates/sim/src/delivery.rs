@@ -17,7 +17,7 @@ use workload::Workload;
 /// a constant — never derived from the thread count — so partial sums
 /// are combined identically no matter how many workers run, keeping
 /// every reported figure bit-for-bit reproducible.
-const EVENT_CHUNK: usize = 64;
+pub(crate) const EVENT_CHUNK: usize = 64;
 
 /// Which multicast substrate delivers group traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,14 +115,14 @@ impl DeliveryBreakdown {
 /// parallel once per source, then per-event costs are summed in
 /// fixed-size chunks against the immutable [`FrozenRouter`] view.
 pub struct Evaluator<'a> {
-    topo: &'a Topology,
-    workload: &'a Workload,
-    frozen: FrozenRouter<'a>,
+    pub(crate) topo: &'a Topology,
+    pub(crate) workload: &'a Workload,
+    pub(crate) frozen: FrozenRouter<'a>,
     /// Interested subscription ids per event (aligned with
     /// `workload.events`).
-    interested_subs: Vec<BitSet>,
+    pub(crate) interested_subs: Vec<BitSet>,
     /// Deduplicated interested nodes per event.
-    interested_nodes: Vec<Vec<NodeId>>,
+    pub(crate) interested_nodes: Vec<Vec<NodeId>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -165,7 +165,7 @@ impl<'a> Evaluator<'a> {
 
     /// Ensures the frozen router holds a shortest-path tree for every
     /// source in `sources`, computing the missing ones in parallel.
-    fn ensure_spts(&mut self, sources: impl IntoIterator<Item = NodeId>) {
+    pub(crate) fn ensure_spts(&mut self, sources: impl IntoIterator<Item = NodeId>) {
         let mut missing: Vec<NodeId> = sources
             .into_iter()
             .filter(|&s| !self.frozen.contains(s))
@@ -184,7 +184,7 @@ impl<'a> Evaluator<'a> {
 
     /// Member-node lists of every group-like membership set, sorted and
     /// deduplicated, computed in parallel.
-    fn member_nodes(&self, memberships: &[&BitSet]) -> Vec<Vec<NodeId>> {
+    pub(crate) fn member_nodes(&self, memberships: &[&BitSet]) -> Vec<Vec<NodeId>> {
         let subscriptions = &self.workload.subscriptions;
         parallel::par_map(memberships, 8, |members| {
             let mut nodes: Vec<NodeId> = members.iter().map(|i| subscriptions[i].node).collect();

@@ -26,10 +26,12 @@
 mod delivery;
 pub mod experiments;
 pub mod report;
+mod resilience;
 mod scenario;
 pub mod stats;
 mod system;
 
 pub use delivery::{BaselineCosts, DeliveryBreakdown, Evaluator, MulticastMode};
+pub use resilience::{failure_churn, ChurnReport, ResilienceBreakdown, RetryPolicy};
 pub use scenario::StockScenario;
 pub use system::{DeliveryReport, PubSubSystem, SystemStats};

@@ -47,6 +47,11 @@ pub enum TraceError {
         /// 1-based line number.
         line: usize,
     },
+    /// A trace with no subscriptions and no events was given where at
+    /// least one record is required.
+    EmptyTrace,
+    /// A grid with zero bins per dimension was requested.
+    ZeroBins,
 }
 
 impl fmt::Display for TraceError {
@@ -66,6 +71,12 @@ impl fmt::Display for TraceError {
                     f,
                     "line {line}: dimensionality differs from earlier records"
                 )
+            }
+            TraceError::EmptyTrace => {
+                write!(f, "need at least one subscription or event")
+            }
+            TraceError::ZeroBins => {
+                write!(f, "need at least one bin per dimension")
             }
         }
     }
@@ -251,25 +262,32 @@ pub fn read_events<R: BufRead>(r: R) -> Result<Vec<Event>, TraceError> {
 /// Returns `(bounds, bins)` with `bins_per_dim` bins in every
 /// dimension, ready for `Grid::new`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if both inputs are empty, records disagree on dimension, or
-/// `bins_per_dim == 0`.
+/// [`TraceError::EmptyTrace`] when both inputs are empty,
+/// [`TraceError::ZeroBins`] when `bins_per_dim == 0`, and
+/// [`TraceError::DimensionMismatch`] (with the 1-based record index,
+/// subscriptions first) when records disagree on dimension — all
+/// conditions an external trace can trigger, so none of them panic.
 pub fn infer_bounds(
     subscriptions: &[Subscription],
     events: &[Event],
     bins_per_dim: usize,
-) -> (Rect, Vec<usize>) {
-    assert!(bins_per_dim > 0, "need at least one bin per dimension");
+) -> Result<(Rect, Vec<usize>), TraceError> {
+    if bins_per_dim == 0 {
+        return Err(TraceError::ZeroBins);
+    }
     let dim = subscriptions
         .first()
         .map(|s| s.rect.dim())
         .or_else(|| events.first().map(|e| e.point.dim()))
-        .expect("need at least one subscription or event");
+        .ok_or(TraceError::EmptyTrace)?;
     let mut lo = vec![f64::INFINITY; dim];
     let mut hi = vec![f64::NEG_INFINITY; dim];
-    for s in subscriptions {
-        assert_eq!(s.rect.dim(), dim, "dimension mismatch");
+    for (i, s) in subscriptions.iter().enumerate() {
+        if s.rect.dim() != dim {
+            return Err(TraceError::DimensionMismatch { line: i + 1 });
+        }
         for (d, iv) in s.rect.intervals().iter().enumerate() {
             if iv.lo().is_finite() {
                 lo[d] = lo[d].min(iv.lo());
@@ -279,8 +297,12 @@ pub fn infer_bounds(
             }
         }
     }
-    for e in events {
-        assert_eq!(e.point.dim(), dim, "dimension mismatch");
+    for (i, e) in events.iter().enumerate() {
+        if e.point.dim() != dim {
+            return Err(TraceError::DimensionMismatch {
+                line: subscriptions.len() + i + 1,
+            });
+        }
         for d in 0..dim {
             lo[d] = lo[d].min(e.point[d]);
             hi[d] = hi[d].max(e.point[d]);
@@ -302,7 +324,7 @@ pub fn infer_bounds(
             Interval::new(a - pad, b).expect("inferred bounds are ordered")
         })
         .collect();
-    (Rect::new(ivs), vec![bins_per_dim; dim])
+    Ok((Rect::new(ivs), vec![bins_per_dim; dim]))
 }
 
 #[cfg(test)]
@@ -395,7 +417,7 @@ mod tests {
             publisher: NodeId(0),
             point: Point::new(vec![-5.0, 30.0]),
         }];
-        let (bounds, bins) = infer_bounds(&subs, &events, 10);
+        let (bounds, bins) = infer_bounds(&subs, &events, 10).unwrap();
         assert_eq!(bins, vec![10, 10]);
         // Every event is strictly inside.
         assert!(bounds.contains(&events[0].point));
@@ -405,9 +427,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn infer_bounds_rejects_empty() {
-        let _ = infer_bounds(&[], &[], 10);
+    fn infer_bounds_rejects_bad_inputs() {
+        assert_eq!(infer_bounds(&[], &[], 10), Err(TraceError::EmptyTrace));
+        let subs = sample_subscriptions();
+        assert_eq!(infer_bounds(&subs, &[], 0), Err(TraceError::ZeroBins));
+        // A 1-d event after 2-d subscriptions: record index counts
+        // subscriptions first.
+        let events = vec![Event {
+            publisher: NodeId(0),
+            point: Point::new(vec![1.0]),
+        }];
+        assert_eq!(
+            infer_bounds(&subs, &events, 10),
+            Err(TraceError::DimensionMismatch {
+                line: subs.len() + 1
+            })
+        );
     }
 
     #[test]

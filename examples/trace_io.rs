@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("round trip is bit-exact");
 
     // 3. Infer a grid from the trace alone and run the pipeline.
-    let (bounds, bins) = io::infer_bounds(&subscriptions, &events, 12);
+    let (bounds, bins) = io::infer_bounds(&subscriptions, &events, 12)?;
     println!("inferred event-space bounds: {bounds}");
     let workload = Workload {
         bounds: bounds.clone(),
