@@ -50,6 +50,24 @@ impl DistanceMatrix {
         DistanceMatrix { n, data }
     }
 
+    /// Assembles a matrix from already-computed lower-triangle rows
+    /// (row `i` holding `d(i, 0) .. d(i, i-1)`). Used by the
+    /// incremental pipeline, which fills rows by reusing entries of the
+    /// previous matrix where both hyper-cells are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row `i` does not have exactly `i` entries.
+    pub(crate) fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), i, "row {i} must hold {i} entries");
+            data.extend_from_slice(row);
+        }
+        DistanceMatrix { n, data }
+    }
+
     /// Number of hyper-cells the matrix covers.
     pub fn len(&self) -> usize {
         self.n
@@ -129,6 +147,22 @@ mod tests {
         assert_eq!(serial.data.len(), par.data.len());
         for (a, b) in serial.data.iter().zip(&par.data) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips_build() {
+        let h = cells();
+        let built = DistanceMatrix::build(&h);
+        let rows: Vec<Vec<f64>> = (0..h.len())
+            .map(|i| (0..i).map(|j| built.get(i, j)).collect())
+            .collect();
+        let assembled = DistanceMatrix::from_rows(rows);
+        assert_eq!(assembled.len(), built.len());
+        for i in 0..h.len() {
+            for j in 0..h.len() {
+                assert_eq!(assembled.get(i, j).to_bits(), built.get(i, j).to_bits());
+            }
         }
     }
 

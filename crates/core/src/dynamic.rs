@@ -14,11 +14,32 @@
 //! from the previous assignment, reporting how many hyper-cell moves
 //! the update needed.
 
-use geometry::{Grid, Point, Rect};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use geometry::{CellId, Grid, Point, Rect};
 
 use crate::clustering::Clustering;
 use crate::framework::{CellProbability, GridFramework};
 use crate::kmeans::KMeans;
+use crate::parallel;
+
+/// Default dirty-fraction threshold above which [`DynamicClustering::rebalance`]
+/// falls back to the full re-rasterizing path. Override with
+/// `PUBSUB_INCREMENTAL_MAX_DIRTY` (a float; `0` forces the full path,
+/// `1` allows incremental updates for any delta size).
+const DEFAULT_INCREMENTAL_MAX_DIRTY: f64 = 0.2;
+
+fn incremental_max_dirty() -> f64 {
+    static CAP: OnceLock<f64> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("PUBSUB_INCREMENTAL_MAX_DIRTY")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
+            .unwrap_or(DEFAULT_INCREMENTAL_MAX_DIRTY)
+    })
+}
 
 /// Stable identifier of a dynamic subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,6 +87,32 @@ pub struct DynamicClustering {
     clustering: Clustering,
     /// Changes since the last rebalance.
     pending: usize,
+    /// Rectangle each touched slot held *at the last rebalance*
+    /// (`None` = the slot was empty then). Together with the current
+    /// slots this yields the net delta for the incremental path.
+    baseline: HashMap<usize, Option<Rect>>,
+    /// Dirty-fraction threshold override; `None` reads
+    /// `PUBSUB_INCREMENTAL_MAX_DIRTY` (default 0.2).
+    max_dirty: Option<f64>,
+    /// Diagnostics of the most recent rebalance.
+    last_stats: RebalanceStats,
+}
+
+/// Diagnostics of the most recent [`DynamicClustering::rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RebalanceStats {
+    /// Whether the incremental delta path ran (vs the full rebuild).
+    pub incremental: bool,
+    /// Net changed subscription slots folded in.
+    pub changed_slots: usize,
+    /// Grid cells whose membership changed (incremental path only).
+    pub dirty_cells: usize,
+    /// Hyper-cells carried over byte-identical (incremental path only).
+    pub unchanged_hypercells: usize,
+    /// Distance-cache entries reused (incremental path only).
+    pub reused_distances: usize,
+    /// Hyper-cell moves the re-balancing pass performed.
+    pub moves: usize,
 }
 
 /// Error returned by [`DynamicClustering::unsubscribe`] and
@@ -102,15 +149,32 @@ impl DynamicClustering {
             framework,
             clustering,
             pending: 0,
+            baseline: HashMap::new(),
+            max_dirty: None,
+            last_stats: RebalanceStats::default(),
         }
+    }
+
+    /// Overrides the dirty-fraction threshold of the incremental path
+    /// (normally `PUBSUB_INCREMENTAL_MAX_DIRTY`, default 0.2): deltas
+    /// touching at most `fraction` of the slots fold in incrementally,
+    /// larger ones re-rasterize everything. `0.0` always takes the full
+    /// path, `1.0` (or more) always tries the incremental one.
+    pub fn with_max_dirty(mut self, fraction: f64) -> Self {
+        assert!(fraction >= 0.0, "fraction must be non-negative");
+        self.max_dirty = Some(fraction);
+        self
     }
 
     /// Registers a new subscription, returning its stable id. The
     /// clustering is not updated until [`DynamicClustering::rebalance`].
     pub fn subscribe(&mut self, rect: Rect) -> SubscriptionId {
+        let id = self.subscriptions.len();
+        // The slot did not exist at the last rebalance.
+        self.baseline.entry(id).or_insert(None);
         self.subscriptions.push(Some(rect));
         self.pending += 1;
-        SubscriptionId(self.subscriptions.len() - 1)
+        SubscriptionId(id)
     }
 
     /// Removes a subscription.
@@ -122,6 +186,8 @@ impl DynamicClustering {
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), DynamicError> {
         match self.subscriptions.get_mut(id.0) {
             Some(slot @ Some(_)) => {
+                let before = slot.clone();
+                self.baseline.entry(id.0).or_insert(before);
                 *slot = None;
                 self.pending += 1;
                 Ok(())
@@ -139,6 +205,8 @@ impl DynamicClustering {
     pub fn resubscribe(&mut self, id: SubscriptionId, rect: Rect) -> Result<(), DynamicError> {
         match self.subscriptions.get_mut(id.0) {
             Some(slot @ Some(_)) => {
+                let before = slot.clone();
+                self.baseline.entry(id.0).or_insert(before);
                 *slot = Some(rect);
                 self.pending += 1;
                 Ok(())
@@ -172,25 +240,145 @@ impl DynamicClustering {
         self.clustering.group_of_point(&self.framework, p)
     }
 
-    /// Re-rasterizes the (changed) subscription population and
+    /// Diagnostics of the most recent rebalance (which path ran, how
+    /// much was dirty, how much was reused).
+    pub fn last_rebalance(&self) -> RebalanceStats {
+        self.last_stats
+    }
+
+    /// Folds pending subscription changes into the framework and
     /// re-balances the clustering, warm-starting each hyper-cell from
     /// the group its cells belonged to before the change. Returns the
     /// number of hyper-cell moves the re-balancing needed — the warm
     /// start's convergence cost.
+    ///
+    /// When the net delta touches at most a threshold fraction of the
+    /// slots (`PUBSUB_INCREMENTAL_MAX_DIRTY`, default 0.2, or
+    /// [`DynamicClustering::with_max_dirty`]), the framework is updated
+    /// in place via [`GridFramework::apply_delta`] — only dirty cells
+    /// are re-rasterized and unchanged hyper-cells (and their cached
+    /// distances) carry over. Larger deltas re-rasterize everything.
+    /// Both paths produce bit-identical frameworks, clusterings and
+    /// move counts at any `PUBSUB_THREADS`.
     pub fn rebalance(&mut self) -> usize {
-        // Tombstoned slots keep their index but rasterize nothing, so
-        // membership vectors stay aligned with ids.
-        let rects: Vec<Rect> = self
-            .subscriptions
-            .iter()
-            .map(|s| s.clone().unwrap_or_else(|| empty_rect(self.grid.dim())))
+        let changed = self.baseline.len();
+        let threshold = self.max_dirty.unwrap_or_else(incremental_max_dirty);
+        let fraction = changed as f64 / self.subscriptions.len().max(1) as f64;
+        if self.framework.supports_incremental() && fraction <= threshold {
+            self.rebalance_incremental(changed)
+        } else {
+            self.rebalance_full(changed)
+        }
+    }
+
+    /// The net `(added, removed)` delta since the last rebalance, in
+    /// slot order. A slot whose rectangle ends up where it started
+    /// (subscribe-then-unsubscribe, resubscribe back) contributes
+    /// nothing.
+    #[allow(clippy::type_complexity)]
+    fn take_delta(&mut self) -> (Vec<(usize, Rect)>, Vec<(usize, Rect)>) {
+        let mut ids: Vec<usize> = self.baseline.keys().copied().collect();
+        ids.sort_unstable();
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for id in ids {
+            let before = self.baseline.remove(&id).expect("key from baseline");
+            let now = self.subscriptions[id].clone();
+            if before == now {
+                continue;
+            }
+            if let Some(r) = before {
+                removed.push((id, r));
+            }
+            if let Some(r) = now {
+                added.push((id, r));
+            }
+        }
+        (added, removed)
+    }
+
+    /// Incremental path: delta rasterization + dirty-region re-merge,
+    /// then a warm-started re-balance seeded from the old assignment.
+    fn rebalance_incremental(&mut self, changed: usize) -> usize {
+        let (added, removed) = self.take_delta();
+        let report =
+            self.framework
+                .apply_delta(&added, &removed, &self.probs, self.subscriptions.len());
+        let l = self.framework.hypercells().len();
+        let mut stats = RebalanceStats {
+            incremental: true,
+            changed_slots: changed,
+            dirty_cells: report.dirty_cells,
+            unchanged_hypercells: report.unchanged_hypercells,
+            reused_distances: report.reused_distances,
+            moves: 0,
+        };
+        if l == 0 {
+            self.clustering = Clustering::from_assignment(&self.framework, Vec::new());
+            self.last_stats = stats;
+            self.pending = 0;
+            return 0;
+        }
+        let k = self.k.min(l);
+        // Same warm start as the full path, served from the delta
+        // report instead of a rebuilt framework: an unchanged
+        // hyper-cell's cells all vote for its own old group, so the
+        // vote collapses to a lookup; a changed hyper-cell tallies its
+        // cells' old groups exactly as the full path does.
+        let seed: Vec<usize> = (0..l)
+            .map(|h| match report.old_index[h] {
+                Some(old_h) => {
+                    let g = self.clustering.group_of_hyper(old_h);
+                    if g < k {
+                        g
+                    } else {
+                        h % k
+                    }
+                }
+                None => {
+                    let mut votes = HashMap::new();
+                    for &cell in &self.framework.hypercells()[h].cells {
+                        if let Some(&old_h) = report.old_hyper_of_cell.get(&cell) {
+                            let g = self.clustering.group_of_hyper(old_h);
+                            if g < k {
+                                *votes.entry(g).or_insert(0usize) += 1;
+                            }
+                        }
+                    }
+                    votes
+                        .into_iter()
+                        .max_by_key(|&(g, count)| (count, usize::MAX - g))
+                        .map(|(g, _)| g)
+                        .unwrap_or(h % k)
+                }
+            })
             .collect();
-        let new_fw = GridFramework::build(self.grid.clone(), &rects, &self.probs, None);
+        let (clustering, moves) = self.algorithm.cluster_seeded(&self.framework, k, &seed);
+        self.clustering = clustering;
+        stats.moves = moves;
+        self.last_stats = stats;
+        self.pending = 0;
+        moves
+    }
+
+    /// Full path: re-rasterize the whole population (tombstoned slots
+    /// rasterize nothing, keeping membership vectors aligned with ids)
+    /// and re-balance from the per-cell vote warm start.
+    fn rebalance_full(&mut self, changed: usize) -> usize {
+        let grid = &self.grid;
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map(&self.subscriptions, parallel::MIN_PARALLEL_LEN, |s| {
+                s.as_ref()
+                    .map(|r| grid.cells_overlapping(r))
+                    .unwrap_or_default()
+            });
+        let new_fw =
+            GridFramework::build_from_cells(self.grid.clone(), &cell_sets, &self.probs, None);
         let l = new_fw.hypercells().len();
         if l == 0 {
             self.framework = new_fw;
             self.clustering = Clustering::from_assignment(&self.framework, Vec::new());
-            self.pending = 0;
+            self.finish_full(changed, 0);
             return 0;
         }
         let k = self.k.min(l);
@@ -202,7 +390,7 @@ impl DynamicClustering {
             .iter()
             .enumerate()
             .map(|(h, hc)| {
-                let mut votes = std::collections::HashMap::new();
+                let mut votes = HashMap::new();
                 for &cell in &hc.cells {
                     if let Some(old_h) = self.framework.hyper_of_cell(cell) {
                         let g = self.clustering.group_of_hyper(old_h);
@@ -221,19 +409,36 @@ impl DynamicClustering {
         let (clustering, moves) = self.algorithm.cluster_seeded(&new_fw, k, &seed);
         self.framework = new_fw;
         self.clustering = clustering;
-        self.pending = 0;
+        self.finish_full(changed, moves);
         moves
+    }
+
+    fn finish_full(&mut self, changed: usize, moves: usize) {
+        self.baseline.clear();
+        self.pending = 0;
+        self.last_stats = RebalanceStats {
+            incremental: false,
+            changed_slots: changed,
+            dirty_cells: 0,
+            unchanged_hypercells: 0,
+            reused_distances: 0,
+            moves,
+        };
     }
 
     /// Rebuilds from scratch (cold start) — the baseline the warm
     /// start is measured against. Returns the moves performed.
     pub fn rebuild(&mut self) -> usize {
-        let rects: Vec<Rect> = self
-            .subscriptions
-            .iter()
-            .map(|s| s.clone().unwrap_or_else(|| empty_rect(self.grid.dim())))
-            .collect();
-        let new_fw = GridFramework::build(self.grid.clone(), &rects, &self.probs, None);
+        let changed = self.baseline.len();
+        let grid = &self.grid;
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map(&self.subscriptions, parallel::MIN_PARALLEL_LEN, |s| {
+                s.as_ref()
+                    .map(|r| grid.cells_overlapping(r))
+                    .unwrap_or_default()
+            });
+        let new_fw =
+            GridFramework::build_from_cells(self.grid.clone(), &cell_sets, &self.probs, None);
         let l = new_fw.hypercells().len();
         let k = self.k.min(l.max(1));
         // Cold seed: round-robin (deliberately uninformed).
@@ -245,19 +450,9 @@ impl DynamicClustering {
         };
         self.framework = new_fw;
         self.clustering = clustering;
-        self.pending = 0;
+        self.finish_full(changed, moves);
         moves
     }
-}
-
-/// A rectangle that rasterizes to no cell (used for tombstoned slots).
-fn empty_rect(dim: usize) -> Rect {
-    use geometry::Interval;
-    Rect::new(
-        (0..dim)
-            .map(|_| Interval::new(0.0, 0.0).expect("empty interval is valid"))
-            .collect(),
-    )
 }
 
 #[cfg(test)]
@@ -383,6 +578,97 @@ mod tests {
             warm_moves <= cold_moves,
             "warm {warm_moves} > cold {cold_moves}"
         );
+    }
+
+    /// Drives the same churn through an always-incremental and an
+    /// always-full instance and checks every observable is bitwise
+    /// equal after each rebalance.
+    fn assert_paths_agree(ops: impl Fn(&mut DynamicClustering)) {
+        let mut inc = system(3).with_max_dirty(f64::INFINITY);
+        let mut full = system(3).with_max_dirty(0.0);
+        for s in [&mut inc, &mut full] {
+            for i in 0..12 {
+                s.subscribe(rect1(i as f64, (i + 5) as f64 % 20.0 + 0.5));
+            }
+            s.rebalance();
+        }
+        ops(&mut inc);
+        ops(&mut full);
+        let (mi, mf) = (inc.rebalance(), full.rebalance());
+        assert!(inc.last_rebalance().incremental);
+        // Threshold 0.0 forces the full path whenever anything changed
+        // (a zero-change rebalance folds in as an incremental no-op).
+        assert_eq!(
+            full.last_rebalance().incremental,
+            full.last_rebalance().changed_slots == 0
+        );
+        assert_eq!(mi, mf, "move counts diverge");
+        assert_eq!(
+            inc.framework().hypercells().len(),
+            full.framework().hypercells().len()
+        );
+        for (a, b) in inc
+            .framework()
+            .hypercells()
+            .iter()
+            .zip(full.framework().hypercells())
+        {
+            assert_eq!(a.cells, b.cells);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+        }
+        assert_eq!(
+            inc.clustering().num_groups(),
+            full.clustering().num_groups()
+        );
+        for (x, y) in inc
+            .clustering()
+            .groups()
+            .iter()
+            .zip(full.clustering().groups())
+        {
+            assert_eq!(x.hypercells, y.hypercells);
+            assert_eq!(x.members, y.members);
+        }
+    }
+
+    #[test]
+    fn incremental_path_is_bit_identical_to_full() {
+        assert_paths_agree(|s| {
+            s.unsubscribe(SubscriptionId(2)).unwrap();
+            s.resubscribe(SubscriptionId(5), rect1(0.5, 3.5)).unwrap();
+            let _ = s.subscribe(rect1(10.0, 17.0));
+        });
+        // Net-zero churn: subscribe then immediately unsubscribe, and
+        // resubscribe back to the original rectangle.
+        assert_paths_agree(|s| {
+            let id = s.subscribe(rect1(1.0, 2.0));
+            s.unsubscribe(id).unwrap();
+            s.resubscribe(SubscriptionId(0), rect1(9.0, 9.5)).unwrap();
+            s.resubscribe(SubscriptionId(0), rect1(0.0, 5.5)).unwrap();
+        });
+        // Empty delta.
+        assert_paths_agree(|_| {});
+    }
+
+    #[test]
+    fn rebalance_reports_incremental_stats() {
+        let mut s = system(2).with_max_dirty(0.5);
+        for i in 0..10 {
+            s.subscribe(rect1(i as f64, i as f64 + 4.0));
+        }
+        s.rebalance(); // 10/10 dirty → full path
+        assert!(!s.last_rebalance().incremental);
+        assert_eq!(s.last_rebalance().changed_slots, 10);
+        s.resubscribe(SubscriptionId(0), rect1(2.0, 6.0)).unwrap();
+        s.rebalance(); // 1/10 dirty → incremental
+        let stats = s.last_rebalance();
+        assert!(stats.incremental);
+        assert_eq!(stats.changed_slots, 1);
+        assert!(stats.dirty_cells > 0);
+        assert!(stats.unchanged_hypercells > 0);
+        // The default threshold comes from the environment knob.
+        assert!((0.0..=1.0).contains(&super::incremental_max_dirty()));
     }
 
     #[test]

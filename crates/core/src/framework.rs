@@ -12,12 +12,13 @@
 //!    unicast") — the paper's *number of rectangles* parameter that
 //!    Figures 8 and 10 sweep.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
 use geometry::{CellId, Grid, Point, Rect};
 
 use crate::distance::DistanceMatrix;
+use crate::intern::{MembershipId, MembershipPool};
 use crate::membership::BitSet;
 use crate::parallel;
 use crate::waste::popularity;
@@ -187,6 +188,61 @@ pub struct GridFramework {
     /// once initialized means "too large to cache" — consumers fall back
     /// to computing distances on the fly.
     distances: OnceLock<Option<Arc<DistanceMatrix>>>,
+    /// Whether the framework holds *every* merged hyper-cell (merged
+    /// build, nothing truncated or filtered) — the precondition for
+    /// [`GridFramework::apply_delta`], which assumes each live cell is
+    /// mapped and each membership vector appears exactly once.
+    complete: bool,
+    /// Interning state carried across incremental updates; lazily
+    /// initialized by the first [`GridFramework::apply_delta`].
+    incremental: Option<IncrementalState>,
+}
+
+/// Hash-consed membership state the incremental path keeps between
+/// deltas: the pool of distinct vectors plus each hyper-cell's id.
+#[derive(Debug, Clone)]
+struct IncrementalState {
+    pool: MembershipPool,
+    /// Interned id per hyper-cell, aligned with `hypercells`.
+    hyper_ids: Vec<MembershipId>,
+}
+
+/// Per-cell bit flips accumulated from the delta rectangles.
+#[derive(Default)]
+struct CellOps {
+    clears: Vec<usize>,
+    sets: Vec<usize>,
+}
+
+/// A hyper-cell being reassembled during [`GridFramework::apply_delta`].
+struct GroupBuild {
+    cells: Vec<CellId>,
+    members: Option<BitSet>,
+    prob: f64,
+    old: Option<usize>,
+    touched: bool,
+}
+
+/// Outcome summary of one [`GridFramework::apply_delta`] call, with the
+/// old↔new hyper-cell correspondence warm starts need.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Grid cells whose membership vector actually changed.
+    pub dirty_cells: usize,
+    /// New hyper-cells whose content differs from every old hyper-cell.
+    pub changed_hypercells: usize,
+    /// New hyper-cells byte-identical to an old hyper-cell.
+    pub unchanged_hypercells: usize,
+    /// Distance-cache entries copied from the previous matrix instead
+    /// of recomputed (0 when no cache was materialized before).
+    pub reused_distances: usize,
+    /// For each new hyper-cell index, the old hyper-cell it is
+    /// byte-identical to (`None` for changed hyper-cells).
+    pub old_index: Vec<Option<usize>>,
+    /// The pre-delta hyper-cell of every cell that now sits in a
+    /// *changed* hyper-cell and was mapped before the delta (cells of
+    /// previously empty regions are absent).
+    pub old_hyper_of_cell: HashMap<CellId, usize>,
 }
 
 impl GridFramework {
@@ -264,6 +320,10 @@ impl GridFramework {
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
+            // Unmerged builds break apply_delta's "one hyper-cell per
+            // membership vector" invariant.
+            complete: false,
+            incremental: None,
         }
     }
 
@@ -349,6 +409,10 @@ impl GridFramework {
                 .expect("popularity is never NaN")
                 .then_with(|| a.cells[0].cmp(&b.cells[0]))
         });
+        let complete = match max_cells {
+            None => true,
+            Some(max) => hypercells.len() <= max,
+        };
         if let Some(max) = max_cells {
             hypercells.truncate(max);
         }
@@ -363,6 +427,8 @@ impl GridFramework {
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
+            complete,
+            incremental: None,
         }
     }
 
@@ -423,6 +489,8 @@ impl GridFramework {
             hypercells: self.hypercells.clone(),
             cell_to_hyper: self.cell_to_hyper.clone(),
             distances: OnceLock::new(),
+            complete: self.complete,
+            incremental: None,
         }
     }
 
@@ -531,6 +599,344 @@ impl GridFramework {
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
+            // Dropped outliers leave live cells unmapped, so the
+            // filtered framework cannot take deltas.
+            complete: false,
+            incremental: None,
+        }
+    }
+
+    /// Whether [`GridFramework::apply_delta`] may be called: the
+    /// framework holds every merged hyper-cell (no truncation, no
+    /// outlier filtering, not an unmerged ablation build).
+    pub fn supports_incremental(&self) -> bool {
+        self.complete
+    }
+
+    /// Applies a subscription delta in place: `removed[i] = (id, rect)`
+    /// clears subscriber `id`'s bit in every cell of `rect`, `added`
+    /// sets bits likewise, and only the *dirty* cells — those whose
+    /// membership vector actually changed — are re-merged into
+    /// hyper-cells. The subscriber universe may grow to
+    /// `num_subscribers` (new indices start absent everywhere).
+    ///
+    /// The result is bit-for-bit identical to a cold
+    /// [`GridFramework::build`] over the post-delta population, at any
+    /// thread count: untouched hyper-cells keep their exact cells,
+    /// membership words and probability sums; changed ones are
+    /// recomputed with the very same expressions the full build uses;
+    /// and the final popularity ranking applies the same comparator.
+    /// When a distance cache was materialized before the call, it is
+    /// rebuilt eagerly with every unchanged-pair entry copied instead
+    /// of recomputed, and fresh pairs served from the interning pool's
+    /// waste-count memo.
+    ///
+    /// A subscriber appearing in both slices is a *resubscribe*: its
+    /// old rectangle's bits are cleared before the new one's are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framework is not [`GridFramework::supports_incremental`],
+    /// if `num_subscribers` is smaller than the current universe, if a
+    /// delta id is `>= num_subscribers`, or on rectangle dimension
+    /// mismatch.
+    pub fn apply_delta(
+        &mut self,
+        added: &[(usize, Rect)],
+        removed: &[(usize, Rect)],
+        probs: &CellProbability,
+        num_subscribers: usize,
+    ) -> DeltaReport {
+        assert!(
+            self.complete,
+            "apply_delta requires a complete (merged, untruncated) framework"
+        );
+        assert!(
+            num_subscribers >= self.num_subscribers,
+            "the subscriber universe never shrinks (tombstones keep their slot)"
+        );
+        // (Re)build the interning state when absent or grown far past
+        // the live hyper-cell count (stale ids from long churn runs).
+        let stale = self
+            .incremental
+            .as_ref()
+            .is_some_and(|s| s.pool.len() > (8 * self.hypercells.len()).max(1024));
+        if stale {
+            self.incremental = None;
+        }
+        if self.incremental.is_none() {
+            let mut pool = MembershipPool::new(self.num_subscribers);
+            let hyper_ids = self
+                .hypercells
+                .iter()
+                .map(|hc| pool.intern(hc.members.clone()))
+                .collect();
+            self.incremental = Some(IncrementalState { pool, hyper_ids });
+        }
+        let mut state = self.incremental.take().expect("just initialized");
+
+        // Grow the universe in place. Growth preserves members, counts
+        // and therefore every cached distance and memoized waste count.
+        if num_subscribers > self.num_subscribers {
+            state.pool.grow(num_subscribers);
+            for hc in &mut self.hypercells {
+                hc.members.grow(num_subscribers);
+            }
+            self.num_subscribers = num_subscribers;
+        }
+
+        // 1. Delta rasterization: only the changed rectangles touch the
+        //    grid, in parallel like the full build's rasterization.
+        let removed_cells: Vec<Vec<CellId>> =
+            parallel::par_map(removed, parallel::MIN_PARALLEL_LEN, |(_, r)| {
+                self.grid.cells_overlapping(r)
+            });
+        let added_cells: Vec<Vec<CellId>> =
+            parallel::par_map(added, parallel::MIN_PARALLEL_LEN, |(_, r)| {
+                self.grid.cells_overlapping(r)
+            });
+
+        // 2. Collect the per-cell bit flips. Clears land before sets so
+        //    a same-id resubscribe nets out correctly; flips of distinct
+        //    ids commute.
+        let mut ops: HashMap<CellId, CellOps> = HashMap::new();
+        for ((id, _), cells) in removed.iter().zip(&removed_cells) {
+            assert!(*id < num_subscribers, "removed id out of universe");
+            for &c in cells {
+                ops.entry(c).or_default().clears.push(*id);
+            }
+        }
+        for ((id, _), cells) in added.iter().zip(&added_cells) {
+            assert!(*id < num_subscribers, "added id out of universe");
+            for &c in cells {
+                ops.entry(c).or_default().sets.push(*id);
+            }
+        }
+        let mut flipped: Vec<(CellId, CellOps)> = ops.into_iter().collect();
+        flipped.sort_unstable_by_key(|&(c, _)| c);
+
+        // 3. Derive each touched cell's new membership vector; cells
+        //    whose vector nets out unchanged (e.g. a resubscribe
+        //    covering the same cell) are not dirty.
+        let mut affected_old: HashSet<usize> = HashSet::new();
+        let mut dirty: Vec<(CellId, Option<MembershipId>)> = Vec::new();
+        for (cell, op) in flipped {
+            let old_h = self.cell_to_hyper.get(&cell).copied();
+            let mut m = match old_h {
+                Some(h) => self.hypercells[h].members.clone(),
+                None => BitSet::new(self.num_subscribers),
+            };
+            for &i in &op.clears {
+                m.remove(i);
+            }
+            for &i in &op.sets {
+                m.insert(i);
+            }
+            let unchanged = match old_h {
+                Some(h) => m == self.hypercells[h].members,
+                None => m.is_empty(),
+            };
+            if unchanged {
+                continue;
+            }
+            if let Some(h) = old_h {
+                affected_old.insert(h);
+            }
+            // An emptied cell is dropped outright (events there
+            // interest nobody), exactly as the full build drops it.
+            let id = if m.is_empty() {
+                None
+            } else {
+                Some(state.pool.intern(m))
+            };
+            dirty.push((cell, id));
+        }
+
+        // 4. Re-merge inside the dirty region: affected hyper-cells
+        //    give up their dirty cells, dirty cells join the group of
+        //    their new membership id. A dirty cell's new vector always
+        //    differs from its old hyper-cell's, so any group that gains
+        //    or loses a cell is genuinely changed.
+        let dirty_set: HashSet<CellId> = dirty.iter().map(|&(c, _)| c).collect();
+        let old_hypercells = std::mem::take(&mut self.hypercells);
+        let old_ids = std::mem::take(&mut state.hyper_ids);
+        let mut groups: HashMap<u32, GroupBuild> =
+            HashMap::with_capacity(old_hypercells.len() + dirty.len());
+        for (h, (hc, id)) in old_hypercells.into_iter().zip(old_ids).enumerate() {
+            let HyperCell {
+                cells,
+                members,
+                prob,
+            } = hc;
+            let (cells, touched) = if affected_old.contains(&h) {
+                let before = cells.len();
+                let kept: Vec<CellId> = cells
+                    .into_iter()
+                    .filter(|c| !dirty_set.contains(c))
+                    .collect();
+                let t = kept.len() != before;
+                (kept, t)
+            } else {
+                (cells, false)
+            };
+            groups.insert(
+                id.0,
+                GroupBuild {
+                    cells,
+                    members: Some(members),
+                    prob,
+                    old: Some(h),
+                    touched,
+                },
+            );
+        }
+        for &(cell, id) in &dirty {
+            let Some(id) = id else { continue };
+            let b = groups.entry(id.0).or_insert_with(|| GroupBuild {
+                cells: Vec::new(),
+                members: None,
+                prob: 0.0,
+                old: None,
+                touched: true,
+            });
+            b.cells.push(cell);
+            b.touched = true;
+        }
+
+        // 5. Finalize. Touched groups recompute cells/prob with the
+        //    full build's exact expressions; untouched groups move
+        //    through byte-identical (and remember their old index, the
+        //    key to distance reuse and warm starts).
+        let mut rebuilt: Vec<(HyperCell, MembershipId, Option<usize>)> =
+            Vec::with_capacity(groups.len());
+        for (raw_id, b) in groups {
+            if b.cells.is_empty() {
+                continue;
+            }
+            let id = MembershipId(raw_id);
+            if b.touched {
+                let mut cells = b.cells;
+                cells.sort_unstable();
+                let prob = cells.iter().map(|&c| probs.prob(c)).sum();
+                let members = b.members.unwrap_or_else(|| state.pool.get(id).clone());
+                rebuilt.push((
+                    HyperCell {
+                        cells,
+                        members,
+                        prob,
+                    },
+                    id,
+                    None,
+                ));
+            } else {
+                let members = b
+                    .members
+                    .expect("untouched groups come from an old hyper-cell");
+                rebuilt.push((
+                    HyperCell {
+                        cells: b.cells,
+                        members,
+                        prob: b.prob,
+                    },
+                    id,
+                    b.old,
+                ));
+            }
+        }
+        rebuilt.sort_by(|a, b| {
+            b.0.popularity()
+                .partial_cmp(&a.0.popularity())
+                .expect("popularity is never NaN")
+                .then_with(|| a.0.cells[0].cmp(&b.0.cells[0]))
+        });
+
+        // 6. Capture, from the *old* cell index, where each cell of a
+        //    changed hyper-cell used to live — warm-start votes read
+        //    this instead of the discarded old framework.
+        let mut old_hyper_of_cell = HashMap::new();
+        for (hc, _, old) in &rebuilt {
+            if old.is_none() {
+                for &c in &hc.cells {
+                    if let Some(&oh) = self.cell_to_hyper.get(&c) {
+                        old_hyper_of_cell.insert(c, oh);
+                    }
+                }
+            }
+        }
+
+        // 7. Install the new hyper-cells and indexes.
+        let old_index: Vec<Option<usize>> = rebuilt.iter().map(|r| r.2).collect();
+        state.hyper_ids = rebuilt.iter().map(|r| r.1).collect();
+        self.hypercells = rebuilt.into_iter().map(|r| r.0).collect();
+        self.cell_to_hyper = self
+            .hypercells
+            .iter()
+            .enumerate()
+            .flat_map(|(h, hc)| hc.cells.iter().map(move |&c| (c, h)))
+            .collect();
+
+        // 8. Distance cache: when the old matrix was materialized,
+        //    rebuild the new one eagerly, copying every entry whose two
+        //    hyper-cells are unchanged and serving fresh pairs from the
+        //    pool's waste-count memo. Entries equal what a cold build
+        //    would compute, bitwise (f64 `+`/`×` are commutative, and
+        //    cached entries were themselves produced by `expected_waste`
+        //    over identical inputs).
+        let old_matrix = self.distances.get().and_then(|o| o.clone());
+        self.distances = OnceLock::new();
+        let l = self.hypercells.len();
+        let mut reused_distances = 0usize;
+        if let Some(old_m) = old_matrix {
+            if l >= 2 && l <= distance_cache_cap() {
+                let pool = &state.pool;
+                let ids = &state.hyper_ids;
+                let hcs = &self.hypercells;
+                let oi = &old_index;
+                type FreshPairs = Vec<((MembershipId, MembershipId), (usize, usize))>;
+                let rows: Vec<(Vec<f64>, FreshPairs, usize)> =
+                    parallel::par_map_indexed(l, 8, |i| {
+                        let mut row = Vec::with_capacity(i);
+                        let mut fresh: FreshPairs = Vec::new();
+                        let mut reused = 0usize;
+                        for j in 0..i {
+                            if let (Some(a), Some(b)) = (oi[i], oi[j]) {
+                                row.push(old_m.get(a, b));
+                                reused += 1;
+                            } else {
+                                let (ia, ib) = (ids[i], ids[j]);
+                                let (only_i, only_j) = match pool.cached_waste(ia, ib) {
+                                    Some(c) => c,
+                                    None => {
+                                        let c = pool.compute_waste(ia, ib);
+                                        fresh.push(((ia, ib), c));
+                                        c
+                                    }
+                                };
+                                row.push(hcs[i].prob * only_j as f64 + hcs[j].prob * only_i as f64);
+                            }
+                        }
+                        (row, fresh, reused)
+                    });
+                let mut data_rows = Vec::with_capacity(l);
+                for (row, fresh, reused) in rows {
+                    data_rows.push(row);
+                    reused_distances += reused;
+                    state.pool.memoize_waste(fresh);
+                }
+                let _ = self
+                    .distances
+                    .set(Some(Arc::new(DistanceMatrix::from_rows(data_rows))));
+            }
+        }
+
+        self.incremental = Some(state);
+        DeltaReport {
+            dirty_cells: dirty.len(),
+            changed_hypercells: old_index.iter().filter(|o| o.is_none()).count(),
+            unchanged_hypercells: old_index.iter().filter(|o| o.is_some()).count(),
+            reused_distances,
+            old_index,
+            old_hyper_of_cell,
         }
     }
 }
@@ -740,6 +1146,121 @@ mod tests {
         let st = empty.stats();
         assert_eq!(st.num_hypercells, 0);
         assert_eq!(st.mean_members, 0.0);
+    }
+
+    fn assert_bit_identical(a: &GridFramework, b: &GridFramework) {
+        assert_eq!(a.num_subscribers(), b.num_subscribers());
+        assert_eq!(a.hypercells().len(), b.hypercells().len());
+        for (x, y) in a.hypercells().iter().zip(b.hypercells()) {
+            assert_eq!(x.cells, y.cells);
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+        }
+        assert_eq!(a.cell_to_hyper, b.cell_to_hyper);
+    }
+
+    #[test]
+    fn apply_delta_matches_cold_build() {
+        let g = grid10();
+        let probs = CellProbability::uniform(&g);
+        let initial = vec![rect1(0.0, 5.0), rect1(2.0, 8.0), rect1(6.0, 10.0)];
+        let mut fw = GridFramework::build(g.clone(), &initial, &probs, None);
+        assert!(fw.supports_incremental());
+        // Materialize the cache so the delta exercises the reuse path.
+        assert!(fw.distance_matrix().is_some());
+        // Resubscribe #0 to (1,4], unsubscribe #1, add #3 on (3,9].
+        let report = fw.apply_delta(
+            &[(0, rect1(1.0, 4.0)), (3, rect1(3.0, 9.0))],
+            &[(0, rect1(0.0, 5.0)), (1, rect1(2.0, 8.0))],
+            &probs,
+            4,
+        );
+        let post_sets: Vec<Vec<CellId>> = vec![
+            g.cells_overlapping(&rect1(1.0, 4.0)),
+            Vec::new(), // tombstone
+            g.cells_overlapping(&rect1(6.0, 10.0)),
+            g.cells_overlapping(&rect1(3.0, 9.0)),
+        ];
+        let cold = GridFramework::build_from_cells(g, &post_sets, &probs, None);
+        assert_bit_identical(&fw, &cold);
+        // The rebuilt cache agrees with a cold one, bitwise.
+        let (inc_m, cold_m) = (
+            fw.distance_matrix().unwrap(),
+            cold.distance_matrix().unwrap(),
+        );
+        for i in 0..fw.hypercells().len() {
+            for j in 0..i {
+                assert_eq!(inc_m.get(i, j).to_bits(), cold_m.get(i, j).to_bits());
+            }
+        }
+        assert_eq!(report.old_index.len(), fw.hypercells().len());
+        assert_eq!(
+            report.changed_hypercells + report.unchanged_hypercells,
+            fw.hypercells().len()
+        );
+        // A second, empty delta is a no-op with full reuse.
+        let noop = fw.apply_delta(&[], &[], &probs, 4);
+        assert_eq!(noop.dirty_cells, 0);
+        assert_eq!(noop.changed_hypercells, 0);
+        assert!(noop
+            .old_index
+            .iter()
+            .enumerate()
+            .all(|(h, o)| *o == Some(h)));
+        assert_bit_identical(&fw, &cold);
+    }
+
+    #[test]
+    fn apply_delta_grows_the_universe() {
+        let g = grid10();
+        let probs = CellProbability::uniform(&g);
+        let mut fw = GridFramework::build(g.clone(), &[], &probs, None);
+        assert_eq!(fw.hypercells().len(), 0);
+        fw.apply_delta(
+            &[(0, rect1(0.0, 3.0)), (1, rect1(2.0, 6.0))],
+            &[],
+            &probs,
+            2,
+        );
+        let cold =
+            GridFramework::build(g.clone(), &[rect1(0.0, 3.0), rect1(2.0, 6.0)], &probs, None);
+        assert_bit_identical(&fw, &cold);
+        // Remove everything again.
+        fw.apply_delta(
+            &[],
+            &[(0, rect1(0.0, 3.0)), (1, rect1(2.0, 6.0))],
+            &probs,
+            2,
+        );
+        assert_eq!(fw.hypercells().len(), 0);
+        assert_eq!(fw.num_subscribers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete")]
+    fn apply_delta_rejects_truncated_frameworks() {
+        let g = grid10();
+        let probs = CellProbability::uniform(&g);
+        let subs = vec![rect1(0.0, 3.0), rect1(3.0, 6.0), rect1(6.0, 10.0)];
+        let mut fw = GridFramework::build(g, &subs, &probs, Some(1));
+        assert!(!fw.supports_incremental());
+        fw.apply_delta(&[], &[], &probs, 3);
+    }
+
+    #[test]
+    fn incremental_support_flags() {
+        let g = grid10();
+        let probs = CellProbability::uniform(&g);
+        let subs = vec![rect1(0.0, 5.0), rect1(5.0, 10.0)];
+        let full = GridFramework::build(g.clone(), &subs, &probs, None);
+        assert!(full.supports_incremental());
+        // A cap that truncates nothing keeps the framework complete.
+        let roomy = GridFramework::build(g.clone(), &subs, &probs, Some(100));
+        assert!(roomy.supports_incremental());
+        assert!(full.with_cold_distance_cache().supports_incremental());
+        let unmerged = GridFramework::build_unmerged(g, &subs, &probs, None);
+        assert!(!unmerged.supports_incremental());
+        assert!(!full.remove_outliers(0.5).supports_incremental());
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod counting;
 mod distance;
 mod dynamic;
 mod framework;
+mod intern;
 mod kmeans;
 mod match_index;
 mod matching;
@@ -73,8 +74,9 @@ mod waste;
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
 pub use counting::CountingMatcher;
 pub use distance::DistanceMatrix;
-pub use dynamic::{DynamicClustering, DynamicError, SubscriptionId};
-pub use framework::{CellProbability, FrameworkStats, GridFramework, HyperCell};
+pub use dynamic::{DynamicClustering, DynamicError, RebalanceStats, SubscriptionId};
+pub use framework::{CellProbability, DeltaReport, FrameworkStats, GridFramework, HyperCell};
+pub use intern::{MembershipId, MembershipPool};
 pub use kmeans::{KMeans, KMeansVariant};
 pub use match_index::SubscriptionIndex;
 pub use matching::{Delivery, GridMatcher};

@@ -80,12 +80,23 @@ impl SubscriptionIndex {
     /// Ids of the subscriptions whose rectangle contains the event, in
     /// increasing order.
     pub fn matching(&self, event: &Point) -> Vec<usize> {
-        if self.len == 0 {
-            return Vec::new();
-        }
-        let mut ids: Vec<usize> = self.tree.stab(event).into_iter().copied().collect();
-        ids.sort_unstable();
+        let mut ids = Vec::new();
+        self.matching_into(event, &mut ids);
         ids
+    }
+
+    /// Allocation-free variant of [`matching`](Self::matching): clears
+    /// `out` and fills it with the ids of the subscriptions whose
+    /// rectangle contains the event, in increasing order. Per-event
+    /// loops reuse one buffer across the whole stream instead of
+    /// allocating a fresh `Vec` per event.
+    pub fn matching_into(&self, event: &Point, out: &mut Vec<usize>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        self.tree.stab_with(event, |&id| out.push(id));
+        out.sort_unstable();
     }
 
     /// The matching set as a membership bit-vector over all
@@ -94,7 +105,11 @@ impl SubscriptionIndex {
         if self.len == 0 {
             return BitSet::new(0);
         }
-        BitSet::from_members(self.len, self.tree.stab(event).into_iter().copied())
+        let mut set = BitSet::new(self.len);
+        self.tree.stab_with(event, |&id| {
+            set.insert(id);
+        });
+        set
     }
 }
 
@@ -126,6 +141,22 @@ mod tests {
         let set = idx.matching_set(&Point::new(vec![4.0]));
         assert_eq!(set.universe(), 3);
         assert!(set.contains(0) && set.contains(1) && !set.contains(2));
+    }
+
+    #[test]
+    fn matching_into_reuses_and_clears_the_buffer() {
+        let subs = vec![rect1(0.0, 5.0), rect1(3.0, 9.0), rect1(8.0, 12.0)];
+        let idx = SubscriptionIndex::build(&subs);
+        let mut buf = vec![99, 98, 97];
+        idx.matching_into(&Point::new(vec![4.0]), &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        idx.matching_into(&Point::new(vec![20.0]), &mut buf);
+        assert!(buf.is_empty());
+        for p in [4.0, 8.5, 20.0, 0.0, 11.9] {
+            let p = Point::new(vec![p]);
+            idx.matching_into(&p, &mut buf);
+            assert_eq!(buf, idx.matching(&p));
+        }
     }
 
     #[test]

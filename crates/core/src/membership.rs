@@ -73,6 +73,36 @@ impl BitSet {
         newly
     }
 
+    /// Removes index `i`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Extends the universe to `new_len`, keeping all members. The new
+    /// indices start absent, so counts and set algebra over existing
+    /// members are unchanged. A `new_len` smaller than the current
+    /// universe is a no-op (members are never dropped).
+    pub fn grow(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            return;
+        }
+        self.len = new_len;
+        self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+    }
+
+    /// The packed words, for content hashing by the interning pool.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Whether index `i` is a member.
     ///
     /// # Panics
@@ -302,6 +332,33 @@ mod tests {
         let e: BitSet = std::iter::empty::<usize>().collect();
         assert_eq!(e.universe(), 0);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut s = BitSet::from_members(130, [0, 63, 64, 129]);
+        assert!(s.remove(64));
+        assert!(!s.remove(64)); // already gone
+        assert!(!s.remove(65)); // never present
+        assert_eq!(s.count(), 3);
+        assert!(!s.contains(64));
+        assert!(s.contains(129));
+    }
+
+    #[test]
+    fn grow_preserves_members_and_counts() {
+        let mut s = BitSet::from_members(70, [0, 69]);
+        let before: Vec<usize> = s.iter().collect();
+        s.grow(200);
+        assert_eq!(s.universe(), 200);
+        assert_eq!(s.iter().collect::<Vec<_>>(), before);
+        // Grown sets compare equal to sets built fresh at the new size.
+        assert_eq!(s, BitSet::from_members(200, [0, 69]));
+        s.insert(199);
+        assert_eq!(s.count(), 3);
+        // Shrinking is a no-op.
+        s.grow(10);
+        assert_eq!(s.universe(), 200);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property-based proof that the incremental churn pipeline is
+//! bit-identical to the full-rebuild path.
+//!
+//! Random subscribe/unsubscribe/resubscribe interleavings are replayed
+//! through two [`DynamicClustering`]s that differ only in their dirty
+//! threshold — one forced onto the incremental `apply_delta` path, one
+//! forced onto the cold full-rebuild path — and through both at
+//! `PUBSUB_THREADS` 1 and 8. Every rebalance must report the same move
+//! count, and the final frameworks and clusterings must agree to the
+//! bit (memberships, cell lists, and `f64` probabilities compared via
+//! `to_bits`). This is the determinism contract of DESIGN.md §10: the
+//! threshold and thread count are pure performance knobs, never
+//! observable in results.
+
+use geometry::{CellId, Grid, Interval, Rect};
+use proptest::prelude::*;
+use pubsub_core::{
+    parallel, CellProbability, DynamicClustering, KMeans, KMeansVariant, SubscriptionId,
+};
+
+/// One random churn operation; indices are taken modulo the number of
+/// issued ids at execution time so every op is valid.
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(f64, f64),
+    Unsubscribe(usize),
+    Resubscribe(usize, f64, f64),
+    Rebalance,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..10.0f64, 0.5..3.0f64).prop_map(|(lo, w)| Op::Subscribe(lo, lo + w)),
+        2 => (0usize..64).prop_map(Op::Unsubscribe),
+        2 => (0usize..64, 0.0..10.0f64, 0.5..3.0f64)
+            .prop_map(|(i, lo, w)| Op::Resubscribe(i, lo, lo + w)),
+        2 => Just(Op::Rebalance),
+    ]
+}
+
+/// Everything observable about a dynamic clustering after a scenario:
+/// per-rebalance move counts plus bit-exact framework and clustering
+/// snapshots (probabilities captured as raw bits).
+type Snapshot = (
+    Vec<usize>,
+    Vec<(Vec<CellId>, Vec<usize>, u64)>,
+    Vec<(Vec<usize>, Vec<usize>, u64)>,
+);
+
+fn run_scenario(ops: &[Op], k: usize, max_dirty: f64) -> Snapshot {
+    let grid = Grid::cube(0.0, 12.0, 1, 12).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    let mut s = DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), k)
+        .with_max_dirty(max_dirty);
+    let mut issued = 0usize;
+    let mut moves = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Subscribe(lo, hi) => {
+                s.subscribe(Rect::new(vec![Interval::new(lo, hi).unwrap()]));
+                issued += 1;
+            }
+            Op::Unsubscribe(i) if issued > 0 => {
+                // Errors (already-dead ids) are themselves part of the
+                // behaviour both paths must share, so ignore the result.
+                let _ = s.unsubscribe(SubscriptionId(i % issued));
+            }
+            Op::Resubscribe(i, lo, hi) if issued > 0 => {
+                let rect = Rect::new(vec![Interval::new(lo, hi).unwrap()]);
+                let _ = s.resubscribe(SubscriptionId(i % issued), rect);
+            }
+            Op::Unsubscribe(_) | Op::Resubscribe(..) => {}
+            Op::Rebalance => moves.push(s.rebalance()),
+        }
+    }
+    moves.push(s.rebalance());
+    let hypercells = s
+        .framework()
+        .hypercells()
+        .iter()
+        .map(|h| {
+            (
+                h.cells.clone(),
+                h.members.iter().collect(),
+                h.prob.to_bits(),
+            )
+        })
+        .collect();
+    let groups = s
+        .clustering()
+        .groups()
+        .iter()
+        .map(|g| {
+            (
+                g.hypercells.clone(),
+                g.members.iter().collect(),
+                g.prob.to_bits(),
+            )
+        })
+        .collect();
+    (moves, hypercells, groups)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_equals_full_rebuild_at_any_thread_count(
+        ops in prop::collection::vec(op_strategy(), 1..48),
+        k in 1usize..5,
+    ) {
+        // Force the two maintenance paths: a threshold of +inf accepts
+        // every delta incrementally, 0.0 rejects every non-empty delta
+        // and falls back to the cold rebuild.
+        let serial_inc = parallel::with_threads(1, || run_scenario(&ops, k, f64::INFINITY));
+        let serial_full = parallel::with_threads(1, || run_scenario(&ops, k, 0.0));
+        let par_inc = parallel::with_threads(8, || run_scenario(&ops, k, f64::INFINITY));
+        let par_full = parallel::with_threads(8, || run_scenario(&ops, k, 0.0));
+        // Incremental maintenance is invisible in results...
+        prop_assert_eq!(&serial_inc, &serial_full);
+        // ...and so is the thread count, on either path.
+        prop_assert_eq!(&par_inc, &serial_inc);
+        prop_assert_eq!(&par_full, &serial_full);
+    }
+}

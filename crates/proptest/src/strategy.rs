@@ -224,7 +224,7 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-/// Length specification for [`vec`]: a fixed size or a half-open range.
+/// Length specification for [`vec()`]: a fixed size or a half-open range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,

@@ -138,19 +138,26 @@ impl<'a> Evaluator<'a> {
             .map(|s| s.rect.clone())
             .collect();
         let index = SubscriptionIndex::build(&rects);
-        let per_event = parallel::par_map(&workload.events, EVENT_CHUNK, |ev| {
-            let subs = index.matching(&ev.point);
-            let mut nodes: Vec<NodeId> = subs
-                .iter()
-                .map(|&i| workload.subscriptions[i].node)
-                .collect();
-            nodes.sort_unstable();
-            nodes.dedup();
-            (BitSet::from_members(ns, subs), nodes)
+        let per_chunk = parallel::par_chunks(workload.events.len(), EVENT_CHUNK, |range| {
+            // One match buffer per chunk: `matching_into` clears and
+            // refills it, so the hot loop stays allocation-free.
+            let mut matched: Vec<usize> = Vec::new();
+            let mut out = Vec::with_capacity(range.len());
+            for e in range {
+                index.matching_into(&workload.events[e].point, &mut matched);
+                let mut nodes: Vec<NodeId> = matched
+                    .iter()
+                    .map(|&i| workload.subscriptions[i].node)
+                    .collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                out.push((BitSet::from_members(ns, matched.iter().copied()), nodes));
+            }
+            out
         });
         let mut interested_subs = Vec::with_capacity(workload.events.len());
         let mut interested_nodes = Vec::with_capacity(workload.events.len());
-        for (subs, nodes) in per_event {
+        for (subs, nodes) in per_chunk.into_iter().flatten() {
             interested_subs.push(subs);
             interested_nodes.push(nodes);
         }

@@ -509,6 +509,10 @@ pub struct ChurnReport {
     pub forced_unsubscribes: usize,
     /// Subscriptions moved between groups by the per-epoch rebalances.
     pub rebalance_moves: usize,
+    /// Per-epoch rebalances served by the incremental churn pipeline
+    /// (delta rasterization + seeded re-clustering) rather than a full
+    /// rebuild; governed by `PUBSUB_INCREMENTAL_MAX_DIRTY`.
+    pub incremental_rebalances: usize,
     /// Live subscriptions after the last epoch.
     pub final_subscriptions: usize,
 }
@@ -550,6 +554,9 @@ pub fn failure_churn(
             }
         }
         report.rebalance_moves += dynamic.rebalance();
+        if dynamic.last_rebalance().incremental {
+            report.incremental_rebalances += 1;
+        }
         prev = view;
     }
     report.final_subscriptions = dynamic.num_subscriptions();

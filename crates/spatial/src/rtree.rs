@@ -170,10 +170,21 @@ impl<T> RTree<T> {
     ///
     /// Panics if `p.dim() != self.dim()`.
     pub fn stab(&self, p: &Point) -> Vec<&T> {
-        assert_eq!(p.dim(), self.dim, "point dimension mismatch");
         let mut out = Vec::new();
-        stab_rec(&self.root, p, &mut out);
+        self.stab_with(p, |v| out.push(v));
         out
+    }
+
+    /// Visits every value whose rectangle contains the point, in the
+    /// same order as [`RTree::stab`], without allocating — the hot-loop
+    /// variant for callers that reuse their own buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dim() != self.dim()`.
+    pub fn stab_with<'a>(&'a self, p: &Point, mut visit: impl FnMut(&'a T)) {
+        assert_eq!(p.dim(), self.dim, "point dimension mismatch");
+        stab_visit(&self.root, p, &mut visit);
     }
 
     /// All `(rect, value)` pairs intersecting the query rectangle.
@@ -304,19 +315,19 @@ fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitSides<E> {
     (side_a, side_b)
 }
 
-fn stab_rec<'a, T>(node: &'a Node<T>, p: &Point, out: &mut Vec<&'a T>) {
+fn stab_visit<'a, T>(node: &'a Node<T>, p: &Point, visit: &mut impl FnMut(&'a T)) {
     match node {
         Node::Leaf(entries) => {
             for (r, v) in entries {
                 if r.contains(p) {
-                    out.push(v);
+                    visit(v);
                 }
             }
         }
         Node::Inner(entries) => {
             for (r, child) in entries {
                 if r.contains(p) {
-                    stab_rec(child, p, out);
+                    stab_visit(child, p, visit);
                 }
             }
         }
