@@ -1,0 +1,692 @@
+//! Compiled event-dispatch plans: the allocation-free serve path.
+//!
+//! The paper's steady state is event dispatch (Section 4.6, Figure 5):
+//! locate the event's cell, pick the cell's group, decide multicast vs
+//! unicast. The uncompiled path — [`GridMatcher`](crate::GridMatcher)
+//! over a [`GridFramework`] — hashes the cell id per event, re-counts
+//! the group's membership per event and walks two levels of
+//! indirection. A [`DispatchPlan`] compiles the framework + clustering
+//! pair once into flat arrays so the per-event work is:
+//!
+//! 1. **point → cell**: per-dimension precomputed `lo/width/stride`
+//!    replicating [`Grid::cell_of`](geometry::Grid::cell_of)
+//!    bit-for-bit (same expressions over the same values);
+//! 2. **cell → hyper-cell → group**: one dense `Vec<u32>` load plus one
+//!    `Vec<u32>` index — no hashing (grids above
+//!    [`DENSE_TABLE_MAX_CELLS`] fall back to a copied hash map);
+//! 3. **threshold test**: the group's member count is precomputed; the
+//!    hit count is either a packed word-AND popcount against the
+//!    interested set or a walk of the group's member-index list,
+//!    whichever touches less memory — both produce the same integer.
+//!
+//! With [`DispatchPlan::with_subscriptions`] the plan also *computes*
+//! the interested set without a full R-tree stab: the event cell's
+//! interned membership list is a sound candidate superset (any
+//! rectangle containing the point overlaps the point's cell), so
+//! filtering it by rectangle containment yields the exact interested
+//! ids into a reusable [`DispatchScratch`] buffer — zero heap
+//! allocation per event in steady state.
+//!
+//! Decisions are bit-identical to `GridMatcher::match_event` (pinned by
+//! the `dispatch_equivalence` proptest); [`NoLossDispatchPlan`] does
+//! the same for [`NoLossClustering::match_event`].
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use geometry::{Point, Rect};
+
+use crate::clustering::Clustering;
+use crate::framework::GridFramework;
+use crate::match_index::SubscriptionIndex;
+use crate::matching::Delivery;
+use crate::membership::BitSet;
+use crate::noloss::NoLossClustering;
+
+const WORD_BITS: usize = 64;
+
+/// Largest grid (in cells) for which the plan materializes the dense
+/// cell table (one `u32` per grid cell — 4 MiB at the cap). Larger
+/// grids keep a flat-copied hash map: lookups then hash once per event,
+/// as the uncompiled path does, but still skip the membership re-count
+/// and the double indirection.
+pub const DENSE_TABLE_MAX_CELLS: usize = 1 << 20;
+
+/// Sentinel in the dense cell table: "this cell was not kept".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Precompiled point-location state for one grid dimension. `width` is
+/// computed with the same expression [`geometry::Grid`] uses
+/// (`length / bins`), so the division and `ceil` below reproduce
+/// `Grid::cell_of` bit-for-bit.
+#[derive(Debug, Clone)]
+struct PlanDim {
+    lo: f64,
+    hi: f64,
+    width: f64,
+    bins: isize,
+    stride: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CellTable {
+    /// `table[cell] = hyper-cell index`, `NO_SLOT` when not kept.
+    Dense(Vec<u32>),
+    /// Fallback above [`DENSE_TABLE_MAX_CELLS`].
+    Sparse(HashMap<usize, u32>),
+}
+
+/// Owned subscription state enabling the self-contained serve path
+/// ([`DispatchPlan::serve`]): rectangles for candidate filtering and an
+/// R-tree index for events whose cell was not kept.
+#[derive(Debug, Clone)]
+struct ServeState {
+    rects: Vec<Rect>,
+    index: SubscriptionIndex,
+}
+
+/// Reusable per-thread buffers for [`DispatchPlan::serve`]. Buffers
+/// grow to the high-water mark during warm-up and are then reused, so
+/// the steady state performs zero heap allocations per event.
+#[derive(Debug, Default)]
+pub struct DispatchScratch {
+    interested: Vec<usize>,
+}
+
+impl DispatchScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        DispatchScratch::default()
+    }
+
+    /// The interested subscription ids of the last [`DispatchPlan::serve`]
+    /// call, in increasing order.
+    pub fn interested(&self) -> &[usize] {
+        &self.interested
+    }
+}
+
+/// An immutable dispatch plan compiled from a [`GridFramework`] and a
+/// [`Clustering`].
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Grid, Interval, Point, Rect};
+/// use pubsub_core::{
+///     BitSet, CellProbability, ClusteringAlgorithm, DispatchPlan, GridFramework, GridMatcher,
+///     KMeans, KMeansVariant,
+/// };
+///
+/// let grid = Grid::cube(0.0, 10.0, 1, 10)?;
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 5.0)?]),
+///     Rect::new(vec![Interval::new(5.0, 10.0)?]),
+/// ];
+/// let probs = CellProbability::uniform(&grid);
+/// let fw = GridFramework::build(grid, &subs, &probs, None);
+/// let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 2);
+/// let plan = DispatchPlan::compile(&fw, &clustering);
+/// let matcher = GridMatcher::new(&fw, &clustering);
+/// let interested = BitSet::from_members(2, [0]);
+/// let p = Point::new(vec![2.0]);
+/// assert_eq!(plan.dispatch(&p, &interested), matcher.match_event(&p, &interested));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DispatchPlan {
+    threshold: f64,
+    num_subscribers: usize,
+    /// Words per packed membership set (`num_subscribers / 64`, ceil).
+    words: usize,
+    dims: Vec<PlanDim>,
+    table: CellTable,
+    /// `hyper_group[h]` — the group of kept hyper-cell `h`.
+    hyper_group: Vec<u32>,
+    /// Concatenated member-index lists of the kept hyper-cells
+    /// (ascending within each list) …
+    hyper_members: Vec<u32>,
+    /// … delimited by `hyper_offsets[h] .. hyper_offsets[h + 1]`.
+    hyper_offsets: Vec<u32>,
+    /// Precomputed `members.count()` per group.
+    group_size: Vec<u32>,
+    /// Packed membership words of every group, `words` per group.
+    group_words: Vec<u64>,
+    /// Concatenated member-index lists of the groups (ascending) …
+    group_members: Vec<u32>,
+    /// … delimited by `group_offsets[g] .. group_offsets[g + 1]`.
+    group_offsets: Vec<u32>,
+    serve_state: Option<ServeState>,
+}
+
+impl DispatchPlan {
+    /// Compiles the plan with threshold 0 (always multicast when a
+    /// group is matched), matching [`GridMatcher::new`](crate::GridMatcher::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clustering` was not built over `framework` (hyper-cell
+    /// counts disagree).
+    pub fn compile(framework: &GridFramework, clustering: &Clustering) -> Self {
+        let grid = framework.grid();
+        let dim = grid.dim();
+        let bounds = grid.bounds();
+        let bins = grid.bins();
+        // Row-major strides, recomputed exactly as `Grid::new` does.
+        let mut strides = vec![1usize; dim];
+        for d in (0..dim.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * bins[d + 1];
+        }
+        let dims: Vec<PlanDim> = (0..dim)
+            .map(|d| {
+                let iv = bounds.interval(d);
+                PlanDim {
+                    lo: iv.lo(),
+                    hi: iv.hi(),
+                    width: iv.length() / bins[d] as f64,
+                    bins: bins[d] as isize,
+                    stride: strides[d],
+                }
+            })
+            .collect();
+
+        let hcs = framework.hypercells();
+        let hyper_group: Vec<u32> = (0..hcs.len())
+            .map(|h| clustering.group_of_hyper(h) as u32)
+            .collect();
+
+        let mapping = framework.cell_to_hyper();
+        let table = if grid.num_cells() <= DENSE_TABLE_MAX_CELLS {
+            let mut t = vec![NO_SLOT; grid.num_cells()];
+            for (&cell, &h) in mapping {
+                t[cell.index()] = h as u32;
+            }
+            CellTable::Dense(t)
+        } else {
+            CellTable::Sparse(
+                mapping
+                    .iter()
+                    .map(|(&c, &h)| (c.index(), h as u32))
+                    .collect(),
+            )
+        };
+
+        let mut hyper_members = Vec::new();
+        let mut hyper_offsets = Vec::with_capacity(hcs.len() + 1);
+        hyper_offsets.push(0u32);
+        for hc in hcs {
+            hyper_members.extend(hc.members.iter().map(|m| m as u32));
+            hyper_offsets.push(hyper_members.len() as u32);
+        }
+
+        let num_subscribers = framework.num_subscribers();
+        let words = num_subscribers.div_ceil(WORD_BITS);
+        let groups = clustering.groups();
+        let mut group_size = Vec::with_capacity(groups.len());
+        let mut group_words = Vec::with_capacity(groups.len() * words);
+        let mut group_members = Vec::new();
+        let mut group_offsets = Vec::with_capacity(groups.len() + 1);
+        group_offsets.push(0u32);
+        for g in groups {
+            group_size.push(g.members.count() as u32);
+            group_words.extend_from_slice(g.members.words());
+            group_members.extend(g.members.iter().map(|m| m as u32));
+            group_offsets.push(group_members.len() as u32);
+        }
+
+        DispatchPlan {
+            threshold: 0.0,
+            num_subscribers,
+            words,
+            dims,
+            table,
+            hyper_group,
+            hyper_members,
+            hyper_offsets,
+            group_size,
+            group_words,
+            group_members,
+            group_offsets,
+            serve_state: None,
+        }
+    }
+
+    /// Sets the minimum proportion of group members that must be
+    /// interested for a multicast, exactly as
+    /// [`GridMatcher::with_threshold`](crate::GridMatcher::with_threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be a proportion"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Attaches the subscription rectangles, enabling
+    /// [`DispatchPlan::serve`] (the plan copies the rectangles and
+    /// builds the unicast-fallback R-tree once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscription count differs from the framework's.
+    pub fn with_subscriptions(mut self, subscriptions: &[Rect]) -> Self {
+        assert_eq!(
+            subscriptions.len(),
+            self.num_subscribers,
+            "subscription count must match the compiled framework"
+        );
+        self.serve_state = Some(ServeState {
+            rects: subscriptions.to_vec(),
+            index: SubscriptionIndex::build(subscriptions),
+        });
+        self
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of compiled groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_size.len()
+    }
+
+    /// Point → kept hyper-cell, replicating
+    /// [`Grid::cell_of`](geometry::Grid::cell_of) bit-for-bit (same
+    /// float expressions over the same values) followed by the flat
+    /// table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dim()` differs from the grid's.
+    fn locate(&self, p: &Point) -> Option<u32> {
+        assert_eq!(p.dim(), self.dims.len(), "dimension mismatch");
+        let mut idx = 0usize;
+        for (d, pd) in self.dims.iter().enumerate() {
+            let x = p[d];
+            // `Interval::contains`: lo < x <= hi.
+            if !(pd.lo < x && x <= pd.hi) {
+                return None;
+            }
+            let t = (x - pd.lo) / pd.width;
+            let i = (t.ceil() as isize - 1).clamp(0, pd.bins - 1) as usize;
+            idx += i * pd.stride;
+        }
+        let slot = match &self.table {
+            CellTable::Dense(t) => t[idx],
+            CellTable::Sparse(m) => m.get(&idx).copied().unwrap_or(NO_SLOT),
+        };
+        (slot != NO_SLOT).then_some(slot)
+    }
+
+    /// `|group ∩ interested|`, choosing the cheaper of the two exact
+    /// strategies: walk the group's member list testing bits (sparse
+    /// groups) or AND the packed words (dense groups). Both return the
+    /// same integer, so the choice never affects decisions.
+    fn group_hits(&self, group: usize, interested: &BitSet) -> usize {
+        let size = self.group_size[group] as usize;
+        if size <= self.words {
+            let range = self.group_offsets[group] as usize..self.group_offsets[group + 1] as usize;
+            self.group_members[range]
+                .iter()
+                .filter(|&&i| interested.contains(i as usize))
+                .count()
+        } else {
+            self.group_words[group * self.words..(group + 1) * self.words]
+                .iter()
+                .zip(interested.words())
+                .map(|(a, b)| (a & b).count_ones() as usize)
+                .sum()
+        }
+    }
+
+    /// Whether subscriber `i` belongs to `group`.
+    fn group_contains(&self, group: usize, i: usize) -> bool {
+        self.group_words[group * self.words + i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// The threshold decision given a matched hyper-cell slot and the
+    /// exact hit count — shared tail of [`dispatch`](Self::dispatch)
+    /// and [`serve`](Self::serve), mirroring `GridMatcher::match_event`.
+    fn decide(&self, slot: u32, hits: usize) -> Delivery {
+        let group = self.hyper_group[slot as usize] as usize;
+        let size = self.group_size[group] as usize;
+        if size == 0 {
+            return Delivery::Unicast;
+        }
+        let proportion = hits as f64 / size as f64;
+        if proportion >= self.threshold && hits > 0 {
+            Delivery::Multicast { group }
+        } else {
+            Delivery::Unicast
+        }
+    }
+
+    /// Matches one event against a caller-computed interested set.
+    /// Allocation-free; bit-identical to
+    /// [`GridMatcher::match_event`](crate::GridMatcher::match_event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interested set's universe differs from the
+    /// framework's subscription count, or on dimension mismatch.
+    pub fn dispatch(&self, p: &Point, interested: &BitSet) -> Delivery {
+        assert_eq!(
+            interested.universe(),
+            self.num_subscribers,
+            "universe mismatch"
+        );
+        let slot = match self.locate(p) {
+            Some(s) => s,
+            None => return Delivery::Unicast,
+        };
+        let group = self.hyper_group[slot as usize] as usize;
+        if self.group_size[group] == 0 {
+            return Delivery::Unicast;
+        }
+        self.decide(slot, self.group_hits(group, interested))
+    }
+
+    /// Batched [`dispatch`](Self::dispatch) over an index range: pushes
+    /// one [`Delivery`] per index onto `out` (which is *not* cleared).
+    /// Designed for fixed-size chunk decompositions — the caller picks
+    /// the chunk boundaries, so deterministic reductions (such as
+    /// `sim`'s `EVENT_CHUNK` sums) are preserved.
+    pub fn dispatch_chunk<'a>(
+        &self,
+        range: Range<usize>,
+        point_of: impl Fn(usize) -> &'a Point,
+        interested_of: impl Fn(usize) -> &'a BitSet,
+        out: &mut Vec<Delivery>,
+    ) {
+        out.reserve(range.len());
+        for e in range {
+            out.push(self.dispatch(point_of(e), interested_of(e)));
+        }
+    }
+
+    /// The self-contained serve path: computes the exact interested set
+    /// *and* the delivery decision for one event, allocation-free in
+    /// steady state.
+    ///
+    /// For events inside a kept cell, the candidates are the cell's
+    /// interned membership list (a sound superset of the interested
+    /// set: any rectangle containing the point overlaps the point's
+    /// cell) filtered by exact rectangle containment — no R-tree
+    /// descent. Events outside every kept cell fall back to the R-tree
+    /// index and are unicast, as in the uncompiled path. After the
+    /// call, [`DispatchScratch::interested`] holds the interested ids
+    /// in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled without
+    /// [`with_subscriptions`](Self::with_subscriptions).
+    pub fn serve(&self, p: &Point, scratch: &mut DispatchScratch) -> Delivery {
+        let state = self
+            .serve_state
+            .as_ref()
+            .expect("DispatchPlan::serve requires with_subscriptions");
+        match self.locate(p) {
+            Some(slot) => {
+                scratch.interested.clear();
+                let range = self.hyper_offsets[slot as usize] as usize
+                    ..self.hyper_offsets[slot as usize + 1] as usize;
+                for &i in &self.hyper_members[range] {
+                    if state.rects[i as usize].contains(p) {
+                        scratch.interested.push(i as usize);
+                    }
+                }
+                let group = self.hyper_group[slot as usize] as usize;
+                if self.group_size[group] == 0 {
+                    return Delivery::Unicast;
+                }
+                let hits = scratch
+                    .interested
+                    .iter()
+                    .filter(|&&i| self.group_contains(group, i))
+                    .count();
+                self.decide(slot, hits)
+            }
+            None => {
+                // Not kept: the cell membership is unknown (truncated or
+                // empty), so fall back to the full index. The decision is
+                // always unicast, matching `group_of_point → None`.
+                state.index.matching_into(p, &mut scratch.interested);
+                Delivery::Unicast
+            }
+        }
+    }
+}
+
+/// A compiled No-Loss dispatch plan: per-region member counts and
+/// weights copied into one flat array so the best-region fold touches
+/// no [`BitSet`] and allocates nothing (Figure 6's matching loop).
+///
+/// Decisions are identical to
+/// [`NoLossClustering::match_event`](crate::NoLossClustering::match_event).
+#[derive(Debug, Clone)]
+pub struct NoLossDispatchPlan<'a> {
+    clustering: &'a NoLossClustering,
+    /// `(member count, weight)` per region — the comparator key.
+    keys: Vec<(u32, f64)>,
+}
+
+impl<'a> NoLossDispatchPlan<'a> {
+    /// Compiles the plan from a built No-Loss clustering.
+    pub fn compile(clustering: &'a NoLossClustering) -> Self {
+        let keys = clustering
+            .regions()
+            .iter()
+            .map(|r| (r.subscribers.count() as u32, r.weight))
+            .collect();
+        NoLossDispatchPlan { clustering, keys }
+    }
+
+    /// Matches one event to the best containing region, exactly as
+    /// [`NoLossClustering::match_event`](crate::NoLossClustering::match_event):
+    /// maximal member count, then weight; ties prefer the lower index.
+    pub fn match_event(&self, p: &Point) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        self.clustering.stab_regions_with(p, |i| {
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    if self.beats(i, b) {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        });
+        best
+    }
+
+    /// Whether region `a` wins over region `b` under the matcher's
+    /// total order (count, then weight, then lower index). The order is
+    /// strict for `a != b`, so the fold's result does not depend on
+    /// visitation order.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        let (ca, wa) = self.keys[a];
+        let (cb, wb) = self.keys[b];
+        ca.cmp(&cb)
+            .then_with(|| wa.partial_cmp(&wb).expect("weight is never NaN"))
+            .then(b.cmp(&a))
+            .is_gt()
+    }
+
+    /// Batched [`match_event`](Self::match_event) over an index range:
+    /// pushes one decision per index onto `out` (not cleared).
+    pub fn dispatch_chunk<'p>(
+        &self,
+        range: Range<usize>,
+        point_of: impl Fn(usize) -> &'p Point,
+        out: &mut Vec<Option<usize>>,
+    ) {
+        out.reserve(range.len());
+        for e in range {
+            out.push(self.match_event(point_of(e)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CellProbability;
+    use crate::kmeans::{KMeans, KMeansVariant};
+    use crate::matching::GridMatcher;
+    use crate::ClusteringAlgorithm;
+    use geometry::{Grid, Interval};
+    use rand::prelude::*;
+
+    fn random_rect(rng: &mut StdRng) -> Rect {
+        let lo = rng.gen_range(0.0..9.0);
+        let hi = lo + rng.gen_range(0.1..4.0);
+        Rect::new(vec![Interval::new(lo, hi.min(10.0)).unwrap()])
+    }
+
+    fn scenario(
+        n: usize,
+        max_cells: Option<usize>,
+        seed: u64,
+    ) -> (Vec<Rect>, GridFramework, Clustering) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subs: Vec<Rect> = (0..n).map(|_| random_rect(&mut rng)).collect();
+        let grid = Grid::cube(0.0, 10.0, 1, 50).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = GridFramework::build(grid, &subs, &probs, max_cells);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 5);
+        (subs, fw, c)
+    }
+
+    #[test]
+    fn dispatch_matches_grid_matcher_bit_for_bit() {
+        for (max_cells, seed) in [(None, 7u64), (Some(8), 8u64)] {
+            let (subs, fw, c) = scenario(120, max_cells, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            for threshold in [0.0, 0.3, 1.0] {
+                let matcher = GridMatcher::new(&fw, &c).with_threshold(threshold);
+                let plan = DispatchPlan::compile(&fw, &c).with_threshold(threshold);
+                for _ in 0..400 {
+                    let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+                    let interested = BitSet::from_members(
+                        subs.len(),
+                        subs.iter()
+                            .enumerate()
+                            .filter(|(_, r)| r.contains(&p))
+                            .map(|(i, _)| i),
+                    );
+                    assert_eq!(
+                        plan.dispatch(&p, &interested),
+                        matcher.match_event(&p, &interested),
+                        "threshold {threshold}, point {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_computes_exact_interested_sets() {
+        let (subs, fw, c) = scenario(80, Some(10), 11);
+        let plan = DispatchPlan::compile(&fw, &c)
+            .with_threshold(0.2)
+            .with_subscriptions(&subs);
+        let matcher = GridMatcher::new(&fw, &c).with_threshold(0.2);
+        let mut scratch = DispatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+            let brute: Vec<usize> = subs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&p))
+                .map(|(i, _)| i)
+                .collect();
+            let decision = plan.serve(&p, &mut scratch);
+            assert_eq!(scratch.interested(), &brute[..], "point {p:?}");
+            let interested = BitSet::from_members(subs.len(), brute.iter().copied());
+            assert_eq!(decision, matcher.match_event(&p, &interested));
+        }
+    }
+
+    #[test]
+    fn dispatch_chunk_appends_in_order() {
+        let (subs, fw, c) = scenario(40, None, 3);
+        let plan = DispatchPlan::compile(&fw, &c);
+        let points: Vec<Point> = (0..10).map(|i| Point::new(vec![i as f64])).collect();
+        let sets: Vec<BitSet> = points
+            .iter()
+            .map(|p| {
+                BitSet::from_members(
+                    subs.len(),
+                    subs.iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.contains(p))
+                        .map(|(i, _)| i),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        plan.dispatch_chunk(0..5, |e| &points[e], |e| &sets[e], &mut out);
+        plan.dispatch_chunk(5..10, |e| &points[e], |e| &sets[e], &mut out);
+        let one_by_one: Vec<Delivery> = points
+            .iter()
+            .zip(&sets)
+            .map(|(p, s)| plan.dispatch(p, s))
+            .collect();
+        assert_eq!(out, one_by_one);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_subscriptions")]
+    fn serve_without_subscriptions_panics() {
+        let (_, fw, c) = scenario(10, None, 1);
+        let plan = DispatchPlan::compile(&fw, &c);
+        let mut scratch = DispatchScratch::new();
+        let _ = plan.serve(&Point::new(vec![5.0]), &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "proportion")]
+    fn invalid_threshold_panics() {
+        let (_, fw, c) = scenario(10, None, 2);
+        let _ = DispatchPlan::compile(&fw, &c).with_threshold(-0.1);
+    }
+
+    #[test]
+    fn noloss_plan_agrees_with_match_event() {
+        use crate::noloss::NoLossConfig;
+        let mut rng = StdRng::seed_from_u64(23);
+        let subs: Vec<Rect> = (0..60).map(|_| random_rect(&mut rng)).collect();
+        let sample: Vec<Point> = (0..50)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..10.0)]))
+            .collect();
+        let cfg = NoLossConfig {
+            max_rects: 80,
+            iterations: 3,
+            max_candidates_per_round: 20_000,
+        };
+        let nl = NoLossClustering::build(&subs, &sample, &cfg, 12);
+        let plan = NoLossDispatchPlan::compile(&nl);
+        for _ in 0..400 {
+            let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+            assert_eq!(plan.match_event(&p), nl.match_event(&p), "point {p:?}");
+        }
+        let points: Vec<Point> = (0..20)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..10.0)]))
+            .collect();
+        let mut out = Vec::new();
+        plan.dispatch_chunk(0..points.len(), |e| &points[e], &mut out);
+        let serial: Vec<Option<usize>> = points.iter().map(|p| nl.match_event(p)).collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -457,6 +457,11 @@ impl GridFramework {
         self.grid.cell_of(p).and_then(|c| self.hyper_of_cell(c))
     }
 
+    /// The full cell → kept-hyper-cell mapping, for plan compilation.
+    pub(crate) fn cell_to_hyper(&self) -> &HashMap<CellId, usize> {
+        &self.cell_to_hyper
+    }
+
     /// The shared pairwise distance cache over this framework's
     /// hyper-cells, building it (in parallel) on first access.
     ///

@@ -57,6 +57,7 @@
 
 mod clustering;
 mod counting;
+mod dispatch;
 mod distance;
 mod dynamic;
 mod framework;
@@ -73,6 +74,7 @@ mod waste;
 
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
 pub use counting::CountingMatcher;
+pub use dispatch::{DispatchPlan, DispatchScratch, NoLossDispatchPlan, DENSE_TABLE_MAX_CELLS};
 pub use distance::DistanceMatrix;
 pub use dynamic::{DynamicClustering, DynamicError, RebalanceStats, SubscriptionId};
 pub use framework::{CellProbability, DeltaReport, FrameworkStats, GridFramework, HyperCell};

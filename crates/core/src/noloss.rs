@@ -96,6 +96,9 @@ pub struct NoLossRegion {
 pub struct NoLossClustering {
     regions: Vec<NoLossRegion>,
     tree: RTree<usize>,
+    /// `regions[i].subscribers.count()`, precomputed at build time so
+    /// the matcher's comparator never re-counts a bit-set.
+    counts: Vec<u32>,
 }
 
 /// Exact bit-pattern key for a rectangle (used to merge duplicate
@@ -171,6 +174,7 @@ impl NoLossClustering {
             return NoLossClustering {
                 regions: Vec::new(),
                 tree: RTree::new(1),
+                counts: Vec::new(),
             };
         }
         let dim = subscriptions[0].dim();
@@ -325,9 +329,11 @@ impl NoLossClustering {
                 .map(|(i, r)| (r.rect.clone(), i))
                 .collect(),
         );
+        let counts = pool.iter().map(|r| r.subscribers.count() as u32).collect();
         NoLossClustering {
             regions: pool,
             tree,
+            counts,
         }
     }
 
@@ -352,20 +358,44 @@ impl NoLossClustering {
     /// from the unicast top-up into the shared tree never costs more).
     /// We therefore break the selection by `|u|` first, weight second —
     /// identical when density is comparable, strictly better otherwise.
+    ///
+    /// Allocation-free: the containing regions are visited in place
+    /// (no candidate `Vec`) and member counts were precomputed at build
+    /// time. The comparator is a strict total order over distinct
+    /// indices (count, then weight, then *lower index* on ties), so the
+    /// maximum is unique and the fold below is independent of the
+    /// R-tree's visitation order.
     pub fn match_event(&self, p: &Point) -> Option<usize> {
-        self.tree.stab(p).into_iter().copied().max_by(|&a, &b| {
-            let (ra, rb) = (&self.regions[a], &self.regions[b]);
-            ra.subscribers
-                .count()
-                .cmp(&rb.subscribers.count())
-                .then_with(|| {
-                    ra.weight
-                        .partial_cmp(&rb.weight)
-                        .expect("weight is never NaN")
-                })
-                // Ties: prefer the lower index (deterministic).
-                .then(b.cmp(&a))
-        })
+        let mut best: Option<usize> = None;
+        self.tree.stab_with(p, |&i| {
+            best = Some(match best {
+                None => i,
+                Some(b) if self.region_beats(i, b) => i,
+                Some(b) => b,
+            });
+        });
+        best
+    }
+
+    /// Whether region `a` wins the matcher's selection over region `b`
+    /// (larger member count, then larger weight, then lower index).
+    fn region_beats(&self, a: usize, b: usize) -> bool {
+        self.counts[a]
+            .cmp(&self.counts[b])
+            .then_with(|| {
+                self.regions[a]
+                    .weight
+                    .partial_cmp(&self.regions[b].weight)
+                    .expect("weight is never NaN")
+            })
+            .then(b.cmp(&a))
+            .is_gt()
+    }
+
+    /// Visits the index of every region containing `p`, in the R-tree's
+    /// traversal order. Used by the compiled dispatch plan.
+    pub(crate) fn stab_regions_with(&self, p: &Point, mut visit: impl FnMut(usize)) {
+        self.tree.stab_with(p, |&i| visit(i));
     }
 }
 

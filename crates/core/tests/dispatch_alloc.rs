@@ -1,0 +1,158 @@
+//! Proves the compiled dispatch path performs ZERO heap allocations
+//! per event in steady state.
+//!
+//! A counting global allocator tallies allocations on the measuring
+//! thread only (other threads — e.g. the libtest harness — are
+//! invisible to the counter). After one warm-up pass grows the scratch
+//! buffers to their high-water mark, re-running the whole event stream
+//! through `DispatchPlan::serve`, `DispatchPlan::dispatch` and
+//! `NoLossDispatchPlan::match_event` must not allocate at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use geometry::{Grid, Interval, Point, Rect};
+use pubsub_core::{
+    BitSet, CellProbability, ClusteringAlgorithm, DispatchPlan, DispatchScratch, GridFramework,
+    GridMatcher, KMeans, KMeansVariant, NoLossClustering, NoLossConfig, NoLossDispatchPlan,
+};
+use rand::prelude::*;
+
+struct CountingAllocator;
+
+thread_local! {
+    // `const` init: no lazy-init allocation inside the allocator itself.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        COUNTING.with(|c| {
+            if c.get() {
+                ALLOCS.with(|a| a.set(a.get() + 1));
+            }
+        });
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        COUNTING.with(|c| {
+            if c.get() {
+                ALLOCS.with(|a| a.set(a.get() + 1));
+            }
+        });
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with allocation counting enabled on this thread and
+/// returns how many heap allocations (alloc + realloc) it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+fn random_rect(rng: &mut StdRng) -> Rect {
+    let lo = rng.gen_range(0.0..0.95);
+    let width = rng.gen_range(0.01..0.05);
+    Rect::new(vec![Interval::new(lo, (lo + width).min(1.0)).unwrap()])
+}
+
+#[test]
+fn steady_state_dispatch_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let subs: Vec<Rect> = (0..800).map(|_| random_rect(&mut rng)).collect();
+    let grid = Grid::cube(0.0, 1.0, 1, 512).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    let fw = GridFramework::build(grid, &subs, &probs, Some(400));
+    let clustering = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 12);
+    let plan = DispatchPlan::compile(&fw, &clustering)
+        .with_threshold(0.15)
+        .with_subscriptions(&subs);
+    let matcher = GridMatcher::new(&fw, &clustering).with_threshold(0.15);
+
+    // Off-grid points exercise the unicast fallback too.
+    let events: Vec<Point> = (0..2_000)
+        .map(|_| Point::new(vec![rng.gen_range(-0.05..1.05)]))
+        .collect();
+    let interested: Vec<BitSet> = events
+        .iter()
+        .map(|p| {
+            BitSet::from_members(
+                subs.len(),
+                subs.iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.contains(p))
+                    .map(|(i, _)| i),
+            )
+        })
+        .collect();
+
+    // Warm-up: every buffer reaches its high-water mark, and the plan
+    // must agree with the reference matcher on every event.
+    let mut scratch = DispatchScratch::new();
+    for (p, set) in events.iter().zip(&interested) {
+        let expect = matcher.match_event(p, set);
+        assert_eq!(plan.dispatch(p, set), expect);
+        assert_eq!(plan.serve(p, &mut scratch), expect);
+    }
+
+    let allocs = count_allocs(|| {
+        for (p, set) in events.iter().zip(&interested) {
+            std::hint::black_box(plan.dispatch(p, set));
+            std::hint::black_box(plan.serve(p, &mut scratch));
+        }
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state dispatch performed {allocs} heap allocations over {} events",
+        events.len()
+    );
+}
+
+#[test]
+fn steady_state_noloss_match_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let subs: Vec<Rect> = (0..150).map(|_| random_rect(&mut rng)).collect();
+    let sample: Vec<Point> = (0..200)
+        .map(|_| Point::new(vec![rng.gen_range(0.0..1.0)]))
+        .collect();
+    let cfg = NoLossConfig {
+        max_rects: 200,
+        iterations: 3,
+        max_candidates_per_round: 50_000,
+    };
+    let nl = NoLossClustering::build(&subs, &sample, &cfg, 20);
+    assert!(nl.num_groups() > 0);
+    let plan = NoLossDispatchPlan::compile(&nl);
+
+    let events: Vec<Point> = (0..2_000)
+        .map(|_| Point::new(vec![rng.gen_range(-0.05..1.05)]))
+        .collect();
+    for p in &events {
+        assert_eq!(plan.match_event(p), nl.match_event(p));
+    }
+
+    let allocs = count_allocs(|| {
+        for p in &events {
+            std::hint::black_box(nl.match_event(p));
+            std::hint::black_box(plan.match_event(p));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state No-Loss matching performed {allocs} heap allocations"
+    );
+}

@@ -8,8 +8,8 @@
 
 use netsim::{FrozenRouter, NodeId, ShortestPathTree, Topology};
 use pubsub_core::{
-    parallel, BitSet, Clustering, Delivery, GridFramework, GridMatcher, NoLossClustering,
-    SubscriptionIndex,
+    parallel, BitSet, Clustering, Delivery, DispatchPlan, GridFramework, NoLossClustering,
+    NoLossDispatchPlan, SubscriptionIndex,
 };
 use workload::Workload;
 
@@ -261,13 +261,21 @@ impl<'a> Evaluator<'a> {
         // Static per-group member-node lists (parallel over groups).
         let memberships: Vec<&BitSet> = clustering.groups().iter().map(|g| &g.members).collect();
         let group_nodes = self.member_nodes(&memberships);
-        // Match every event up front (pure per event, parallel).
-        let matcher = GridMatcher::new(framework, clustering).with_threshold(threshold);
+        // Match every event up front through the compiled dispatch plan
+        // (bit-identical to `GridMatcher`, allocation-free per event);
+        // chunks are the fixed `EVENT_CHUNK`, so decisions and ordering
+        // are thread-count independent.
+        let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
-            parallel::par_map_indexed(events.len(), EVENT_CHUNK, |e| {
-                matcher.match_event(&events[e].point, &subs[e])
+            parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                out
             })
+            .into_iter()
+            .flatten()
+            .collect()
         };
         // Per-group event-independent state, resolved exactly as the
         // per-event lazy initialization would have: the first matching
@@ -359,12 +367,17 @@ impl<'a> Evaluator<'a> {
         let events = &workload.events;
         let memberships: Vec<&BitSet> = clustering.groups().iter().map(|g| &g.members).collect();
         let group_nodes = self.member_nodes(&memberships);
-        let matcher = GridMatcher::new(framework, clustering).with_threshold(threshold);
+        let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
-            parallel::par_map_indexed(events.len(), EVENT_CHUNK, |e| {
-                matcher.match_event(&events[e].point, &subs[e])
+            parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                out
             })
+            .into_iter()
+            .flatten()
+            .collect()
         };
         self.ensure_spts(events.iter().map(|e| e.publisher));
         let frozen = &self.frozen;
@@ -454,11 +467,18 @@ impl<'a> Evaluator<'a> {
             .map(|r| &r.subscribers)
             .collect();
         let region_nodes = self.member_nodes(&memberships);
-        // Match every event up front (pure per event, parallel).
+        // Match every event up front through the compiled No-Loss plan
+        // (identical decisions, no per-candidate re-counting).
+        let plan = NoLossDispatchPlan::compile(clustering);
         let matches: Vec<Option<usize>> =
-            parallel::par_map_indexed(events.len(), EVENT_CHUNK, |e| {
-                clustering.match_event(&events[e].point)
-            });
+            parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                plan.dispatch_chunk(range, |e| &events[e].point, &mut out);
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         // Per-region event-independent state (overlay MST / RP),
         // resolved as the per-event lazy initialization would have.
         let mut matched = vec![false; region_nodes.len()];

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 
 use netsim::{DegradedView, EdgeId, FaultSchedule, Graph, NodeId, ShortestPathTree};
 use pubsub_core::{
-    parallel, BitSet, Clustering, Delivery, DynamicClustering, DynamicError, GridFramework,
-    GridMatcher, SubscriptionId,
+    parallel, BitSet, Clustering, Delivery, DispatchPlan, DynamicClustering, DynamicError,
+    GridFramework, SubscriptionId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -335,12 +335,17 @@ impl<'a> Evaluator<'a> {
         let n = events.len();
         let memberships: Vec<&BitSet> = clustering.groups().iter().map(|g| &g.members).collect();
         let group_nodes = self.member_nodes(&memberships);
-        let matcher = GridMatcher::new(framework, clustering).with_threshold(threshold);
+        let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
-            parallel::par_map_indexed(n, EVENT_CHUNK, |e| {
-                matcher.match_event(&events[e].point, &subs[e])
+            parallel::par_chunks(n, EVENT_CHUNK, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                out
             })
+            .into_iter()
+            .flatten()
+            .collect()
         };
         // Healthy trees for every publisher: the routing state all
         // brokers start from (and fall back to in healthy epochs).

@@ -77,6 +77,14 @@ impl<T> IntervalTree<T> {
     /// All values whose interval contains `x` (`lo < x <= hi`).
     pub fn stab(&self, x: f64) -> Vec<&T> {
         let mut out = Vec::new();
+        self.stab_with(x, |v| out.push(v));
+        out
+    }
+
+    /// Visitor-style stabbing: calls `visit` on every value whose
+    /// interval contains `x`, in the same order [`stab`](Self::stab)
+    /// returns them, without allocating a result vector.
+    pub fn stab_with<'a>(&'a self, x: f64, mut visit: impl FnMut(&'a T)) {
         let mut node = self.root.as_deref();
         while let Some(n) = node {
             if x <= n.center {
@@ -90,7 +98,7 @@ impl<T> IntervalTree<T> {
                     // by construction), except x == center needs the
                     // usual check for hi.
                     if iv.contains(x) {
-                        out.push(v);
+                        visit(v);
                     }
                 }
                 node = n.left.as_deref();
@@ -103,13 +111,12 @@ impl<T> IntervalTree<T> {
                         break;
                     }
                     if iv.contains(x) {
-                        out.push(v);
+                        visit(v);
                     }
                 }
                 node = n.right.as_deref();
             }
         }
-        out
     }
 }
 
@@ -255,6 +262,26 @@ mod tests {
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(got, expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn stab_with_visits_exactly_the_stab_results_in_order() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let items: Vec<(Interval, usize)> = (0..300)
+            .map(|i| {
+                let a = rng.gen_range(0.0..40.0);
+                let b = rng.gen_range(0.0..40.0);
+                (Interval::from_unordered(a, b), i)
+            })
+            .collect();
+        let tree = IntervalTree::build(items);
+        for _ in 0..300 {
+            let x: f64 = rng.gen_range(-2.0..42.0);
+            let mut visited: Vec<usize> = Vec::new();
+            tree.stab_with(x, |&v| visited.push(v));
+            let listed: Vec<usize> = tree.stab(x).into_iter().copied().collect();
+            assert_eq!(visited, listed, "x = {x}");
         }
     }
 }

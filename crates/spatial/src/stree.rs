@@ -101,18 +101,30 @@ impl<T> STree<T> {
     ///
     /// Panics if `p.dim() != self.dim()`.
     pub fn stab(&self, p: &Point) -> Vec<&T> {
-        assert_eq!(p.dim(), self.dim, "point dimension mismatch");
         let mut out = Vec::new();
+        self.stab_with(p, |v| out.push(v));
+        out
+    }
+
+    /// Visitor-style stabbing: calls `visit` on every value whose
+    /// rectangle contains `p`, in the same order [`stab`](Self::stab)
+    /// returns them, without allocating a result vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dim() != self.dim()`.
+    pub fn stab_with<'a>(&'a self, p: &Point, mut visit: impl FnMut(&'a T)) {
+        assert_eq!(p.dim(), self.dim, "point dimension mismatch");
         let mut node = &self.root;
         loop {
             match node {
                 Node::Leaf(entries) => {
                     for (r, v) in entries {
                         if r.contains(p) {
-                            out.push(v);
+                            visit(v);
                         }
                     }
-                    return out;
+                    return;
                 }
                 Node::Split {
                     dim,
@@ -123,7 +135,7 @@ impl<T> STree<T> {
                 } => {
                     for (r, v) in straddlers {
                         if r.contains(p) {
-                            out.push(v);
+                            visit(v);
                         }
                     }
                     // Half-open semantics: the left side holds rects
@@ -299,5 +311,25 @@ mod tests {
     fn wrong_dimension_panics() {
         let tree = STree::build(2, vec![(Rect::all(2), 0u8)]);
         let _ = tree.stab(&Point::new(vec![0.0]));
+    }
+
+    #[test]
+    fn stab_with_visits_exactly_the_stab_results_in_order() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let items: Vec<(Rect, usize)> = (0..200)
+            .map(|i| {
+                let a = rng.gen_range(0.0..30.0);
+                let b = rng.gen_range(0.0..30.0);
+                (Rect::new(vec![Interval::from_unordered(a, b)]), i)
+            })
+            .collect();
+        let tree = STree::build(1, items);
+        for _ in 0..200 {
+            let p = Point::new(vec![rng.gen_range(-1.0..31.0)]);
+            let mut visited: Vec<usize> = Vec::new();
+            tree.stab_with(&p, |&v| visited.push(v));
+            let listed: Vec<usize> = tree.stab(&p).into_iter().copied().collect();
+            assert_eq!(visited, listed);
+        }
     }
 }

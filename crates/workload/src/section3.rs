@@ -388,9 +388,11 @@ mod tests {
         // Full regionalism + always-present dim0 predicate: an event can
         // only interest subscribers in its own stub.
         let w = model(1.0, PredicateDist::Uniform).generate(&t, &mut rng);
+        let mut matched = Vec::new();
         for e in &w.events {
             let origin = t.stub_of(e.publisher).unwrap();
-            for &i in &w.matching_subscriptions(&e.point) {
+            w.matching_into(&e.point, &mut matched);
+            for &i in &matched {
                 let node = w.subscriptions[i].node;
                 assert_eq!(t.stub_of(node), Some(origin));
             }

@@ -522,10 +522,14 @@ mod tests {
         let w = StockModel::default()
             .with_sizes(1000, 300)
             .generate(&t, &mut rng);
+        let mut matched = Vec::new();
         let matched_events = w
             .events
             .iter()
-            .filter(|e| !w.matching_subscriptions(&e.point).is_empty())
+            .filter(|e| {
+                w.matching_into(&e.point, &mut matched);
+                !matched.is_empty()
+            })
             .count();
         assert!(
             matched_events > 50,

@@ -52,12 +52,25 @@ impl Workload {
     /// Indices of subscriptions matching the event point (brute force;
     /// the ground truth that clustering-based matchers approximate).
     pub fn matching_subscriptions(&self, point: &Point) -> Vec<usize> {
-        self.subscriptions
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.rect.contains(point))
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.matching_into(point, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of
+    /// [`matching_subscriptions`](Self::matching_subscriptions): clears
+    /// `out` and fills it with the matching subscription indices in
+    /// increasing order. Per-event loops reuse one buffer across the
+    /// stream instead of allocating a fresh `Vec` per event.
+    pub fn matching_into(&self, point: &Point, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.subscriptions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.rect.contains(point))
+                .map(|(i, _)| i),
+        );
     }
 
     /// The deduplicated, sorted set of nodes interested in the event
@@ -121,6 +134,21 @@ mod tests {
         assert_eq!(w.matching_subscriptions(&Point::new(vec![4.0])), vec![0, 1]);
         assert_eq!(w.matching_subscriptions(&Point::new(vec![9.0])), vec![2]);
         assert!(w.matching_subscriptions(&Point::new(vec![-1.0])).is_empty());
+    }
+
+    #[test]
+    fn matching_into_reuses_and_clears_the_buffer() {
+        let w = workload();
+        let mut buf = vec![42, 43];
+        w.matching_into(&Point::new(vec![4.0]), &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        w.matching_into(&Point::new(vec![-1.0]), &mut buf);
+        assert!(buf.is_empty());
+        for x in [4.0, 9.0, -1.0, 7.5] {
+            let p = Point::new(vec![x]);
+            w.matching_into(&p, &mut buf);
+            assert_eq!(buf, w.matching_subscriptions(&p));
+        }
     }
 
     #[test]
