@@ -27,6 +27,7 @@ use geometry::{Grid, Interval, Point, Rect};
 use pubsub_bench::Scale;
 use pubsub_core::{
     CellProbability, DynamicClustering, KMeans, KMeansVariant, SubscriptionId, SubscriptionIndex,
+    Validator,
 };
 use rand::prelude::*;
 
@@ -171,6 +172,17 @@ fn main() {
 
             let identical = snapshot(&inc) == snapshot(&full) && inc_moves == full_moves;
             assert!(identical, "paths diverged at n={n} epoch={epoch}");
+
+            // Explicit structural audit of both maintenance paths —
+            // release builds skip the debug-assert audit inside
+            // `rebalance`, so the bench re-runs it here every epoch.
+            let mut audit = Validator::new();
+            audit
+                .check_framework(inc.framework())
+                .check_clustering(inc.framework(), inc.clustering())
+                .check_framework(full.framework())
+                .check_clustering(full.framework(), full.clustering());
+            audit.assert_clean("churn epoch audit");
 
             println!(
                 "{n:>8} {epoch:>6} {incremental_ms:>12.2} {full_ms:>10.2} {:>8.1}x {:>7} {:>9} {identical:>9}",

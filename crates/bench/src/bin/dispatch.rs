@@ -36,7 +36,7 @@ use pubsub_bench::Scale;
 use pubsub_core::{
     BitSet, CellProbability, ClusteringAlgorithm, DispatchPlan, DispatchScratch, GridFramework,
     GridMatcher, KMeans, KMeansVariant, NoLossClustering, NoLossConfig, NoLossDispatchPlan,
-    SubscriptionIndex,
+    SubscriptionIndex, Validator,
 };
 use rand::prelude::*;
 use spatial::RTree;
@@ -150,6 +150,16 @@ fn main() {
             .with_subscriptions(&subs);
         let index = SubscriptionIndex::build(&subs);
 
+        // Structural audit before any timing: the framework, the
+        // clustering and the compiled plan must agree exactly, so a
+        // compilation bug fails loudly instead of skewing the numbers.
+        let mut audit = Validator::new();
+        audit
+            .check_framework(&fw)
+            .check_clustering(&fw, &clustering)
+            .check_dispatch_plan(&fw, &clustering, &plan);
+        audit.assert_clean("dispatch bench audit");
+
         // --- Serve path: old (index + BitSet + matcher) vs plan.serve.
         // One untimed pass checks agreement and warms every buffer.
         let mut matched: Vec<usize> = Vec::new();
@@ -247,6 +257,9 @@ fn main() {
                     .collect(),
             );
             let nl_plan = NoLossDispatchPlan::compile(&nl);
+            let mut audit = Validator::new();
+            audit.check_noloss(nl_subs, &nl);
+            audit.assert_clean("dispatch bench no-loss audit");
             for p in &events {
                 let old = legacy_noloss_match(&legacy_tree, &nl, p);
                 assert_eq!(old, nl.match_event(p), "no-loss paths disagree at {p:?}");

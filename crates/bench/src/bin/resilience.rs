@@ -59,10 +59,7 @@ fn config(scale: Scale) -> Config {
 
 fn main() {
     let cfg = config(Scale::from_args());
-    let fault_seed: u64 = std::env::var("PUBSUB_FAULT_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2002);
+    let fault_seed: u64 = pubsub_core::env_knob("PUBSUB_FAULT_SEED", 2002, |s| s.parse().ok());
     let policy = RetryPolicy::from_env();
 
     let mut rng = StdRng::seed_from_u64(fault_seed);

@@ -9,6 +9,7 @@
 //! * `--scale paper` — the paper's full parameters (minutes; build with
 //!   `--release`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Run scale selected on the command line.

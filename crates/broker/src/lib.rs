@@ -22,6 +22,7 @@
 //! also exhibits: subscription changes must propagate along the whole
 //! tree (`BrokerNetwork::build` is a global operation).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod routing_tree;

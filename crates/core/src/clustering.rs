@@ -23,9 +23,9 @@ pub struct Group {
 /// A complete partition of the kept hyper-cells into at most `K` groups.
 #[derive(Debug, Clone)]
 pub struct Clustering {
-    groups: Vec<Group>,
+    pub(crate) groups: Vec<Group>,
     /// `hyper_to_group[h]` — the group hyper-cell `h` belongs to.
-    hyper_to_group: Vec<usize>,
+    pub(crate) hyper_to_group: Vec<usize>,
 }
 
 impl Clustering {

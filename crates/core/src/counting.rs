@@ -64,6 +64,7 @@ impl CountingMatcher {
                 len: 0,
             };
         }
+        // lint: allow(no-literal-index): the empty case returned above
         let dim = subscriptions[0].dim();
         let mut required = vec![0u32; len];
         let mut per_dim: Vec<Vec<(geometry::Interval, usize)>> = vec![Vec::new(); dim];

@@ -53,7 +53,7 @@ const WORD_BITS: usize = 64;
 pub const DENSE_TABLE_MAX_CELLS: usize = 1 << 20;
 
 /// Sentinel in the dense cell table: "this cell was not kept".
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Precompiled point-location state for one grid dimension. `width` is
 /// computed with the same expression [`geometry::Grid`] uses
@@ -69,7 +69,7 @@ struct PlanDim {
 }
 
 #[derive(Debug, Clone)]
-enum CellTable {
+pub(crate) enum CellTable {
     /// `table[cell] = hyper-cell index`, `NO_SLOT` when not kept.
     Dense(Vec<u32>),
     /// Fallback above [`DENSE_TABLE_MAX_CELLS`].
@@ -135,27 +135,27 @@ impl DispatchScratch {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DispatchPlan {
-    threshold: f64,
-    num_subscribers: usize,
+    pub(crate) threshold: f64,
+    pub(crate) num_subscribers: usize,
     /// Words per packed membership set (`num_subscribers / 64`, ceil).
-    words: usize,
+    pub(crate) words: usize,
     dims: Vec<PlanDim>,
-    table: CellTable,
+    pub(crate) table: CellTable,
     /// `hyper_group[h]` — the group of kept hyper-cell `h`.
-    hyper_group: Vec<u32>,
+    pub(crate) hyper_group: Vec<u32>,
     /// Concatenated member-index lists of the kept hyper-cells
     /// (ascending within each list) …
-    hyper_members: Vec<u32>,
+    pub(crate) hyper_members: Vec<u32>,
     /// … delimited by `hyper_offsets[h] .. hyper_offsets[h + 1]`.
-    hyper_offsets: Vec<u32>,
+    pub(crate) hyper_offsets: Vec<u32>,
     /// Precomputed `members.count()` per group.
-    group_size: Vec<u32>,
+    pub(crate) group_size: Vec<u32>,
     /// Packed membership words of every group, `words` per group.
-    group_words: Vec<u64>,
+    pub(crate) group_words: Vec<u64>,
     /// Concatenated member-index lists of the groups (ascending) …
-    group_members: Vec<u32>,
+    pub(crate) group_members: Vec<u32>,
     /// … delimited by `group_offsets[g] .. group_offsets[g + 1]`.
-    group_offsets: Vec<u32>,
+    pub(crate) group_offsets: Vec<u32>,
     serve_state: Option<ServeState>,
 }
 
@@ -297,6 +297,7 @@ impl DispatchPlan {
         self.group_size.len()
     }
 
+    // lint: hot-path
     /// Point → kept hyper-cell, replicating
     /// [`Grid::cell_of`](geometry::Grid::cell_of) bit-for-bit (same
     /// float expressions over the same values) followed by the flat
@@ -305,7 +306,7 @@ impl DispatchPlan {
     /// # Panics
     ///
     /// Panics if `p.dim()` differs from the grid's.
-    fn locate(&self, p: &Point) -> Option<u32> {
+    pub(crate) fn locate(&self, p: &Point) -> Option<u32> {
         assert_eq!(p.dim(), self.dims.len(), "dimension mismatch");
         let mut idx = 0usize;
         for (d, pd) in self.dims.iter().enumerate() {
@@ -463,6 +464,7 @@ impl DispatchPlan {
             }
         }
     }
+    // lint: hot-path end
 }
 
 /// A compiled No-Loss dispatch plan: per-region member counts and
@@ -489,6 +491,7 @@ impl<'a> NoLossDispatchPlan<'a> {
         NoLossDispatchPlan { clustering, keys }
     }
 
+    // lint: hot-path
     /// Matches one event to the best containing region, exactly as
     /// [`NoLossClustering::match_event`](crate::NoLossClustering::match_event):
     /// maximal member count, then weight; ties prefer the lower index.
@@ -535,6 +538,7 @@ impl<'a> NoLossDispatchPlan<'a> {
             out.push(self.match_event(point_of(e)));
         }
     }
+    // lint: hot-path end
 }
 
 #[cfg(test)]

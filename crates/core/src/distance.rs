@@ -22,10 +22,10 @@ use crate::waste::expected_waste;
 
 /// Packed lower-triangular matrix of `d(i, j)` over hyper-cell indices.
 pub struct DistanceMatrix {
-    n: usize,
+    pub(crate) n: usize,
     /// Row-major lower triangle: row `i` holds `d(i, 0) .. d(i, i-1)`
     /// starting at offset `i·(i−1)/2`.
-    data: Vec<f64>,
+    pub(crate) data: Vec<f64>,
 }
 
 impl DistanceMatrix {

@@ -33,11 +33,15 @@ const DEFAULT_INCREMENTAL_MAX_DIRTY: f64 = 0.2;
 fn incremental_max_dirty() -> f64 {
     static CAP: OnceLock<f64> = OnceLock::new();
     *CAP.get_or_init(|| {
-        std::env::var("PUBSUB_INCREMENTAL_MAX_DIRTY")
-            .ok()
-            .and_then(|v| v.trim().parse::<f64>().ok())
-            .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
-            .unwrap_or(DEFAULT_INCREMENTAL_MAX_DIRTY)
+        crate::env_knob(
+            "PUBSUB_INCREMENTAL_MAX_DIRTY",
+            DEFAULT_INCREMENTAL_MAX_DIRTY,
+            |s| {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
+            },
+        )
     })
 }
 
@@ -264,10 +268,27 @@ impl DynamicClustering {
         let changed = self.baseline.len();
         let threshold = self.max_dirty.unwrap_or_else(incremental_max_dirty);
         let fraction = changed as f64 / self.subscriptions.len().max(1) as f64;
-        if self.framework.supports_incremental() && fraction <= threshold {
+        let moves = if self.framework.supports_incremental() && fraction <= threshold {
             self.rebalance_incremental(changed)
         } else {
             self.rebalance_full(changed)
+        };
+        self.debug_validate("DynamicClustering::rebalance");
+        moves
+    }
+
+    /// Debug-build structural audit at the rebalance boundary: the
+    /// framework and clustering leaving either maintenance path must
+    /// satisfy every invariant [`crate::Validator`] knows about. Free
+    /// in release builds.
+    #[inline]
+    fn debug_validate(&self, _context: &str) {
+        #[cfg(debug_assertions)]
+        {
+            let mut v = crate::Validator::new();
+            v.check_framework(&self.framework)
+                .check_clustering(&self.framework, &self.clustering);
+            v.assert_clean(_context);
         }
     }
 
@@ -277,6 +298,7 @@ impl DynamicClustering {
     /// nothing.
     #[allow(clippy::type_complexity)]
     fn take_delta(&mut self) -> (Vec<(usize, Rect)>, Vec<(usize, Rect)>) {
+        // lint: allow(hash-order): collected then sorted on the next line
         let mut ids: Vec<usize> = self.baseline.keys().copied().collect();
         ids.sort_unstable();
         let mut added = Vec::new();
@@ -346,6 +368,8 @@ impl DynamicClustering {
                         }
                     }
                     votes
+                        // lint: allow(hash-order): max over the total key
+                        // (count, group id) is order-independent
                         .into_iter()
                         .max_by_key(|&(g, count)| (count, usize::MAX - g))
                         .map(|(g, _)| g)
@@ -400,6 +424,8 @@ impl DynamicClustering {
                     }
                 }
                 votes
+                    // lint: allow(hash-order): max over the total key
+                    // (count, group id) is order-independent
                     .into_iter()
                     .max_by_key(|&(g, count)| (count, usize::MAX - g))
                     .map(|(g, _)| g)
@@ -451,6 +477,7 @@ impl DynamicClustering {
         self.framework = new_fw;
         self.clustering = clustering;
         self.finish_full(changed, moves);
+        self.debug_validate("DynamicClustering::rebuild");
         moves
     }
 }

@@ -32,10 +32,11 @@ const DEFAULT_DISTANCE_CACHE_CELLS: usize = 6144;
 fn distance_cache_cap() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
-        std::env::var("PUBSUB_DISTANCE_CACHE_CELLS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_DISTANCE_CACHE_CELLS)
+        crate::env_knob(
+            "PUBSUB_DISTANCE_CACHE_CELLS",
+            DEFAULT_DISTANCE_CACHE_CELLS,
+            |s| s.parse().ok(),
+        )
     })
 }
 
@@ -180,31 +181,31 @@ pub struct FrameworkStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridFramework {
-    grid: Grid,
-    num_subscribers: usize,
-    hypercells: Vec<HyperCell>,
-    cell_to_hyper: HashMap<CellId, usize>,
+    pub(crate) grid: Grid,
+    pub(crate) num_subscribers: usize,
+    pub(crate) hypercells: Vec<HyperCell>,
+    pub(crate) cell_to_hyper: HashMap<CellId, usize>,
     /// Lazily-built pairwise distance cache, shared by clones. `None`
     /// once initialized means "too large to cache" — consumers fall back
     /// to computing distances on the fly.
-    distances: OnceLock<Option<Arc<DistanceMatrix>>>,
+    pub(crate) distances: OnceLock<Option<Arc<DistanceMatrix>>>,
     /// Whether the framework holds *every* merged hyper-cell (merged
     /// build, nothing truncated or filtered) — the precondition for
     /// [`GridFramework::apply_delta`], which assumes each live cell is
     /// mapped and each membership vector appears exactly once.
-    complete: bool,
+    pub(crate) complete: bool,
     /// Interning state carried across incremental updates; lazily
     /// initialized by the first [`GridFramework::apply_delta`].
-    incremental: Option<IncrementalState>,
+    pub(crate) incremental: Option<IncrementalState>,
 }
 
 /// Hash-consed membership state the incremental path keeps between
 /// deltas: the pool of distinct vectors plus each hyper-cell's id.
 #[derive(Debug, Clone)]
-struct IncrementalState {
-    pool: MembershipPool,
+pub(crate) struct IncrementalState {
+    pub(crate) pool: MembershipPool,
     /// Interned id per hyper-cell, aligned with `hypercells`.
-    hyper_ids: Vec<MembershipId>,
+    pub(crate) hyper_ids: Vec<MembershipId>,
 }
 
 /// Per-cell bit flips accumulated from the delta rectangles.
@@ -293,6 +294,8 @@ impl GridFramework {
             }
         }
         let mut hypercells: Vec<HyperCell> = cell_members
+            // lint: allow(hash-order): totally sorted by (popularity, first
+            // cell) below
             .into_iter()
             .map(|(cell, members)| HyperCell {
                 prob: probs.prob(cell),
@@ -304,6 +307,7 @@ impl GridFramework {
             b.popularity()
                 .partial_cmp(&a.popularity())
                 .expect("popularity is never NaN")
+                // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
                 .then_with(|| a.cells[0].cmp(&b.cells[0]))
         });
         if let Some(max) = max_cells {
@@ -312,6 +316,7 @@ impl GridFramework {
         let cell_to_hyper = hypercells
             .iter()
             .enumerate()
+            // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
             .map(|(h, hc)| (hc.cells[0], h))
             .collect();
         GridFramework {
@@ -371,6 +376,7 @@ impl GridFramework {
                     parallel::par_chunks(num_subscribers, chunk, build_partial).into_iter();
                 let mut merged = partials.next().unwrap_or_default();
                 for partial in partials {
+                    // lint: allow(hash-order): merged by commutative set union
                     for (cell, members) in partial {
                         match merged.entry(cell) {
                             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -386,10 +392,16 @@ impl GridFramework {
             };
         // 2. Merge identical membership vectors into hyper-cells.
         let mut by_members: HashMap<BitSet, Vec<CellId>> = HashMap::new();
+        // lint: allow(hash-order): grouping only; each group's cells are
+        // sorted below and the hyper-cell list gets a total-order sort
         for (cell, members) in cell_members {
             by_members.entry(members).or_default().push(cell);
         }
+        // lint: allow(hash-order): per-entry work is order-local (cells are
+        // sorted, prob summed in sorted cell order); the list is totally
+        // sorted by (popularity, first cell) before use
         let mut hypercells: Vec<HyperCell> = by_members
+            // lint: allow(hash-order): see the note above
             .into_iter()
             .map(|(members, mut cells)| {
                 cells.sort_unstable();
@@ -407,6 +419,7 @@ impl GridFramework {
             b.popularity()
                 .partial_cmp(&a.popularity())
                 .expect("popularity is never NaN")
+                // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
                 .then_with(|| a.cells[0].cmp(&b.cells[0]))
         });
         let complete = match max_cells {
@@ -717,6 +730,7 @@ impl GridFramework {
                 ops.entry(c).or_default().sets.push(*id);
             }
         }
+        // lint: allow(hash-order): collected then sorted by cell id below
         let mut flipped: Vec<(CellId, CellOps)> = ops.into_iter().collect();
         flipped.sort_unstable_by_key(|&(c, _)| c);
 
@@ -814,6 +828,8 @@ impl GridFramework {
         //    key to distance reuse and warm starts).
         let mut rebuilt: Vec<(HyperCell, MembershipId, Option<usize>)> =
             Vec::with_capacity(groups.len());
+        // lint: allow(hash-order): per-group work is order-local; `rebuilt`
+        // gets a total-order sort by (popularity, first cell) below
         for (raw_id, b) in groups {
             if b.cells.is_empty() {
                 continue;
@@ -852,6 +868,7 @@ impl GridFramework {
             b.0.popularity()
                 .partial_cmp(&a.0.popularity())
                 .expect("popularity is never NaN")
+                // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
                 .then_with(|| a.0.cells[0].cmp(&b.0.cells[0]))
         });
 

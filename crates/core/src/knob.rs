@@ -1,0 +1,112 @@
+//! Environment-knob parsing with loud misconfiguration reports.
+//!
+//! Every `PUBSUB_*` tuning variable in the workspace is read through
+//! [`env_knob`]. An *unset* variable silently yields the default — that
+//! is the normal case — but a variable that is set to something the
+//! knob cannot use (`PUBSUB_THREADS=abc`, `PUBSUB_THREADS=0`) is a
+//! misconfiguration: silently falling back to the default turns a typo
+//! into hours of "why is my override ignored". Each malformed knob is
+//! reported **once per process** to stderr, then the default applies.
+//!
+//! The knob registry is cross-checked statically by `pubsub-lint`:
+//! every `PUBSUB_*` name read in code must be documented in
+//! `docs/BENCHMARK.md`, and vice versa.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Knob names already reported as malformed (once-per-process gate).
+static WARNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Records that `name` was malformed; returns `true` the first time a
+/// given knob is recorded, `false` on every repeat.
+fn note_malformed(name: &'static str) -> bool {
+    let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    warned.insert(name)
+}
+
+/// Reads the environment knob `name`, parsing it with `parse`.
+///
+/// * unset → `default`, silently (the normal case);
+/// * set and `parse` accepts the trimmed value → that value;
+/// * set but unusable (non-UTF-8, or `parse` returns `None`) →
+///   `default`, with a one-time report on stderr.
+///
+/// `parse` should return `None` for any value the knob cannot honor —
+/// including out-of-range ones — so that rejected overrides are
+/// reported instead of silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// let threads = pubsub_core::env_knob("PUBSUB_THREADS", 4usize, |s| {
+///     s.parse().ok().filter(|&n| n > 0)
+/// });
+/// assert!(threads > 0);
+/// ```
+pub fn env_knob<T>(name: &'static str, default: T, parse: impl FnOnce(&str) -> Option<T>) -> T {
+    let raw = match std::env::var(name) {
+        Ok(raw) => raw,
+        Err(std::env::VarError::NotPresent) => return default,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            if note_malformed(name) {
+                eprintln!(
+                    "pubsub: {name} is set to a non-UTF-8 value; \
+                     using the default (see docs/BENCHMARK.md)"
+                );
+            }
+            return default;
+        }
+    };
+    match parse(raw.trim()) {
+        Some(v) => v,
+        None => {
+            if note_malformed(name) {
+                eprintln!(
+                    "pubsub: ignoring malformed {name}={raw:?}; \
+                     using the default (see docs/BENCHMARK.md)"
+                );
+            }
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_is_silent_default() {
+        std::env::remove_var("PUBSUB_TEST_KNOB_UNSET");
+        let v = env_knob("PUBSUB_TEST_KNOB_UNSET", 7usize, |s| s.parse().ok());
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn set_and_valid_overrides() {
+        std::env::set_var("PUBSUB_TEST_KNOB_VALID", " 42 ");
+        let v = env_knob("PUBSUB_TEST_KNOB_VALID", 7usize, |s| s.parse().ok());
+        assert_eq!(v, 42, "trimmed value parses");
+    }
+
+    #[test]
+    fn malformed_falls_back_and_rejected_range_counts_as_malformed() {
+        std::env::set_var("PUBSUB_TEST_KNOB_BAD", "abc");
+        let v = env_knob("PUBSUB_TEST_KNOB_BAD", 7usize, |s| s.parse().ok());
+        assert_eq!(v, 7);
+        // A parseable but out-of-range value is also rejected.
+        std::env::set_var("PUBSUB_TEST_KNOB_RANGE", "0");
+        let v = env_knob("PUBSUB_TEST_KNOB_RANGE", 7usize, |s| {
+            s.parse().ok().filter(|&n| n > 0)
+        });
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn reports_once_per_knob() {
+        assert!(note_malformed("PUBSUB_TEST_KNOB_ONCE"));
+        assert!(!note_malformed("PUBSUB_TEST_KNOB_ONCE"));
+        assert!(note_malformed("PUBSUB_TEST_KNOB_TWICE"));
+    }
+}

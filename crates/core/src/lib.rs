@@ -53,6 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clustering;
@@ -63,6 +64,7 @@ mod dynamic;
 mod framework;
 mod intern;
 mod kmeans;
+mod knob;
 mod match_index;
 mod matching;
 mod membership;
@@ -70,6 +72,7 @@ mod mst_cluster;
 mod noloss;
 mod pairs;
 pub mod parallel;
+mod validate;
 mod waste;
 
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
@@ -80,10 +83,12 @@ pub use dynamic::{DynamicClustering, DynamicError, RebalanceStats, SubscriptionI
 pub use framework::{CellProbability, DeltaReport, FrameworkStats, GridFramework, HyperCell};
 pub use intern::{MembershipId, MembershipPool};
 pub use kmeans::{KMeans, KMeansVariant};
+pub use knob::env_knob;
 pub use match_index::SubscriptionIndex;
 pub use matching::{Delivery, GridMatcher};
 pub use membership::BitSet;
 pub use mst_cluster::MstClustering;
 pub use noloss::{NoLossClustering, NoLossConfig, NoLossRegion};
 pub use pairs::{PairsStrategy, PairwiseGrouping};
+pub use validate::{ValidationError, Validator, Violation};
 pub use waste::{expected_waste, popularity};

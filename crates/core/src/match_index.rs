@@ -52,6 +52,7 @@ impl SubscriptionIndex {
                 len: 0,
             };
         }
+        // lint: allow(no-literal-index): the empty case returned above
         let dim = subscriptions[0].dim();
         let items: Vec<(Rect, usize)> = subscriptions
             .iter()

@@ -79,6 +79,7 @@ impl ClusteringAlgorithm for MstClustering {
         let mut in_tree = vec![false; l];
         let mut best = vec![f64::INFINITY; l];
         let mut best_from = vec![0usize; l];
+        // lint: allow(no-literal-index): l >= 1 (the l == 0 case returned above)
         in_tree[0] = true;
         // With the cache a distance is a load — a parallel row would be
         // all fan-out overhead. Without it each d() walks two membership

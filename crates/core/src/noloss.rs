@@ -94,11 +94,11 @@ pub struct NoLossRegion {
 /// ```
 #[derive(Debug, Clone)]
 pub struct NoLossClustering {
-    regions: Vec<NoLossRegion>,
+    pub(crate) regions: Vec<NoLossRegion>,
     tree: RTree<usize>,
     /// `regions[i].subscribers.count()`, precomputed at build time so
     /// the matcher's comparator never re-counts a bit-set.
-    counts: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
 }
 
 /// Exact bit-pattern key for a rectangle (used to merge duplicate
@@ -177,6 +177,7 @@ impl NoLossClustering {
                 counts: Vec::new(),
             };
         }
+        // lint: allow(no-literal-index): the empty case returned above
         let dim = subscriptions[0].dim();
         for r in subscriptions {
             assert_eq!(r.dim(), dim, "subscription dimension mismatch");

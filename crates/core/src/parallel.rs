@@ -48,10 +48,9 @@ thread_local! {
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("PUBSUB_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        crate::env_knob("PUBSUB_THREADS", None, |s| {
+            s.parse::<usize>().ok().filter(|&n| n > 0).map(Some)
+        })
     })
 }
 

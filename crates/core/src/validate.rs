@@ -1,0 +1,1104 @@
+//! Structural invariant validation for the clustering artifacts.
+//!
+//! The paper's guarantees are *structural*: hyper-cells partition the
+//! set of live grid cells, every kept cell maps to exactly one group,
+//! the compiled dispatch table reproduces `Grid::cell_of` bit-for-bit,
+//! and No-Loss never lists a subscriber whose rectangle does not
+//! contain the region. After several layers of performance work
+//! (parallel fan-out, incremental deltas, compiled dispatch) those
+//! guarantees are easy to erode silently. [`Validator`] audits the
+//! artifacts directly:
+//!
+//! * [`Validator::check_framework`] — hyper-cells partition the cell
+//!   space, the cell→hyper index is exact, popularity ranking is
+//!   monotone, interned membership ids resolve to the stored bitsets,
+//!   and the pairwise distance cache agrees with freshly recomputed
+//!   [`expected_waste`] values bit-for-bit;
+//! * [`Validator::check_clustering`] — groups partition the hyper-cells
+//!   and their member/probability aggregates match a recompute;
+//! * [`Validator::check_dispatch_plan`] — the compiled tables agree
+//!   entry-for-entry with the framework and clustering they were
+//!   compiled from, and point location agrees with
+//!   [`GridFramework::hyper_of_point`] on a deterministic point sample;
+//! * [`Validator::check_noloss`] — the containment guarantee and the
+//!   precomputed per-region counts.
+//!
+//! Checks are wired as debug assertions at the
+//! [`DynamicClustering`](crate::DynamicClustering) rebalance
+//! boundaries and as explicit steps in the churn/dispatch bench
+//! binaries; the mutation tests below corrupt each artifact field and
+//! assert the validator flags every corruption.
+
+use std::sync::Arc;
+
+use geometry::{Point, Rect};
+
+use crate::clustering::Clustering;
+use crate::dispatch::{CellTable, DispatchPlan, NO_SLOT};
+use crate::distance::DistanceMatrix;
+use crate::framework::GridFramework;
+use crate::membership::BitSet;
+use crate::noloss::NoLossClustering;
+use crate::waste::expected_waste;
+
+/// Pairs per distance-matrix audit: small matrices are checked in
+/// full, larger ones on a deterministic strided sample of this size.
+const DISTANCE_SAMPLE_PAIRS: usize = 4096;
+
+/// Points thrown at [`DispatchPlan::locate`] per audit.
+const LOCATE_SAMPLE_POINTS: usize = 256;
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable name of the invariant (e.g. `framework.cell-partition`).
+    pub invariant: &'static str,
+    /// What disagreed, with enough indices to reproduce.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Error carrying every violation a [`Validator`] collected.
+#[derive(Debug, Clone)]
+pub struct ValidationError {
+    /// The violations, in check order.
+    pub violations: Vec<Violation>,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} structural invariant(s) violated:",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Audits clustering artifacts for structural invariants, collecting
+/// every violation instead of stopping at the first.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Grid, Interval, Rect};
+/// use pubsub_core::{
+///     CellProbability, ClusteringAlgorithm, GridFramework, KMeans, KMeansVariant, Validator,
+/// };
+///
+/// let grid = Grid::cube(0.0, 10.0, 1, 10)?;
+/// let subs = vec![Rect::new(vec![Interval::new(0.0, 5.0)?])];
+/// let probs = CellProbability::uniform(&grid);
+/// let fw = GridFramework::build(grid, &subs, &probs, None);
+/// let clustering = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 2);
+/// let mut v = Validator::new();
+/// v.check_framework(&fw).check_clustering(&fw, &clustering);
+/// assert!(v.is_clean());
+/// v.finish()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Validator {
+    violations: Vec<Violation>,
+}
+
+impl Validator {
+    /// Creates a validator with no recorded violations.
+    pub fn new() -> Self {
+        Validator::default()
+    }
+
+    fn fail(&mut self, invariant: &'static str, detail: String) {
+        self.violations.push(Violation { invariant, detail });
+    }
+
+    /// The violations recorded so far, in check order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no check so far found a violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Consumes the validator: `Ok(())` when clean, otherwise the full
+    /// violation report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError`] listing every recorded violation.
+    pub fn finish(self) -> Result<(), ValidationError> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationError {
+                violations: self.violations,
+            })
+        }
+    }
+
+    /// Panics with the full report if any check failed; `context` names
+    /// the call site in the panic message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when at least one violation was recorded.
+    pub fn assert_clean(&self, context: &str) {
+        assert!(
+            self.violations.is_empty(),
+            "structural audit failed at {context}:\n{}",
+            ValidationError {
+                violations: self.violations.clone()
+            }
+        );
+    }
+
+    /// Audits a [`GridFramework`]: cell partition, index exactness,
+    /// popularity ranking, interned membership resolution, and the
+    /// distance cache (when materialized).
+    pub fn check_framework(&mut self, fw: &GridFramework) -> &mut Self {
+        let hcs = &fw.hypercells;
+        let num_cells = fw.grid.num_cells();
+
+        // Hyper-cells partition the live cell space and the
+        // cell→hyper index is exactly their union.
+        let mut mapped_cells = 0usize;
+        for (h, hc) in hcs.iter().enumerate() {
+            if hc.cells.is_empty() {
+                self.fail(
+                    "framework.cell-partition",
+                    format!("hyper-cell {h} holds no cells"),
+                );
+            }
+            mapped_cells += hc.cells.len();
+            for &cell in &hc.cells {
+                if cell.index() >= num_cells {
+                    self.fail(
+                        "framework.cell-partition",
+                        format!("hyper-cell {h} holds out-of-range cell {cell:?}"),
+                    );
+                }
+                match fw.cell_to_hyper.get(&cell) {
+                    Some(&mapped) if mapped == h => {}
+                    Some(&mapped) => self.fail(
+                        "framework.cell-partition",
+                        format!("cell {cell:?} sits in hyper-cell {h} but maps to {mapped}"),
+                    ),
+                    None => self.fail(
+                        "framework.cell-partition",
+                        format!("cell {cell:?} of hyper-cell {h} is missing from the index"),
+                    ),
+                }
+            }
+            if hc.members.universe() != fw.num_subscribers {
+                self.fail(
+                    "framework.member-universe",
+                    format!(
+                        "hyper-cell {h} members cover universe {} != {} subscribers",
+                        hc.members.universe(),
+                        fw.num_subscribers
+                    ),
+                );
+            }
+            if !hc.prob.is_finite() || hc.prob < 0.0 {
+                self.fail(
+                    "framework.cell-probability",
+                    format!("hyper-cell {h} has probability {}", hc.prob),
+                );
+            }
+        }
+        if fw.cell_to_hyper.len() != mapped_cells {
+            self.fail(
+                "framework.cell-partition",
+                format!(
+                    "index maps {} cells but hyper-cells hold {mapped_cells} \
+                     (a cell is shared or dangling)",
+                    fw.cell_to_hyper.len()
+                ),
+            );
+        }
+        for (&cell, &h) in &fw.cell_to_hyper {
+            if h >= hcs.len() {
+                self.fail(
+                    "framework.cell-partition",
+                    format!(
+                        "cell {cell:?} maps to dropped hyper-cell {h} of {}",
+                        hcs.len()
+                    ),
+                );
+            }
+        }
+
+        // Popularity ranking is non-increasing (build and apply_delta
+        // both sort by descending popularity).
+        for w in 1..hcs.len() {
+            if hcs[w - 1].popularity() < hcs[w].popularity() {
+                self.fail(
+                    "framework.popularity-order",
+                    format!(
+                        "hyper-cell {} (popularity {}) ranked above {} (popularity {})",
+                        w - 1,
+                        hcs[w - 1].popularity(),
+                        w,
+                        hcs[w].popularity()
+                    ),
+                );
+            }
+        }
+
+        // Interned membership ids resolve to the stored bitsets.
+        if let Some(inc) = &fw.incremental {
+            if inc.hyper_ids.len() != hcs.len() {
+                self.fail(
+                    "framework.intern-resolution",
+                    format!(
+                        "{} interned ids for {} hyper-cells",
+                        inc.hyper_ids.len(),
+                        hcs.len()
+                    ),
+                );
+            }
+            if inc.pool.universe() != fw.num_subscribers {
+                self.fail(
+                    "framework.intern-resolution",
+                    format!(
+                        "pool universe {} != {} subscribers",
+                        inc.pool.universe(),
+                        fw.num_subscribers
+                    ),
+                );
+            }
+            for (h, (&id, hc)) in inc.hyper_ids.iter().zip(hcs).enumerate() {
+                if inc.pool.get(id) != &hc.members {
+                    self.fail(
+                        "framework.intern-resolution",
+                        format!(
+                            "hyper-cell {h}: interned id {} resolves to a different bitset",
+                            id.index()
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Distance cache (when materialized): symmetry is structural
+        // (one stored entry per unordered pair), so audit shape and
+        // row/cell agreement with freshly recomputed expected waste.
+        if let Some(Some(m)) = fw.distances.get() {
+            self.check_distance_matrix(fw, m);
+        }
+        self
+    }
+
+    fn check_distance_matrix(&mut self, fw: &GridFramework, m: &Arc<DistanceMatrix>) {
+        let hcs = &fw.hypercells;
+        let n = m.n;
+        if n != hcs.len() {
+            self.fail(
+                "framework.distance-shape",
+                format!(
+                    "matrix covers {n} hyper-cells, framework holds {}",
+                    hcs.len()
+                ),
+            );
+            return;
+        }
+        if m.data.len() != n * n.saturating_sub(1) / 2 {
+            self.fail(
+                "framework.distance-shape",
+                format!(
+                    "matrix stores {} entries for {n} hyper-cells (want {})",
+                    m.data.len(),
+                    n * n.saturating_sub(1) / 2
+                ),
+            );
+            return;
+        }
+        // Deterministic strided pair sample; complete for small l. The
+        // recomputation is the very expression DistanceMatrix::build
+        // uses, so agreement must be bit-for-bit — this is what catches
+        // a row desynced by apply_delta's cache reuse.
+        let total_pairs = m.data.len();
+        let stride = (total_pairs / DISTANCE_SAMPLE_PAIRS).max(1);
+        let mut flat = 0usize;
+        while flat < total_pairs {
+            let (i, j) = triangle_coords(flat);
+            let direct = expected_waste(hcs[i].prob, &hcs[i].members, hcs[j].prob, &hcs[j].members);
+            if m.data[flat].to_bits() != direct.to_bits() {
+                self.fail(
+                    "framework.distance-agreement",
+                    format!(
+                        "d({i},{j}) cached as {} but recomputes to {direct}",
+                        m.data[flat]
+                    ),
+                );
+            }
+            flat += stride;
+        }
+    }
+
+    /// Audits a [`Clustering`] against the framework it was built over:
+    /// dense group indices, a one-to-one hyper-cell partition, and
+    /// member/probability aggregates matching a recompute.
+    pub fn check_clustering(&mut self, fw: &GridFramework, c: &Clustering) -> &mut Self {
+        let hcs = &fw.hypercells;
+        if c.hyper_to_group.len() != hcs.len() {
+            self.fail(
+                "clustering.assignment-shape",
+                format!(
+                    "{} assignments for {} hyper-cells",
+                    c.hyper_to_group.len(),
+                    hcs.len()
+                ),
+            );
+            return self;
+        }
+        for (h, &g) in c.hyper_to_group.iter().enumerate() {
+            if g >= c.groups.len() {
+                self.fail(
+                    "clustering.assignment-shape",
+                    format!("hyper-cell {h} assigned to group {g} of {}", c.groups.len()),
+                );
+            }
+        }
+
+        // Groups partition the hyper-cells, consistently with the
+        // assignment vector.
+        let mut seen = vec![false; hcs.len()];
+        for (g, group) in c.groups.iter().enumerate() {
+            if group.hypercells.is_empty() {
+                self.fail(
+                    "clustering.hyper-partition",
+                    format!("group {g} is empty (empty groups must be dropped)"),
+                );
+            }
+            for &h in &group.hypercells {
+                if h >= hcs.len() {
+                    self.fail(
+                        "clustering.hyper-partition",
+                        format!("group {g} holds out-of-range hyper-cell {h}"),
+                    );
+                    continue;
+                }
+                if seen[h] {
+                    self.fail(
+                        "clustering.hyper-partition",
+                        format!("hyper-cell {h} appears in more than one group"),
+                    );
+                }
+                seen[h] = true;
+                if c.hyper_to_group.get(h) != Some(&g) {
+                    self.fail(
+                        "clustering.hyper-partition",
+                        format!(
+                            "group {g} holds hyper-cell {h} but the assignment says {:?}",
+                            c.hyper_to_group.get(h)
+                        ),
+                    );
+                }
+            }
+
+            // Member and probability aggregates match a recompute.
+            let mut members = BitSet::new(fw.num_subscribers);
+            let mut prob = 0.0f64;
+            for &h in &group.hypercells {
+                if let Some(hc) = hcs.get(h) {
+                    members.union_with(&hc.members);
+                    prob += hc.prob;
+                }
+            }
+            if group.members != members {
+                self.fail(
+                    "clustering.group-members",
+                    format!(
+                        "group {g} stores {} members but its hyper-cells union to {}",
+                        group.members.count(),
+                        members.count()
+                    ),
+                );
+            }
+            // The iterative algorithms accumulate probability in move
+            // order, so compare with a tolerance instead of bit-for-bit.
+            let scale = prob.abs().max(1.0);
+            if !group.prob.is_finite() || (group.prob - prob).abs() > 1e-9 * scale {
+                self.fail(
+                    "clustering.group-probability",
+                    format!(
+                        "group {g} stores probability {} but its hyper-cells sum to {prob}",
+                        group.prob
+                    ),
+                );
+            }
+        }
+        for (h, &covered) in seen.iter().enumerate() {
+            if !covered {
+                self.fail(
+                    "clustering.hyper-partition",
+                    format!("hyper-cell {h} belongs to no group"),
+                );
+            }
+        }
+        self
+    }
+
+    /// Audits a [`DispatchPlan`] against the framework and clustering it
+    /// was compiled from: table exactness, flattened group state, and
+    /// point-location agreement on a deterministic sample.
+    pub fn check_dispatch_plan(
+        &mut self,
+        fw: &GridFramework,
+        c: &Clustering,
+        plan: &DispatchPlan,
+    ) -> &mut Self {
+        let hcs = &fw.hypercells;
+        if !(0.0..=1.0).contains(&plan.threshold) {
+            self.fail(
+                "dispatch.threshold-range",
+                format!("threshold {} outside [0, 1]", plan.threshold),
+            );
+        }
+        if plan.num_subscribers != fw.num_subscribers
+            || plan.words != fw.num_subscribers.div_ceil(64)
+        {
+            self.fail(
+                "dispatch.subscriber-shape",
+                format!(
+                    "plan compiled for {} subscribers / {} words, framework has {}",
+                    plan.num_subscribers, plan.words, fw.num_subscribers
+                ),
+            );
+            return self;
+        }
+
+        // The cell table is exactly the framework's cell→hyper index.
+        let mut table_entries = 0usize;
+        match &plan.table {
+            CellTable::Dense(t) => {
+                if t.len() != fw.grid.num_cells() {
+                    self.fail(
+                        "dispatch.cell-table",
+                        format!(
+                            "dense table covers {} cells, grid has {}",
+                            t.len(),
+                            fw.grid.num_cells()
+                        ),
+                    );
+                }
+                for (idx, &slot) in t.iter().enumerate() {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    table_entries += 1;
+                    if slot as usize >= hcs.len() {
+                        self.fail(
+                            "dispatch.cell-table",
+                            format!("cell {idx} points at hyper-cell {slot} of {}", hcs.len()),
+                        );
+                    }
+                }
+            }
+            CellTable::Sparse(map) => {
+                table_entries = map.len();
+                for (&idx, &slot) in map {
+                    if slot as usize >= hcs.len() {
+                        self.fail(
+                            "dispatch.cell-table",
+                            format!("cell {idx} points at hyper-cell {slot} of {}", hcs.len()),
+                        );
+                    }
+                }
+            }
+        }
+        if table_entries != fw.cell_to_hyper.len() {
+            self.fail(
+                "dispatch.cell-table",
+                format!(
+                    "table keeps {table_entries} cells, framework keeps {}",
+                    fw.cell_to_hyper.len()
+                ),
+            );
+        }
+        for (&cell, &h) in &fw.cell_to_hyper {
+            let slot = match &plan.table {
+                CellTable::Dense(t) => t.get(cell.index()).copied(),
+                CellTable::Sparse(map) => map.get(&cell.index()).copied(),
+            };
+            if slot != Some(h as u32) {
+                self.fail(
+                    "dispatch.cell-table",
+                    format!("cell {cell:?} maps to {h} in the framework but {slot:?} in the plan"),
+                );
+            }
+        }
+
+        // Per-hyper-cell state: group assignment and flattened members.
+        if plan.hyper_group.len() != hcs.len() {
+            self.fail(
+                "dispatch.hyper-state",
+                format!(
+                    "plan compiled for {} hyper-cells, framework holds {}",
+                    plan.hyper_group.len(),
+                    hcs.len()
+                ),
+            );
+            return self;
+        }
+        if c.hyper_to_group.len() == hcs.len() {
+            for (h, &g) in plan.hyper_group.iter().enumerate() {
+                if g as usize != c.hyper_to_group[h] {
+                    self.fail(
+                        "dispatch.hyper-state",
+                        format!(
+                            "hyper-cell {h} compiled into group {g}, clustering says {}",
+                            c.hyper_to_group[h]
+                        ),
+                    );
+                }
+            }
+        }
+        self.check_flattened(
+            "dispatch.hyper-state",
+            &plan.hyper_offsets,
+            &plan.hyper_members,
+            hcs.len(),
+            |h| hcs.get(h).map(|hc| &hc.members),
+        );
+
+        // Per-group state: sizes, packed words and flattened members.
+        if plan.group_size.len() != c.groups.len()
+            || plan.group_words.len() != c.groups.len() * plan.words
+        {
+            self.fail(
+                "dispatch.group-state",
+                format!(
+                    "plan compiled {} groups / {} packed words, clustering has {}",
+                    plan.group_size.len(),
+                    plan.group_words.len(),
+                    c.groups.len()
+                ),
+            );
+            return self;
+        }
+        for (g, group) in c.groups.iter().enumerate() {
+            if plan.group_size[g] as usize != group.members.count() {
+                self.fail(
+                    "dispatch.group-state",
+                    format!(
+                        "group {g} compiled size {} but has {} members",
+                        plan.group_size[g],
+                        group.members.count()
+                    ),
+                );
+            }
+            let words = &plan.group_words[g * plan.words..(g + 1) * plan.words];
+            if words != group.members.words() {
+                self.fail(
+                    "dispatch.group-state",
+                    format!("group {g}'s packed membership words disagree with the clustering"),
+                );
+            }
+        }
+        self.check_flattened(
+            "dispatch.group-state",
+            &plan.group_offsets,
+            &plan.group_members,
+            c.groups.len(),
+            |g| c.groups.get(g).map(|group| &group.members),
+        );
+
+        // Point location agrees with the framework on a deterministic
+        // sample (in-bounds, boundary and out-of-bounds points).
+        for p in sample_points(fw, LOCATE_SAMPLE_POINTS) {
+            let from_plan = plan.locate(&p).map(|s| s as usize);
+            let from_grid = fw.hyper_of_point(&p);
+            if from_plan != from_grid {
+                self.fail(
+                    "dispatch.locate-agreement",
+                    format!(
+                        "point {:?} locates to {from_plan:?} in the plan, {from_grid:?} \
+                         via Grid::cell_of",
+                        p.coords()
+                    ),
+                );
+            }
+        }
+        self
+    }
+
+    /// Checks one flattened member-list encoding (monotone offsets
+    /// delimiting concatenated ascending member ids) against the source
+    /// bitsets.
+    fn check_flattened<'a>(
+        &mut self,
+        invariant: &'static str,
+        offsets: &[u32],
+        flat: &[u32],
+        items: usize,
+        members_of: impl Fn(usize) -> Option<&'a BitSet>,
+    ) {
+        if offsets.len() != items + 1
+            || offsets.first() != Some(&0)
+            || offsets.last().copied() != Some(flat.len() as u32)
+        {
+            self.fail(
+                invariant,
+                format!(
+                    "offset table of {} entries does not delimit {items} member lists \
+                     over {} flattened ids",
+                    offsets.len(),
+                    flat.len()
+                ),
+            );
+            return;
+        }
+        for i in 0..items {
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            if lo > hi || hi > flat.len() {
+                self.fail(
+                    invariant,
+                    format!("item {i}'s offsets {lo}..{hi} are not monotone"),
+                );
+                continue;
+            }
+            let Some(members) = members_of(i) else {
+                continue;
+            };
+            let stored = &flat[lo..hi];
+            let mut expected = members.iter();
+            let mut mismatch = stored.len() != members.count();
+            if !mismatch {
+                mismatch = stored.iter().any(|&s| expected.next() != Some(s as usize));
+            }
+            if mismatch {
+                self.fail(
+                    invariant,
+                    format!("item {i}'s flattened member list disagrees with its bitset"),
+                );
+            }
+        }
+    }
+
+    /// Audits a [`NoLossClustering`] against the subscription
+    /// rectangles: the containment guarantee (every listed subscriber's
+    /// rectangle contains the region — delivering to it can never be a
+    /// loss) and the precomputed count cache.
+    pub fn check_noloss(&mut self, subscriptions: &[Rect], nl: &NoLossClustering) -> &mut Self {
+        if nl.counts.len() != nl.regions.len() {
+            self.fail(
+                "noloss.count-cache",
+                format!(
+                    "{} cached counts for {} regions",
+                    nl.counts.len(),
+                    nl.regions.len()
+                ),
+            );
+        }
+        for (i, region) in nl.regions.iter().enumerate() {
+            if !region.weight.is_finite() || region.weight < 0.0 {
+                self.fail(
+                    "noloss.region-weight",
+                    format!("region {i} has weight {}", region.weight),
+                );
+            }
+            if region.subscribers.universe() != subscriptions.len() {
+                self.fail(
+                    "noloss.containment",
+                    format!(
+                        "region {i} members cover universe {} != {} subscriptions",
+                        region.subscribers.universe(),
+                        subscriptions.len()
+                    ),
+                );
+                continue;
+            }
+            if let Some(&cached) = nl.counts.get(i) {
+                if cached as usize != region.subscribers.count() {
+                    self.fail(
+                        "noloss.count-cache",
+                        format!(
+                            "region {i} caches count {cached} but holds {} subscribers",
+                            region.subscribers.count()
+                        ),
+                    );
+                }
+            }
+            for s in region.subscribers.iter() {
+                if !subscriptions[s].contains_rect(&region.rect) {
+                    self.fail(
+                        "noloss.containment",
+                        format!(
+                            "region {i} lists subscriber {s}, whose rectangle does not \
+                                 contain it"
+                        ),
+                    );
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Maps a flat lower-triangle offset back to its `(i, j)` pair
+/// (`i > j`), inverting `offset = i·(i−1)/2 + j`.
+fn triangle_coords(flat: usize) -> (usize, usize) {
+    let mut i = 1usize;
+    // Row i starts at i(i-1)/2; advance to the row containing `flat`.
+    while (i + 1) * i / 2 <= flat {
+        i += 1;
+    }
+    (i, flat - i * (i - 1) / 2)
+}
+
+/// Deterministic sample of points for locate-agreement audits: `n`
+/// quasi-random in-bounds points plus the corners just inside and
+/// outside the grid bounds. No RNG dependency — a fixed-seed LCG keeps
+/// the audit reproducible run to run.
+fn sample_points(fw: &GridFramework, n: usize) -> Vec<Point> {
+    let bounds = fw.grid.bounds();
+    let dim = fw.grid.dim();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next_unit = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // (0, 1]: cells are lo-exclusive, hi-inclusive.
+        ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    };
+    let mut points = Vec::with_capacity(n + 2);
+    for _ in 0..n {
+        let coords = (0..dim)
+            .map(|d| {
+                let iv = bounds.interval(d);
+                iv.lo() + next_unit() * iv.length()
+            })
+            .collect();
+        points.push(Point::new(coords));
+    }
+    // Boundary probes: the exact upper corner (in-bounds, the ceil
+    // expression's worst case) and a point past it (out-of-bounds).
+    points.push(Point::new(
+        (0..dim).map(|d| bounds.interval(d).hi()).collect(),
+    ));
+    points.push(Point::new(
+        (0..dim)
+            .map(|d| bounds.interval(d).hi() + bounds.interval(d).length())
+            .collect(),
+    ));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    use super::*;
+    use crate::framework::CellProbability;
+    use crate::kmeans::{KMeans, KMeansVariant};
+    use crate::noloss::{NoLossClustering, NoLossConfig};
+    use crate::ClusteringAlgorithm;
+    use geometry::{Grid, Interval};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    struct Scenario {
+        subs: Vec<Rect>,
+        probs: CellProbability,
+        fw: GridFramework,
+        clustering: Clustering,
+        plan: DispatchPlan,
+    }
+
+    /// A bench-shaped scenario with every auditable artifact armed:
+    /// materialized distance cache, initialized interning state, a
+    /// compiled plan with a dense table and at least two groups.
+    fn scenario() -> Scenario {
+        let mut rng = StdRng::seed_from_u64(2002);
+        let subs: Vec<Rect> = (0..30)
+            .map(|_| {
+                let lo = rng.gen_range(0.0..8.0);
+                rect1(lo, lo + rng.gen_range(0.5..2.0))
+            })
+            .collect();
+        let grid = Grid::cube(0.0, 10.0, 1, 40).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let mut fw = GridFramework::build(grid, &subs, &probs, None);
+        // Arm the incremental interning state and the distance cache.
+        fw.apply_delta(&[], &[], &probs, subs.len());
+        assert!(fw.distance_matrix().is_some(), "cache must materialize");
+        assert!(fw.hypercells.len() >= 4, "scenario too small to corrupt");
+        let clustering = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 4);
+        assert!(clustering.num_groups() >= 2, "need two groups to flip");
+        let plan = DispatchPlan::compile(&fw, &clustering).with_threshold(0.3);
+        Scenario {
+            subs,
+            probs,
+            fw,
+            clustering,
+            plan,
+        }
+    }
+
+    fn noloss_scenario() -> (Vec<Rect>, NoLossClustering) {
+        // Two separated communities: subscribers of one never contain
+        // regions of the other, so a cross-planted member is always a
+        // containment violation.
+        let subs = vec![
+            rect1(0.0, 4.0),
+            rect1(1.0, 4.5),
+            rect1(0.5, 3.5),
+            rect1(6.0, 10.0),
+            rect1(6.5, 9.5),
+        ];
+        let sample: Vec<Point> = (0..40)
+            .map(|i| Point::new(vec![0.25 * i as f64 + 0.1]))
+            .collect();
+        let nl = NoLossClustering::build(&subs, &sample, &NoLossConfig::default(), 4);
+        assert!(nl.num_groups() > 0);
+        (subs, nl)
+    }
+
+    fn audit(s: &Scenario) -> Validator {
+        let mut v = Validator::new();
+        v.check_framework(&s.fw)
+            .check_clustering(&s.fw, &s.clustering)
+            .check_dispatch_plan(&s.fw, &s.clustering, &s.plan);
+        v
+    }
+
+    /// Number of grid-artifact corruptions [`corrupt`] knows.
+    const GRID_CORRUPTIONS: usize = 12;
+
+    /// Applies corruption `kind` (entry selection varied by `salt`) and
+    /// returns its name for diagnostics.
+    fn corrupt(s: &mut Scenario, kind: usize, salt: usize) -> &'static str {
+        match kind {
+            0 => {
+                // Flip a dense cell-table entry.
+                let CellTable::Dense(t) = &mut s.plan.table else {
+                    panic!("scenario compiles a dense table");
+                };
+                let kept: Vec<usize> = (0..t.len()).filter(|&i| t[i] != NO_SLOT).collect();
+                let idx = kept[salt % kept.len()];
+                t[idx] = if t[idx] == 0 { 1 } else { t[idx] - 1 };
+                "table-entry-flip"
+            }
+            1 => {
+                // Drop a hyper-cell: its cells now dangle in the index.
+                s.fw.hypercells.pop();
+                "hypercell-drop"
+            }
+            2 => {
+                // Desync one distance-matrix entry.
+                let m = s.fw.distance_matrix().expect("cache armed");
+                let mut data = m.data.clone();
+                let n = m.n;
+                let idx = salt % data.len();
+                data[idx] += 1.0;
+                let cell = OnceLock::new();
+                cell.set(Some(Arc::new(DistanceMatrix { n, data }))).ok();
+                s.fw.distances = cell;
+                "distance-row-desync"
+            }
+            3 => {
+                // Reassign a hyper-cell behind the groups' back.
+                let h = salt % s.clustering.hyper_to_group.len();
+                let g = s.clustering.hyper_to_group[h];
+                s.clustering.hyper_to_group[h] = (g + 1) % s.clustering.groups.len();
+                "assignment-flip"
+            }
+            4 => {
+                // Drop a member from a group's stored union.
+                let g = salt % s.clustering.groups.len();
+                let m = s.clustering.groups[g]
+                    .members
+                    .iter()
+                    .next()
+                    .expect("groups are non-empty");
+                s.clustering.groups[g].members.remove(m);
+                "group-member-drop"
+            }
+            5 => {
+                // Point a kept cell at the wrong hyper-cell.
+                let l = s.fw.hypercells.len();
+                let cells: Vec<_> = s.fw.hypercells[salt % l].cells.clone();
+                let cell = cells[salt % cells.len()];
+                let wrong = (s.fw.cell_to_hyper[&cell] + 1) % l;
+                s.fw.cell_to_hyper.insert(cell, wrong);
+                "cell-index-remap"
+            }
+            6 => {
+                let g = salt % s.clustering.groups.len();
+                s.clustering.groups[g].prob += 1.0;
+                "group-probability-drift"
+            }
+            7 => {
+                // Swap two interned ids (distinct by hash-consing).
+                let inc = s.fw.incremental.as_mut().expect("interning armed");
+                inc.hyper_ids.swap(0, 1);
+                "intern-id-desync"
+            }
+            8 => {
+                s.plan.threshold = 2.0;
+                "threshold-out-of-range"
+            }
+            9 => {
+                let g = salt % s.plan.group_size.len();
+                s.plan.group_size[g] += 1;
+                "plan-group-size-drift"
+            }
+            10 => {
+                let h = salt % s.fw.hypercells.len();
+                s.fw.hypercells[h].prob = -1.0;
+                "negative-probability"
+            }
+            11 => {
+                let h = salt % s.plan.hyper_group.len();
+                let g = s.plan.hyper_group[h];
+                s.plan.hyper_group[h] = (g + 1) % s.plan.group_size.len() as u32;
+                "plan-group-flip"
+            }
+            _ => unreachable!("unknown corruption kind"),
+        }
+    }
+
+    #[test]
+    fn pristine_artifacts_are_clean() {
+        let s = scenario();
+        let v = audit(&s);
+        assert!(v.is_clean(), "false positives: {:?}", v.violations());
+        v.finish().unwrap();
+
+        let (subs, nl) = noloss_scenario();
+        let mut v = Validator::new();
+        v.check_noloss(&subs, &nl);
+        assert!(v.is_clean(), "false positives: {:?}", v.violations());
+    }
+
+    #[test]
+    fn rebalanced_dynamic_artifacts_are_clean() {
+        // The debug assertions inside rebalance()/rebuild() run the
+        // audit at every boundary; corruption of any invariant would
+        // panic here.
+        let grid = Grid::cube(0.0, 10.0, 1, 20).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let mut dynamic =
+            crate::DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), 3);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(dynamic.subscribe(rect1(i as f64, (i as f64 + 4.0).min(20.0))));
+        }
+        dynamic.rebalance();
+        dynamic.unsubscribe(ids[3]).unwrap();
+        dynamic.resubscribe(ids[5], rect1(0.5, 2.5)).unwrap();
+        dynamic.rebalance();
+        dynamic.rebuild();
+    }
+
+    #[test]
+    fn validator_flags_every_grid_corruption() {
+        for kind in 0..GRID_CORRUPTIONS {
+            let mut s = scenario();
+            let name = corrupt(&mut s, kind, 7);
+            let v = audit(&s);
+            assert!(!v.is_clean(), "corruption {kind} ({name}) went undetected");
+        }
+    }
+
+    #[test]
+    fn validator_flags_noloss_corruptions() {
+        // Plant a member whose rectangle cannot contain the region.
+        let (subs, mut nl) = noloss_scenario();
+        let i = (0..nl.regions.len())
+            .find(|&i| {
+                let r = &nl.regions[i];
+                (0..subs.len()).any(|s| !r.subscribers.contains(s))
+            })
+            .expect("some region excludes some subscriber");
+        let outsider = (0..subs.len())
+            .find(|&s| !nl.regions[i].subscribers.contains(s))
+            .unwrap();
+        nl.regions[i].subscribers.insert(outsider);
+        let mut v = Validator::new();
+        v.check_noloss(&subs, &nl);
+        assert!(!v.is_clean(), "planted member went undetected");
+
+        // Desync the precomputed count cache.
+        let (subs, mut nl) = noloss_scenario();
+        nl.counts[0] += 1;
+        let mut v = Validator::new();
+        v.check_noloss(&subs, &nl);
+        assert!(!v.is_clean(), "count desync went undetected");
+
+        // Corrupt a region weight.
+        let (subs, mut nl) = noloss_scenario();
+        nl.regions[0].weight = f64::NAN;
+        let mut v = Validator::new();
+        v.check_noloss(&subs, &nl);
+        assert!(!v.is_clean(), "NaN weight went undetected");
+    }
+
+    #[test]
+    fn error_report_lists_every_violation() {
+        let mut s = scenario();
+        corrupt(&mut s, 8, 0);
+        corrupt(&mut s, 9, 0);
+        let err = audit(&s).finish().unwrap_err();
+        assert!(err.violations.len() >= 2);
+        let text = err.to_string();
+        assert!(text.contains("dispatch.threshold-range"), "{text}");
+        assert!(text.contains("dispatch.group-state"), "{text}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mutation-style sweep: every corruption kind, at an
+        /// arbitrary entry, must be flagged — 100% mutation kill.
+        #[test]
+        fn mutation_sweep_kills_every_corruption(
+            kind in 0usize..GRID_CORRUPTIONS,
+            salt in 0usize..1_000_000,
+        ) {
+            let mut s = scenario();
+            let name = corrupt(&mut s, kind, salt);
+            let v = audit(&s);
+            prop_assert!(
+                !v.is_clean(),
+                "corruption {} ({}) with salt {} went undetected",
+                kind, name, salt
+            );
+        }
+
+        /// The audit itself must never report a false positive on a
+        /// freshly built (delta-updated) framework.
+        #[test]
+        fn no_false_positives_after_delta(seed in 0u64..500) {
+            let mut s = scenario();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let id = s.subs.len();
+            let lo = rng.gen_range(0.0..8.0);
+            let added = vec![(id, rect1(lo, lo + 1.0))];
+            let removed = vec![(0usize, s.subs[0].clone())];
+            s.fw.apply_delta(&added, &removed, &s.probs, id + 1);
+            let mut v = Validator::new();
+            v.check_framework(&s.fw);
+            prop_assert!(v.is_clean(), "false positives: {:?}", v.violations());
+        }
+    }
+}

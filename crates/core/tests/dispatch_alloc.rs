@@ -33,10 +33,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
                 ALLOCS.with(|a| a.set(a.get() + 1));
             }
         });
+        // SAFETY: forwards the unmodified layout to the system
+        // allocator, which upholds the `GlobalAlloc` contract for us.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System.alloc`/`System.realloc`
+        // (every other method forwards there) with this same `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
@@ -46,6 +50,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
                 ALLOCS.with(|a| a.set(a.get() + 1));
             }
         });
+        // SAFETY: `ptr` came from this allocator with `layout`, and the
+        // caller guarantees `new_size` is valid per `GlobalAlloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -11,6 +11,7 @@
 //! `harness = false` bench targets), benchmarks are skipped entirely so
 //! the test suite stays fast.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

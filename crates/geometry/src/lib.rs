@@ -29,6 +29,7 @@
 //! # Ok::<(), geometry::IntervalError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod decompose;

@@ -1,0 +1,20 @@
+//! Known-bad fixture: `.expect(..)` with a computed message is
+//! flagged; a string-literal message (our sanctioned invariant idiom)
+//! is not.
+
+pub fn load(name: &str) -> u32 {
+    let msg = format!("{name} must parse");
+    // BAD: computed message, flagged by no-panic.
+    name.len().to_string().parse().expect(&msg)
+}
+
+pub fn fine(name: &str) -> u32 {
+    // Literal messages state invariants and are allowed.
+    name.len().to_string().parse().expect("a usize formats as a u32")
+}
+
+pub fn fine_multiline(name: &str) -> u32 {
+    name.len().to_string().parse().expect(
+        "a usize formats as a u32, even with the literal on its own line",
+    )
+}

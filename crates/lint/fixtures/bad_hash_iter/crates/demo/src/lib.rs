@@ -1,0 +1,31 @@
+//! Known-bad fixture: iterating `HashMap`/`HashSet` contents is
+//! flagged (method form and `for .. in` form); keyed lookups and
+//! BTree containers are not.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn totals(m: &HashMap<u32, f64>) -> f64 {
+    // BAD: flagged by hash-order (f64 reduction in hash order).
+    m.values().sum()
+}
+
+pub fn label_all(set: &HashSet<String>) -> String {
+    let mut out = String::new();
+    // BAD: flagged by hash-order (ordered output from hash order).
+    for name in set {
+        out.push_str(name);
+    }
+    out
+}
+
+pub fn fine(m: &HashMap<u32, f64>, ordered: &BTreeMap<u32, f64>) -> f64 {
+    // Keyed lookups are deterministic.
+    let x = m.get(&7).copied().unwrap_or(0.0);
+    // BTree iteration is ordered.
+    x + ordered.values().sum::<f64>()
+}
+
+pub fn waived(m: &HashMap<u32, f64>) -> f64 {
+    // lint: allow(hash-order): max over totally ordered bits
+    m.values().fold(0.0, |a, &b| if b.to_bits() > a.to_bits() { b } else { a })
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture: allocating calls inside a `lint: hot-path`
+//! region are flagged; the same calls outside the region are not.
+
+pub fn setup(n: usize) -> Vec<u64> {
+    // Outside the region: allocation is fine.
+    (0..n as u64).collect()
+}
+
+// lint: hot-path
+pub fn per_event(xs: &[u64]) -> u64 {
+    // BAD: flagged by hot-path-alloc.
+    let copy = xs.to_vec();
+    // BAD: flagged by hot-path-alloc.
+    let doubled: Vec<u64> = copy.iter().map(|x| x * 2).collect();
+    // BAD: flagged by hot-path-alloc.
+    let mut extra = Vec::new();
+    extra.extend_from_slice(&doubled);
+    // BAD: flagged by hot-path-alloc.
+    let label = format!("{}", extra.len());
+    label.len() as u64 + extra.iter().sum::<u64>()
+}
+// lint: hot-path end
+
+pub fn teardown(xs: &[u64]) -> Vec<u64> {
+    // Outside again: fine.
+    xs.to_vec()
+}

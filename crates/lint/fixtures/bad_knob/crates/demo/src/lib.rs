@@ -1,0 +1,21 @@
+//! Known-bad fixture for the env-knob registry: `PUBSUB_BOGUS` is
+//! read here but missing from docs/BENCHMARK.md, and the docs promise
+//! `PUBSUB_GHOST`, which no code reads. Both directions must be
+//! flagged. `PUBSUB_DOCUMENTED` agrees on both sides and must not be.
+
+pub fn knobs() -> (Option<String>, Option<String>) {
+    // BAD: undocumented knob.
+    let a = std::env::var("PUBSUB_BOGUS").ok();
+    // Fine: documented.
+    let b = std::env::var("PUBSUB_DOCUMENTED").ok();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_knobs_are_exempt() {
+        // Fine: test-only reads are outside the registry.
+        let _ = std::env::var("PUBSUB_ONLY_IN_TESTS");
+    }
+}

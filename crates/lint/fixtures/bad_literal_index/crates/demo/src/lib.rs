@@ -1,0 +1,25 @@
+//! Known-bad fixture: numeric-literal indexing in library code is
+//! flagged; variable indexing, array literals/types, attributes, and
+//! waived sites are not.
+
+pub fn head(v: &[u8]) -> u8 {
+    // BAD: flagged by no-literal-index.
+    v[0]
+}
+
+pub fn second(v: &[u8]) -> u8 {
+    // BAD: flagged by no-literal-index.
+    v[1]
+}
+
+pub fn fine(v: &[u8], i: usize) -> u8 {
+    let arr = [0u8; 4]; // array literal + type, not indexing
+    let first = v.first().copied().unwrap_or(0);
+    first + arr[i] + v[i] // variable indexing is allowed
+}
+
+pub fn waived(v: &[u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    // lint: allow(no-literal-index): asserted non-empty above
+    v[0]
+}

@@ -1,0 +1,35 @@
+//! Known-bad fixture: `panic!`, `todo!`, and `unimplemented!` in
+//! library code are flagged; mentions in comments/strings and
+//! `#[cfg(test)]` uses are not.
+
+pub fn pick(v: &[u8]) -> u8 {
+    if v.is_empty() {
+        // BAD: flagged by no-panic.
+        panic!("empty input");
+    }
+    v[v.len() - 1]
+}
+
+pub fn later() {
+    // BAD: flagged by no-panic.
+    todo!()
+}
+
+pub fn never() {
+    // BAD: flagged by no-panic.
+    unimplemented!()
+}
+
+pub fn fine() {
+    // This comment says panic! and that is fine.
+    let _ = "panic!";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panicking_test_is_fine() {
+        panic!("tests may panic");
+    }
+}

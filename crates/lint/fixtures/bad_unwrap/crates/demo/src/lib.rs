@@ -1,0 +1,26 @@
+//! Known-bad fixture: `.unwrap()` in library code must be flagged,
+//! while `unwrap_or` relatives, strings, comments, and test code must
+//! not be.
+
+pub fn first_char(s: &str) -> char {
+    // BAD: flagged by no-panic.
+    s.chars().next().unwrap()
+}
+
+pub fn fine(s: &str) -> char {
+    // These are all fine: not `.unwrap()` calls.
+    let _ = s.parse::<u32>().unwrap_or(0);
+    let _ = s.parse::<u32>().unwrap_or_else(|_| 7);
+    let _ = s.parse::<u32>().unwrap_or_default();
+    let _ = "call .unwrap() please"; // in a string
+    s.chars().next().unwrap_or('x')
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Clean fixture: exercises every rule's *allowed* side plus the
+//! waiver syntax; `pubsub-lint` must exit 0 on this tree.
+
+use std::collections::HashMap;
+
+pub fn knob() -> usize {
+    std::env::var("PUBSUB_FIXTURE_KNOB")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1) // unwrap_or is not unwrap
+}
+
+pub fn lookup(m: &HashMap<u32, f64>, k: u32) -> f64 {
+    m.get(&k).copied().unwrap_or(0.0)
+}
+
+pub fn sorted_keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    // lint: allow(hash-order): collected then sorted on the next line
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+pub fn head(v: &[u8]) -> u8 {
+    assert!(!v.is_empty(), "head of empty slice");
+    // lint: allow(no-literal-index): asserted non-empty above
+    v[0]
+}
+
+// lint: hot-path
+pub fn per_event(xs: &[u64], scratch: &mut Vec<u64>) -> u64 {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    scratch.iter().sum()
+}
+// lint: hot-path end
+
+pub fn stated_invariant(s: &str) -> u32 {
+    s.len().to_string().parse().expect("usize formats as u32")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_anything() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        assert_eq!(super::head(&v), v.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace-local static analysis for the pub-sub clustering repo.
+//!
+//! `pubsub-lint` is a dependency-free, token-level checker that
+//! enforces the project's correctness conventions (see DESIGN.md §12):
+//!
+//! * **no-panic** — library code never calls `.unwrap()`, `panic!`,
+//!   `todo!`, `unimplemented!`, or `.expect(..)` with a computed
+//!   message; `.expect("string literal")` is the sanctioned way to
+//!   state an internal invariant.
+//! * **no-literal-index** — no `xs[0]`-style numeric-literal indexing
+//!   in library code; use `.first()` / `.get(..)` or waive the site
+//!   with a written bound proof.
+//! * **hot-path-alloc** — no allocating calls (`collect`, `clone`,
+//!   `to_vec`, `Vec::new`, `format!`, ...) inside regions bracketed by
+//!   `// lint: hot-path` markers.
+//! * **hash-order** — no iteration over `HashMap`/`HashSet` contents,
+//!   which would feed nondeterministic order into output or float
+//!   reductions.
+//! * **env-knob-registry** — every `PUBSUB_*` knob read in code is
+//!   documented in `docs/BENCHMARK.md` and vice versa.
+//!
+//! Any finding can be waived in place with
+//! `// lint: allow(<rule>): <reason>`; the reason is mandatory by
+//! convention and reviewed like code.
+//!
+//! The checker deliberately does not parse Rust. It works on a
+//! comment- and string-stripped view of each file, which keeps it
+//! fast, dependency-free, and immune to churn in the language grammar
+//! at the cost of a handful of documented blind spots (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod rules;
+mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use registry::{check_registry, collect_knobs, knob_names, KnobSites};
+pub use rules::{
+    lint_file, FileKind, Finding, RULE_HASH_ORDER, RULE_HOT_ALLOC, RULE_KNOB_REGISTRY,
+    RULE_LITERAL_INDEX, RULE_NO_PANIC,
+};
+pub use scan::{scan, ScannedFile};
+
+/// Vendored third-party API stand-ins: not our code style to police.
+const VENDORED_CRATES: [&str; 3] = ["rand", "proptest", "criterion"];
+
+/// Lint one source string as `pubsub-lint` would lint the file at
+/// `path` (workspace-relative, used for reporting and for `bin/`
+/// detection when `kind` is [`FileKind::Binary`]).
+pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Finding> {
+    lint_file(path, &scan(source), kind)
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// Scans `crates/*/src/**/*.rs` (skipping the vendored stub crates),
+/// applies the per-file rules, and finishes with the env-knob registry
+/// check against `docs/BENCHMARK.md`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    let mut knobs = KnobSites::new();
+    for crate_dir in &crate_dirs {
+        let name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if VENDORED_CRATES.contains(&name) {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let scanned = scan(&source);
+            findings.extend(lint_file(&rel, &scanned, classify(&rel)));
+            collect_knobs(&rel, &scanned, &mut knobs);
+        }
+    }
+
+    let doc_rel = "docs/BENCHMARK.md";
+    let doc_text = fs::read_to_string(root.join(doc_rel)).unwrap_or_default();
+    findings.extend(check_registry(&knobs, doc_rel, &doc_text));
+    findings.sort();
+    Ok(findings)
+}
+
+/// A file under `src/bin/` or named `src/main.rs` belongs to a binary
+/// target; everything else under `src/` is library code.
+pub fn classify(rel_path: &str) -> FileKind {
+    if rel_path.contains("/src/bin/") || rel_path.ends_with("/src/main.rs") {
+        FileKind::Binary
+    } else {
+        FileKind::Library
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk upward from `start` until a
+/// `Cargo.toml` declaring `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The `pubsub-lint` binary: run the workspace correctness lints.
+//!
+//! ```text
+//! cargo run -p pubsub-lint [-- <workspace-root>]
+//! ```
+//!
+//! Exit code 0 when the workspace is clean, 1 when any rule fired,
+//! 2 on usage or I/O errors. See `DESIGN.md` §12 for the rule
+//! catalogue and the waiver syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("pubsub-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match pubsub_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "pubsub-lint: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match pubsub_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("pubsub-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("pubsub-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pubsub-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

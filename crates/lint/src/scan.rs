@@ -1,0 +1,460 @@
+//! Comment- and string-aware source preprocessing.
+//!
+//! The lint rules are token-level: they never parse Rust, they match
+//! character patterns against a *cleaned* view of each file in which
+//! comment text and string-literal contents have been blanked out.
+//! That makes the rules immune to the classic grep failure modes — a
+//! `panic!` mentioned in a doc comment, an `unwrap` inside an error
+//! message — while staying dependency-free.
+//!
+//! The scanner also extracts the three side channels the rules need:
+//!
+//! * comment text per line (lint directives live in comments),
+//! * string-literal contents per line (the env-knob registry reads
+//!   `"PUBSUB_*"` names out of real code strings),
+//! * which lines belong to `#[cfg(test)]` regions (most rules only
+//!   apply to production code).
+
+/// A preprocessed source file.
+pub struct ScannedFile {
+    /// The source with comments and string/char contents replaced by
+    /// spaces. Newlines are preserved, so byte offsets into `code` map
+    /// to the original line numbers. String *delimiters* (the quotes)
+    /// are kept: rules use them to recognise literal arguments.
+    pub code: String,
+    /// Concatenated comment text for each line (1-indexed via
+    /// `comments[line - 1]`).
+    pub comments: Vec<String>,
+    /// `(line, content)` for every string literal in the file.
+    pub strings: Vec<(usize, String)>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Byte offset of the start of each line in `code`.
+    line_starts: Vec<usize>,
+}
+
+impl ScannedFile {
+    /// The 1-indexed line containing byte offset `pos` of `code`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether `line` (1-indexed) is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Comment text on `line` (1-indexed), empty if none.
+    pub fn comment(&self, line: usize) -> &str {
+        self.comments.get(line - 1).map_or("", String::as_str)
+    }
+
+    /// Whether `line` (1-indexed) contains any non-whitespace code.
+    pub fn line_has_code(&self, line: usize) -> bool {
+        let lo = match self.line_starts.get(line - 1) {
+            Some(&lo) => lo,
+            None => return false,
+        };
+        let hi = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.code.len());
+        self.code[lo..hi].bytes().any(|b| !b.is_ascii_whitespace())
+    }
+
+    /// Number of lines in the file.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The cleaned text of `line` (1-indexed), without the newline.
+    pub fn line_str(&self, line: usize) -> &str {
+        let lo = match self.line_starts.get(line - 1) {
+            Some(&lo) => lo,
+            None => return "",
+        };
+        let hi = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.code.len());
+        self.code[lo..hi].trim_end_matches('\n')
+    }
+
+    /// Byte offset of the start of `line` (1-indexed) in `code`.
+    pub fn line_start(&self, line: usize) -> usize {
+        self.line_starts.get(line - 1).copied().unwrap_or(0)
+    }
+}
+
+/// Preprocess `source` into a [`ScannedFile`].
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code.push('\n');
+            comments.push(String::new());
+            line += 1;
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment (plain, `///` doc, or `//!` inner doc).
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                code.push(' ');
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            comments[line - 1].push_str(&text);
+            comments[line - 1].push(' ');
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Block comment, possibly nested. Comment text is recorded
+            // per line so directives inside block comments also work.
+            let mut depth = 1usize;
+            code.push(' ');
+            code.push(' ');
+            i += 2;
+            let mut text = String::new();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    code.push(' ');
+                    code.push(' ');
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    code.push(' ');
+                    code.push(' ');
+                    text.push_str("*/");
+                    i += 2;
+                } else if chars[i] == '\n' {
+                    comments[line - 1].push_str(&text);
+                    comments[line - 1].push(' ');
+                    text.clear();
+                    code.push('\n');
+                    comments.push(String::new());
+                    line += 1;
+                    i += 1;
+                } else {
+                    text.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            comments[line - 1].push_str(&text);
+            comments[line - 1].push(' ');
+        } else if is_raw_string_start(&chars, i) {
+            // r"...", r#"..."#, br"...", br#"..."# — no escapes, the
+            // closing delimiter is `"` followed by the same number of
+            // `#`s as the opening one.
+            let mut j = i;
+            if chars[j] == 'b' {
+                code.push('b');
+                j += 1;
+            }
+            code.push('r');
+            j += 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                code.push('#');
+                hashes += 1;
+                j += 1;
+            }
+            code.push('"');
+            j += 1; // opening quote
+            let start_line = line;
+            let mut text = String::new();
+            while j < chars.len() {
+                if chars[j] == '"' && count_hashes(&chars, j + 1) >= hashes {
+                    break;
+                }
+                if chars[j] == '\n' {
+                    code.push('\n');
+                    comments.push(String::new());
+                    line += 1;
+                } else {
+                    code.push(' ');
+                }
+                text.push(chars[j]);
+                j += 1;
+            }
+            strings.push((start_line, text));
+            if j < chars.len() {
+                code.push('"');
+                j += 1; // closing quote
+                for _ in 0..hashes {
+                    code.push('#');
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            // Ordinary (or byte) string literal with escapes.
+            let mut j = i;
+            if chars[j] == 'b' {
+                code.push('b');
+                j += 1;
+            }
+            code.push('"');
+            j += 1;
+            let start_line = line;
+            let mut text = String::new();
+            while j < chars.len() && chars[j] != '"' {
+                if chars[j] == '\\' && j + 1 < chars.len() {
+                    text.push(chars[j]);
+                    text.push(chars[j + 1]);
+                    code.push(' ');
+                    if chars[j + 1] == '\n' {
+                        code.push('\n');
+                        comments.push(String::new());
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        code.push('\n');
+                        comments.push(String::new());
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            strings.push((start_line, text));
+            if j < chars.len() {
+                code.push('"');
+                j += 1;
+            }
+            i = j;
+        } else if c == '\'' {
+            // Char literal vs lifetime. `'\...'` and `'x'` are char
+            // literals; anything else (`'a`, `'static`) is a lifetime
+            // and only the quote is consumed.
+            if chars.get(i + 1) == Some(&'\\') {
+                code.push('\'');
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '\'' {
+                    code.push(' ');
+                    j += if chars[j] == '\\' { 2 } else { 1 };
+                }
+                if j < chars.len() {
+                    code.push('\'');
+                    j += 1;
+                }
+                i = j;
+            } else if chars.get(i + 2) == Some(&'\'') {
+                code.push('\'');
+                code.push(' ');
+                code.push('\'');
+                i += 3;
+            } else {
+                code.push('\'');
+                i += 1;
+            }
+        } else {
+            code.push(c);
+            i += 1;
+        }
+    }
+
+    let mut line_starts = vec![0usize];
+    for (pos, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(pos + 1);
+        }
+    }
+    while comments.len() < line_starts.len() {
+        comments.push(String::new());
+    }
+
+    let test_lines = mark_test_regions(&code, &line_starts);
+    ScannedFile {
+        code,
+        comments,
+        strings,
+        test_lines,
+        line_starts,
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    // The `r` must not be the tail of an identifier (`var`, `incr`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut j: usize) -> usize {
+    let mut n = 0;
+    while chars.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+/// Mark every line covered by a `#[cfg(test)]` item. The attribute is
+/// followed either by a braced item (`mod tests { ... }`, `fn`,
+/// `impl`) — the region runs to the matching close brace — or by a
+/// braceless item (`use`) terminated by `;`.
+fn mark_test_regions(code: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut test = vec![false; line_starts.len()];
+    let bytes = code.as_bytes();
+    let needle = b"#[cfg(test)]";
+    let mut from = 0usize;
+    while let Some(at) = find_bytes(bytes, needle, from) {
+        let region_start = at;
+        let mut j = at + needle.len();
+        // Skip whitespace and any further attributes before the item.
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                // Skip a bracketed attribute.
+                let mut depth = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Find the item body: first `{` (brace-matched) or `;`.
+        let mut end = j;
+        while end < bytes.len() && bytes[end] != b'{' && bytes[end] != b';' {
+            end += 1;
+        }
+        if bytes.get(end) == Some(&b'{') {
+            let mut depth = 0usize;
+            while end < bytes.len() {
+                match bytes[end] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+        }
+        let first = line_index(line_starts, region_start);
+        let last = line_index(line_starts, end.min(bytes.len().saturating_sub(1)));
+        for t in test.iter_mut().take(last + 1).skip(first) {
+            *t = true;
+        }
+        from = end.max(at + 1);
+    }
+    test
+}
+
+fn line_index(line_starts: &[usize], pos: usize) -> usize {
+    match line_starts.binary_search(&pos) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// First occurrence of `needle` in `haystack` at or after `from`.
+pub fn find_bytes(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"panic!\"; // unwrap() here\nlet y = 1; /* .expect( */\n";
+        let s = scan(src);
+        assert!(!s.code.contains("panic!"));
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains(".expect"));
+        assert_eq!(s.strings, vec![(1, "panic!".to_string())]);
+        assert!(s.comment(1).contains("unwrap() here"));
+        assert!(s.comment(2).contains(".expect("));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = "let a = r#\"un\"wrap\"#; let b = \"q\\\"x\"; let c = 'a';\n";
+        let s = scan(src);
+        assert!(!s.code.contains("wrap"));
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].1, "un\"wrap");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n";
+        let s = scan(src);
+        // The generic body must survive cleaning.
+        assert!(s.code.contains("str"));
+        assert!(s.code.contains("fn f"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_item() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(2));
+        assert!(!s.is_test_line(3));
+    }
+}

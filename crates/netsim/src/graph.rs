@@ -54,6 +54,7 @@ impl Edge {
         } else if n == self.v {
             self.u
         } else {
+            // lint: allow(no-panic): documented `# Panics` API contract
             panic!("{n} is not an endpoint of this edge")
         }
     }
@@ -252,6 +253,7 @@ impl Graph {
         }
         let mut seen = vec![false; n];
         let mut stack = vec![NodeId(0)];
+        // lint: allow(no-literal-index): n >= 1 (the empty graph returned above)
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {

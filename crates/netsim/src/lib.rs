@@ -18,6 +18,7 @@
 //! assert!(ideal <= unicast);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod faults;

@@ -342,6 +342,7 @@ impl Topology {
                     // Gateway uplink.
                     let cost = params.stub_transit_cost.sample(rng);
                     graph
+                        // lint: allow(no-literal-index): every stub has >= 1 node
                         .add_edge(nodes[0], t, cost)
                         .expect("gateway endpoints exist");
                     stubs.push(Stub {

@@ -12,6 +12,7 @@
 //! Generation is fully deterministic (seeded from the test's
 //! `module_path!()` + name + case index), so a red test stays red.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod strategy;

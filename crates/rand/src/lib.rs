@@ -10,6 +10,7 @@
 //! stream than upstream `StdRng` (ChaCha12), which is fine: nothing in the
 //! repo depends on the exact stream, only on determinism for a fixed seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -225,6 +225,7 @@ impl<'a> Evaluator<'a> {
         let frozen = &self.frozen;
         let nodes = &self.interested_nodes;
         let n = events.len().max(1) as f64;
+        // lint: hot-path
         let partials = parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
             let (mut u, mut b, mut i) = (0.0f64, 0.0f64, 0.0f64);
             for e in range {
@@ -235,6 +236,7 @@ impl<'a> Evaluator<'a> {
             }
             (u, b, i)
         });
+        // lint: hot-path end
         let (unicast, broadcast, ideal) = partials
             .into_iter()
             .fold((0.0, 0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1, a.2 + p.2));
@@ -268,11 +270,13 @@ impl<'a> Evaluator<'a> {
         let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
+            // lint: hot-path
             parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
                 let mut out = Vec::with_capacity(range.len());
                 plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
                 out
             })
+            // lint: hot-path end
             .into_iter()
             .flatten()
             .collect()
@@ -370,11 +374,13 @@ impl<'a> Evaluator<'a> {
         let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
+            // lint: hot-path
             parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
                 let mut out = Vec::with_capacity(range.len());
                 plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
                 out
             })
+            // lint: hot-path end
             .into_iter()
             .flatten()
             .collect()

@@ -21,6 +21,7 @@
 //! println!("{}", render_group_sweep("Figure 7 (quick)", &result));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod delivery;

@@ -74,6 +74,7 @@ pub fn render_group_sweep(title: &str, res: &Fig7Result) -> String {
             let _ = write!(out, " {:>13}", s.algorithm);
         }
         let _ = writeln!(out);
+        // lint: allow(no-literal-index): the empty case `continue`d above
         let ks: Vec<usize> = series[0].points.iter().map(|&(k, _)| k).collect();
         for (row, &k) in ks.iter().enumerate() {
             let _ = write!(out, "{k:>5}");
@@ -199,6 +200,7 @@ pub fn render_group_sweep_markdown(res: &Fig7Result) -> String {
             let _ = write!(out, "---|");
         }
         let _ = writeln!(out);
+        // lint: allow(no-literal-index): the empty case `continue`d above
         let ks: Vec<usize> = series[0].points.iter().map(|&(k, _)| k).collect();
         for (row, &k) in ks.iter().enumerate() {
             let _ = write!(out, "| {k} |");

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 
 use netsim::{DegradedView, EdgeId, FaultSchedule, Graph, NodeId, ShortestPathTree};
 use pubsub_core::{
-    parallel, BitSet, Clustering, Delivery, DispatchPlan, DynamicClustering, DynamicError,
-    GridFramework, SubscriptionId,
+    env_knob, parallel, BitSet, Clustering, Delivery, DispatchPlan, DynamicClustering,
+    DynamicError, GridFramework, SubscriptionId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,21 +63,29 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Reads overrides from the environment: `PUBSUB_RETRY_MAX`,
-    /// `PUBSUB_RETRY_LOSS` and `PUBSUB_RETRY_BACKOFF`. Unset or
-    /// unparsable variables keep the defaults; probabilities are
-    /// clamped to `[0, 1]`.
+    /// `PUBSUB_RETRY_LOSS` and `PUBSUB_RETRY_BACKOFF`. Unset variables
+    /// keep the defaults; malformed ones keep the defaults and are
+    /// reported once to stderr ([`pubsub_core::env_knob`]);
+    /// probabilities are clamped to `[0, 1]` and the backoff base to
+    /// at least 1.
     pub fn from_env() -> Self {
-        let mut p = RetryPolicy::default();
-        if let Some(v) = env_parse::<u32>("PUBSUB_RETRY_MAX") {
-            p.max_retries = v;
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            max_retries: env_knob("PUBSUB_RETRY_MAX", d.max_retries, |s| s.parse().ok()),
+            loss_prob: env_knob("PUBSUB_RETRY_LOSS", d.loss_prob, |s| {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|v| !v.is_nan())
+                    .map(|v| v.clamp(0.0, 1.0))
+            }),
+            duplicate_prob: d.duplicate_prob,
+            backoff_base: env_knob("PUBSUB_RETRY_BACKOFF", d.backoff_base, |s| {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|v| !v.is_nan())
+                    .map(|v| v.max(1.0))
+            }),
         }
-        if let Some(v) = env_parse::<f64>("PUBSUB_RETRY_LOSS") {
-            p.loss_prob = v.clamp(0.0, 1.0);
-        }
-        if let Some(v) = env_parse::<f64>("PUBSUB_RETRY_BACKOFF") {
-            p.backoff_base = v.max(1.0);
-        }
-        p
     }
 
     /// Total backoff units spent by `attempts` consecutive retries.
@@ -86,10 +94,6 @@ impl RetryPolicy {
             .map(|r| self.backoff_base.powi(r as i32))
             .sum()
     }
-}
-
-fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
 /// Per-event accounting of a grid clustering under a fault schedule.
@@ -421,11 +425,11 @@ impl<'a> Evaluator<'a> {
                 out.faulty_epochs += 1;
                 // Old routing state of the sources this epoch reads:
                 // the cached degraded tree, else the healthy tree.
-                let mut old_edges: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
+                let mut old_edges_by_source: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
                 for &s in &needed {
                     let tree = cache.get(&s).ok_or(()).or_else(|()| frozen.try_spt(s));
                     if let Ok(t) = tree {
-                        old_edges.insert(s, t.tree_edges().collect());
+                        old_edges_by_source.insert(s, t.tree_edges().collect());
                     }
                 }
                 // Incremental invalidation: a repair (anything that can
@@ -447,7 +451,7 @@ impl<'a> Evaluator<'a> {
                     parallel::par_map(&missing, 2, |&s| ShortestPathTree::compute(&dg, s));
                 out.spt_rebuilds += rebuilt.len();
                 for spt in rebuilt {
-                    if let Some(old) = old_edges.get(&spt.source()) {
+                    if let Some(old) = old_edges_by_source.get(&spt.source()) {
                         out.repair_traffic += install_cost(&spt, old, &view, g);
                     }
                     cache.insert(spt.source(), spt);

@@ -88,6 +88,7 @@ pub fn fig7_multi_seed(cfg: &Fig7Config, seeds: &[u64]) -> MultiSeedFig7 {
             fig7(&c)
         })
         .collect();
+    // lint: allow(no-literal-index): seeds asserted non-empty above
     let first = &runs[0];
     let series = first
         .series

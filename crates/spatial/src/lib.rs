@@ -20,6 +20,7 @@
 //! # Ok::<(), geometry::IntervalError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod interval_tree;

@@ -287,7 +287,9 @@ fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitSides<E> {
     let e_lo = entries.swap_remove(lo);
     let mut side_a = vec![e_lo];
     let mut side_b = vec![e_hi];
+    // lint: allow(no-literal-index): both sides seeded with one entry above
     let mut mbr_a = side_a[0].0.clone();
+    // lint: allow(no-literal-index): both sides seeded with one entry above
     let mut mbr_b = side_b[0].0.clone();
     while let Some(e) = entries.pop() {
         let remaining = entries.len();

@@ -34,6 +34,8 @@ pub fn prune_covered(subscriptions: &[Subscription]) -> PruneOutcome {
     for (i, s) in subscriptions.iter().enumerate() {
         by_node.entry(s.node).or_default().push(i);
     }
+    // lint: allow(hash-order): groups partition the indices; each pass only
+    // reads and writes its own group's drop flags
     for group in by_node.values() {
         for (x, &i) in group.iter().enumerate() {
             if drop[i] {

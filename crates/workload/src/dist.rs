@@ -181,6 +181,7 @@ impl Zipf {
     pub fn pmf(&self, k: usize) -> f64 {
         assert!((1..=self.cdf.len()).contains(&k), "rank out of range");
         if k == 1 {
+            // lint: allow(no-literal-index): k's range-assert implies a non-empty cdf
             self.cdf[0]
         } else {
             self.cdf[k - 1] - self.cdf[k - 2]

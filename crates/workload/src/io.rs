@@ -154,11 +154,13 @@ pub fn read_subscriptions<R: BufRead>(r: R) -> Result<Vec<Subscription>, TraceEr
                 got: fields.len(),
             });
         }
+        // lint: allow(no-literal-index): field count verified above
         let node: usize = fields[0]
             .trim()
             .parse()
             .map_err(|_| TraceError::BadNumber {
                 line: line_number,
+                // lint: allow(no-literal-index): field count verified above
                 token: fields[0].to_string(),
             })?;
         let d = (fields.len() - 1) / 2;
@@ -227,11 +229,13 @@ pub fn read_events<R: BufRead>(r: R) -> Result<Vec<Event>, TraceError> {
                 got: fields.len(),
             });
         }
+        // lint: allow(no-literal-index): field count verified above
         let publisher: usize = fields[0]
             .trim()
             .parse()
             .map_err(|_| TraceError::BadNumber {
                 line: line_number,
+                // lint: allow(no-literal-index): field count verified above
                 token: fields[0].to_string(),
             })?;
         let d = fields.len() - 1;

@@ -14,6 +14,7 @@
 //! Supporting distributions ([`Normal`], [`Zipf`], [`Pareto`]) are
 //! implemented by hand so each formula is auditable against the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod covering;
