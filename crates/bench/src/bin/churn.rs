@@ -26,8 +26,8 @@ use std::time::Instant;
 use geometry::{Grid, Interval, Point, Rect};
 use pubsub_bench::Scale;
 use pubsub_core::{
-    CellProbability, DynamicClustering, KMeans, KMeansVariant, SubscriptionId, SubscriptionIndex,
-    Validator,
+    parallel, CellProbability, DynamicClustering, KMeans, KMeansVariant, SubscriptionId,
+    SubscriptionIndex, Validator,
 };
 use rand::prelude::*;
 
@@ -99,10 +99,20 @@ fn main() {
         Scale::Paper => (vec![1_000, 10_000, 100_000], 4),
     };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = parallel::num_threads();
 
     println!(
-        "{:>8} {:>6} {:>12} {:>10} {:>9} {:>7} {:>9} {:>9}   (host has {} hardware thread(s))",
-        "n", "epoch", "inc ms", "full ms", "speedup", "dirty", "reusedD", "identical", host_threads
+        "{:>8} {:>6} {:>12} {:>10} {:>9} {:>7} {:>9} {:>9}   ({} hardware thread(s), {} resolved worker(s))",
+        "n",
+        "epoch",
+        "inc ms",
+        "full ms",
+        "speedup",
+        "dirty",
+        "reusedD",
+        "identical",
+        host_threads,
+        workers
     );
 
     let mut records: Vec<EpochRecord> = Vec::new();
@@ -243,6 +253,7 @@ fn main() {
         }
     );
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(
         json,
         "  \"grid_cells\": {GRID_CELLS}, \"groups\": {GROUPS}, \"churn_fraction\": {CHURN_FRACTION}, \"hot_region\": {HOT_REGION},"
@@ -250,7 +261,9 @@ fn main() {
     json.push_str(
         "  \"note\": \"per-epoch rebalance latency after resubscribing 1% of the population \
          inside the hot region; 'identical' means the incremental and full paths produced \
-         bit-equal frameworks, clusterings and move counts\",\n",
+         bit-equal frameworks, clusterings and move counts; workers = resolved \
+         pubsub_core::parallel worker count (PUBSUB_THREADS or detected CPUs), the thread \
+         count the parallel stages actually ran with\",\n",
     );
     json.push_str("  \"speedup_by_n\": {");
     let mut first = true;

@@ -8,13 +8,17 @@
 //! cargo run --release -p pubsub-bench --bin dispatch [-- --scale quick|medium|paper]
 //! ```
 //!
-//! Two grid measurements per population size:
+//! Three grid measurements per population size:
 //!
 //! * **serve**: the full per-event pipeline. Old path = R-tree
 //!   `matching_into` + `BitSet::from_members` + `GridMatcher::match_event`
 //!   (what `sim`'s evaluator did per event before the plan); plan path =
 //!   `DispatchPlan::serve` with a reusable scratch (cell-membership
-//!   candidate pruning, zero allocation). This is the headline number.
+//!   candidate pruning, zero allocation).
+//! * **batched serve** (headline): `DispatchPlan::serve_batch` — the
+//!   cell-bucketed SoA kernel — over fixed-size batches, asserted
+//!   bit-identical to scalar serve on the whole stream *and* through
+//!   the sim-style fixed-chunk decomposition at 1 and 8 threads.
 //! * **match-only**: decision step alone over precomputed interested
 //!   sets — `GridMatcher::match_event` vs `DispatchPlan::dispatch` —
 //!   over a capped event subset (the precomputed `BitSet`s are large at
@@ -34,9 +38,9 @@ use std::time::Instant;
 use geometry::{Grid, Interval, Point, Rect};
 use pubsub_bench::Scale;
 use pubsub_core::{
-    BitSet, CellProbability, ClusteringAlgorithm, DispatchPlan, DispatchScratch, GridFramework,
-    GridMatcher, KMeans, KMeansVariant, NoLossClustering, NoLossConfig, NoLossDispatchPlan,
-    SubscriptionIndex, Validator,
+    parallel, BatchScratch, BitSet, CellProbability, ClusteringAlgorithm, Delivery, DispatchPlan,
+    DispatchScratch, GridFramework, GridMatcher, KMeans, KMeansVariant, NoLossClustering,
+    NoLossConfig, NoLossDispatchPlan, SubscriptionIndex, Validator,
 };
 use rand::prelude::*;
 use spatial::RTree;
@@ -51,12 +55,17 @@ const HOT_REGION: f64 = 0.05;
 /// `N = 100_000` each set is ~12.5 KB, so the match-only phase bounds
 /// its working set instead of materializing one per event.
 const MATCH_ONLY_EVENTS: usize = 5_000;
+/// Events per `serve_batch` call in the batched-serve measurement —
+/// large enough that the hot cells form big buckets, small enough that
+/// the SoA buffers stay cache-resident.
+const SERVE_BATCH: usize = 8_192;
 
 struct GridRecord {
     n: usize,
     events: usize,
     old_serve_eps: f64,
     plan_serve_eps: f64,
+    batched_serve_eps: f64,
     old_match_eps: f64,
     plan_match_eps: f64,
     match_events: usize,
@@ -109,18 +118,21 @@ fn main() {
         Scale::Paper => (vec![10_000, 100_000], 200_000),
     };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = parallel::num_threads();
 
     println!(
-        "{:>8} {:>8} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}   (host has {} hardware thread(s))",
+        "{:>8} {:>8} {:>14} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}   ({} hardware thread(s), {} resolved worker(s))",
         "n",
         "events",
         "old serve e/s",
         "plan serve e/s",
-        "speedup",
+        "batch serve e/s",
+        "b-speedup",
         "old match e/s",
         "plan match e/s",
         "speedup",
-        host_threads
+        host_threads,
+        workers
     );
 
     let mut grid_records: Vec<GridRecord> = Vec::new();
@@ -161,9 +173,11 @@ fn main() {
         audit.assert_clean("dispatch bench audit");
 
         // --- Serve path: old (index + BitSet + matcher) vs plan.serve.
-        // One untimed pass checks agreement and warms every buffer.
+        // One untimed pass checks agreement and warms every buffer; the
+        // scalar decisions become the reference for the batched kernel.
         let mut matched: Vec<usize> = Vec::new();
         let mut scratch = DispatchScratch::new();
+        let mut serve_decisions: Vec<Delivery> = Vec::with_capacity(events.len());
         for p in &events {
             index.matching_into(p, &mut matched);
             let interested = BitSet::from_members(n, matched.iter().copied());
@@ -175,6 +189,7 @@ fn main() {
                 &matched[..],
                 "interested sets disagree"
             );
+            serve_decisions.push(new);
         }
 
         let start = Instant::now();
@@ -190,6 +205,47 @@ fn main() {
             std::hint::black_box(plan.serve(p, &mut scratch));
         }
         let plan_serve_eps = events.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+        // --- Batched serve: the cell-bucketed SoA kernel over
+        // fixed-size batches. Warm pass asserts bit-identity with the
+        // scalar decisions; a second check runs the sim-style fixed
+        // 64-event chunk decomposition at 1 and 8 forced threads.
+        let mut bscratch = BatchScratch::new();
+        let mut batched: Vec<Delivery> = Vec::with_capacity(events.len());
+        let run_batched = |scratch: &mut BatchScratch, out: &mut Vec<Delivery>| {
+            out.clear();
+            let mut start = 0;
+            while start < events.len() {
+                let end = (start + SERVE_BATCH).min(events.len());
+                plan.serve_batch(start..end, |e| &events[e], scratch, out);
+                start = end;
+            }
+        };
+        run_batched(&mut bscratch, &mut batched);
+        assert_eq!(
+            batched, serve_decisions,
+            "batched serve diverged from scalar serve"
+        );
+        for threads in [1, 8] {
+            let chunked: Vec<Delivery> = parallel::with_threads(threads, || {
+                parallel::par_chunks(events.len(), 64, |range| {
+                    let mut s = BatchScratch::new();
+                    let mut out = Vec::with_capacity(range.len());
+                    plan.serve_batch(range, |e| &events[e], &mut s, &mut out);
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            });
+            assert_eq!(
+                chunked, serve_decisions,
+                "batched serve diverged at {threads} thread(s)"
+            );
+        }
+        let start = Instant::now();
+        run_batched(&mut bscratch, &mut batched);
+        let batched_serve_eps = events.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
 
         // --- Match-only: decision step over precomputed interested sets.
         let match_events = events.len().min(MATCH_ONLY_EVENTS);
@@ -222,9 +278,9 @@ fn main() {
             (reps * match_events) as f64 / start.elapsed().as_secs_f64().max(1e-12);
 
         println!(
-            "{n:>8} {:>8} {old_serve_eps:>14.0} {plan_serve_eps:>14.0} {:>8.1}x {old_match_eps:>14.0} {plan_match_eps:>14.0} {:>8.1}x",
+            "{n:>8} {:>8} {old_serve_eps:>14.0} {plan_serve_eps:>14.0} {batched_serve_eps:>14.0} {:>8.1}x {old_match_eps:>14.0} {plan_match_eps:>14.0} {:>8.1}x",
             events.len(),
-            plan_serve_eps / old_serve_eps.max(1e-9),
+            batched_serve_eps / plan_serve_eps.max(1e-9),
             plan_match_eps / old_match_eps.max(1e-9),
         );
         grid_records.push(GridRecord {
@@ -232,6 +288,7 @@ fn main() {
             events: events.len(),
             old_serve_eps,
             plan_serve_eps,
+            batched_serve_eps,
             old_match_eps,
             plan_match_eps,
             match_events,
@@ -302,15 +359,19 @@ fn main() {
         }
     );
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(
         json,
-        "  \"grid_cells\": {GRID_CELLS}, \"groups\": {GROUPS}, \"threshold\": {THRESHOLD}, \"hot_region\": {HOT_REGION},"
+        "  \"grid_cells\": {GRID_CELLS}, \"groups\": {GROUPS}, \"threshold\": {THRESHOLD}, \"hot_region\": {HOT_REGION}, \"serve_batch\": {SERVE_BATCH},"
     );
     json.push_str(
         "  \"note\": \"serve = full per-event pipeline (interested-set computation + decision): \
          old path allocates a fresh match Vec sort + BitSet per event, plan path is \
-         allocation-free via cell-membership candidate pruning; match_only = decision step over \
-         precomputed interested sets; all paths asserted decision-identical before timing\",\n",
+         allocation-free via cell-membership candidate pruning; batched = cell-bucketed SoA \
+         serve_batch kernel, asserted bit-identical to scalar serve whole-stream and through \
+         64-event chunks at 1 and 8 forced threads; match_only = decision step over \
+         precomputed interested sets; all paths asserted decision-identical before timing; \
+         workers = resolved pubsub_core::parallel worker count\",\n",
     );
     json.push_str("  \"serve_speedup_by_n\": {");
     let mut first = true;
@@ -325,6 +386,39 @@ fn main() {
         first = false;
     }
     json.push_str("},\n");
+    json.push_str("  \"batched_speedup_by_n\": {");
+    let mut first = true;
+    for r in &grid_records {
+        let _ = write!(
+            json,
+            "{}\"{}\": {:.2}",
+            if first { "" } else { ", " },
+            r.n,
+            r.batched_serve_eps / r.plan_serve_eps.max(1e-9)
+        );
+        first = false;
+    }
+    json.push_str("},\n");
+    json.push_str("  \"batched\": [\n");
+    for (i, r) in grid_records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"events\": {}, \"batch\": {SERVE_BATCH}, \
+             \"events_per_sec\": {:.0}, \"speedup_vs_plan\": {:.2}, \"speedup_vs_old\": {:.2}, \
+             \"identical\": true}}",
+            r.n,
+            r.events,
+            r.batched_serve_eps,
+            r.batched_serve_eps / r.plan_serve_eps.max(1e-9),
+            r.batched_serve_eps / r.old_serve_eps.max(1e-9),
+        );
+        json.push_str(if i + 1 < grid_records.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"grid\": [\n");
     for (i, r) in grid_records.iter().enumerate() {
         let _ = write!(

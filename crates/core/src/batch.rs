@@ -1,0 +1,505 @@
+//! Batched cell-bucketed dispatch kernels.
+//!
+//! The per-event paths ([`DispatchPlan::serve`],
+//! [`DispatchPlan::dispatch`]) re-resolve the event cell's candidate
+//! list — and, on the serve path, chase one boxed `Rect` per candidate
+//! — for every single event. Real event streams are heavily skewed
+//! (hot cells receive most publications), so a batch of events lands on
+//! far fewer distinct kept cells than it has events. The batched
+//! kernels exploit that:
+//!
+//! 1. **SoA cell pass** — one sweep per grid dimension over a
+//!    contiguous coordinate array, accumulating each event's row-major
+//!    cell index with the plan's precompiled `lo/width/stride` (the
+//!    same float expressions as [`DispatchPlan`]'s `locate`, hence
+//!    bit-identical cells);
+//! 2. **bucketing** — on the serve path, batch-local event positions
+//!    are sorted by kept hyper-cell slot (off-grid and truncated cells
+//!    share the `NO_SLOT` bucket), so each distinct slot is resolved
+//!    once per batch; the dispatch path keeps arrival order — its
+//!    per-event packed interested sets dwarf the point data, and
+//!    streaming them sequentially beats regrouping — so only adjacent
+//!    equal slots share a bucket there;
+//! 3. **per-bucket resolve** — the bucket's candidate block is looked
+//!    up once in the plan's *precompiled* flat bound arrays
+//!    (dimension-major `f64` bounds and group-membership flags, built
+//!    by `with_subscriptions`); every event in the bucket then scans
+//!    contiguous memory instead of dereferencing one `Rect` per
+//!    candidate;
+//! 4. **scatter** — each decision is written back at the event's
+//!    original batch position.
+//!
+//! Bucketing is therefore a pure permutation of per-event work with
+//! per-event outputs: deliveries (and the serve path's interested
+//! sets) are bit-identical to the scalar paths at any batch size, any
+//! bucket order and any `PUBSUB_THREADS`, which keeps every downstream
+//! fixed-chunk `f64` reduction — `sim`'s `DeliveryBreakdown` in
+//! particular — bit-identical too (pinned by the `batch_equivalence`
+//! suite). See DESIGN.md §13.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use geometry::Point;
+
+use crate::dispatch::{CellTable, DispatchPlan, NO_SLOT};
+use crate::matching::Delivery;
+use crate::membership::BitSet;
+
+/// Cell-pass sentinel: the event is outside the grid on some dimension.
+const OFF_GRID: usize = usize::MAX;
+
+/// Default for `PUBSUB_BATCH_BUCKET_MIN`.
+const DEFAULT_BATCH_BUCKET_MIN: usize = 16;
+
+/// Smallest batch for which the serve path's bucketing sort pays for
+/// itself; shorter batches keep arrival order (runs of equal adjacent
+/// slots still share a bucket). Purely a performance knob — the scatter
+/// step makes the output independent of bucket order, so results are
+/// bit-identical either way. Override with `PUBSUB_BATCH_BUCKET_MIN`.
+fn batch_bucket_min() -> usize {
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        crate::env_knob("PUBSUB_BATCH_BUCKET_MIN", DEFAULT_BATCH_BUCKET_MIN, |s| {
+            s.parse().ok()
+        })
+    })
+}
+
+/// Reusable buffers for the batched kernels ([`DispatchPlan::serve_batch`],
+/// [`DispatchPlan::dispatch_batch`]). Buffers grow to the high-water
+/// mark during warm-up and are then reused, so steady-state batches
+/// perform zero heap allocations (pinned by `dispatch_alloc`).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Row-major grid cell per batch-local event (`OFF_GRID` if outside).
+    cells: Vec<usize>,
+    /// One dimension's coordinates, gathered per SoA sweep.
+    xs: Vec<f64>,
+    /// Kept hyper-cell slot per batch-local event (`NO_SLOT` if none).
+    slots: Vec<u32>,
+    /// Batch-local event positions, grouped by slot.
+    order: Vec<u32>,
+    /// The current event's coordinates (serve path).
+    pt: Vec<f64>,
+    /// Interested subscriber ids of all batch events, concatenated …
+    interested: Vec<u32>,
+    /// … delimited per batch-local event by `ranges[l]`.
+    ranges: Vec<(u32, u32)>,
+    /// R-tree fallback buffer for `NO_SLOT` events.
+    tmp: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// The interested subscription ids computed by the last
+    /// [`DispatchPlan::serve_batch`] call for the batch-local event
+    /// `local`, in increasing order (the same ids
+    /// [`DispatchScratch::interested`](crate::DispatchScratch::interested)
+    /// would hold after a scalar `serve` of that event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is outside the last served batch.
+    pub fn interested_of(&self, local: usize) -> impl Iterator<Item = usize> + '_ {
+        let (start, end) = self.ranges[local];
+        self.interested[start as usize..end as usize]
+            .iter()
+            .map(|&id| id as usize)
+    }
+}
+
+impl DispatchPlan {
+    // lint: hot-path
+    /// The shared SoA cell pass + bucketing: fills `scratch.slots`
+    /// (kept slot or [`NO_SLOT`] per batch-local event, from the same
+    /// float expressions as the scalar `locate`) and `scratch.order`
+    /// (event positions grouped by slot).
+    ///
+    /// `sort` groups *all* equal slots together (the serve path, whose
+    /// per-event input is one point, so reordering is free and maximizes
+    /// candidate-block reuse); without it only adjacent equal slots
+    /// share a bucket (the dispatch path, whose per-event input is a
+    /// packed `BitSet` indexed by event — arrival order keeps those
+    /// large reads sequential). The scatter step makes the output
+    /// independent of the choice.
+    fn bucket_batch<'a>(
+        &self,
+        range: Range<usize>,
+        point_of: &impl Fn(usize) -> &'a Point,
+        scratch: &mut BatchScratch,
+        sort: bool,
+    ) {
+        let b = range.len();
+        let dim = self.dims.len();
+        scratch.cells.clear();
+        scratch.cells.resize(b, 0);
+        for (d, pd) in self.dims.iter().enumerate() {
+            scratch.xs.clear();
+            for e in range.start..range.end {
+                let p = point_of(e);
+                if d == 0 {
+                    assert_eq!(p.dim(), dim, "dimension mismatch");
+                }
+                scratch.xs.push(p[d]);
+            }
+            for (cell, &x) in scratch.cells.iter_mut().zip(&scratch.xs) {
+                if *cell == OFF_GRID {
+                    continue;
+                }
+                // `Interval::contains` (lo < x <= hi) and the bin
+                // expression of the scalar `locate`, verbatim.
+                if pd.lo < x && x <= pd.hi {
+                    let t = (x - pd.lo) / pd.width;
+                    let i = (t.ceil() as isize - 1).clamp(0, pd.bins - 1) as usize;
+                    *cell += i * pd.stride;
+                } else {
+                    *cell = OFF_GRID;
+                }
+            }
+        }
+        scratch.slots.clear();
+        match &self.table {
+            CellTable::Dense(t) => {
+                for &c in &scratch.cells {
+                    scratch
+                        .slots
+                        .push(if c == OFF_GRID { NO_SLOT } else { t[c] });
+                }
+            }
+            CellTable::Sparse(m) => {
+                for &c in &scratch.cells {
+                    scratch.slots.push(if c == OFF_GRID {
+                        NO_SLOT
+                    } else {
+                        m.get(&c).copied().unwrap_or(NO_SLOT)
+                    });
+                }
+            }
+        }
+        scratch.order.clear();
+        scratch.order.extend(0..b as u32);
+        if sort && b >= batch_bucket_min() {
+            let slots = &scratch.slots;
+            scratch.order.sort_unstable_by_key(|&l| slots[l as usize]);
+        }
+    }
+
+    /// Batched [`serve`](Self::serve) over an index range: appends one
+    /// [`Delivery`] per index onto `out` (not cleared), *in index
+    /// order*, and records each event's exact interested set (readable
+    /// through [`BatchScratch::interested_of`]). Decisions and
+    /// interested sets are bit-identical to calling `serve` per event;
+    /// internally events are bucketed by kept cell and scan the plan's
+    /// precompiled flat candidate bounds, resolved once per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled without
+    /// [`with_subscriptions`](Self::with_subscriptions), or on
+    /// dimension mismatch.
+    pub fn serve_batch<'a>(
+        &self,
+        range: Range<usize>,
+        point_of: impl Fn(usize) -> &'a Point,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Delivery>,
+    ) {
+        let state = self
+            .serve_state
+            .as_ref()
+            .expect("DispatchPlan::serve_batch requires with_subscriptions");
+        let b = range.len();
+        let dim = self.dims.len();
+        let base = out.len();
+        let start_event = range.start;
+        out.resize(base + b, Delivery::Unicast);
+        self.bucket_batch(range, &point_of, scratch, true);
+        let BatchScratch {
+            slots,
+            order,
+            pt,
+            interested,
+            ranges,
+            tmp,
+            ..
+        } = scratch;
+        interested.clear();
+        ranges.clear();
+        ranges.resize(b, (0, 0));
+        let mut at = 0usize;
+        while at < b {
+            let slot = slots[order[at] as usize];
+            let mut end = at + 1;
+            while end < b && slots[order[end] as usize] == slot {
+                end += 1;
+            }
+            if slot == NO_SLOT {
+                // Not kept: full-index fallback and unicast, exactly as
+                // the scalar serve path.
+                for &l in &order[at..end] {
+                    let p = point_of(start_event + l as usize);
+                    state.index.matching_into(p, tmp);
+                    let start = interested.len() as u32;
+                    interested.extend(tmp.iter().map(|&i| i as u32));
+                    ranges[l as usize] = (start, interested.len() as u32);
+                    // `out[base + l]` stays `Unicast`.
+                }
+            } else {
+                let sl = slot as usize;
+                let o = self.hyper_offsets[sl] as usize;
+                let members = &self.hyper_members[o..self.hyper_offsets[sl + 1] as usize];
+                let nc = members.len();
+                let group = self.hyper_group[sl] as usize;
+                let group_empty = self.group_size[group] == 0;
+                // The bucket's candidate block in the plan's precompiled
+                // flat bound arrays (built once by `with_subscriptions`
+                // from the same `Rect` floats): every event in the
+                // bucket scans contiguous memory, no gather at all.
+                let cand_lo = &state.cand_lo[o * dim..(o + nc) * dim];
+                let cand_hi = &state.cand_hi[o * dim..(o + nc) * dim];
+                let cand_in_group = &state.cand_in_group[o..o + nc];
+                for &l in &order[at..end] {
+                    let p = point_of(start_event + l as usize);
+                    pt.clear();
+                    for d in 0..dim {
+                        pt.push(p[d]);
+                    }
+                    let start = interested.len() as u32;
+                    let mut hits = 0usize;
+                    for (k, &id) in members.iter().enumerate() {
+                        let mut inside = true;
+                        for (d, &x) in pt.iter().enumerate() {
+                            // `Interval::contains`: lo < x <= hi, over
+                            // the same floats as `Rect::contains`.
+                            inside &= cand_lo[d * nc + k] < x && x <= cand_hi[d * nc + k];
+                        }
+                        if inside {
+                            interested.push(id);
+                            hits += usize::from(cand_in_group[k]);
+                        }
+                    }
+                    ranges[l as usize] = (start, interested.len() as u32);
+                    out[base + l as usize] = if group_empty {
+                        Delivery::Unicast
+                    } else {
+                        self.decide(slot, hits)
+                    };
+                }
+            }
+            at = end;
+        }
+    }
+
+    /// Batched [`dispatch`](Self::dispatch) over an index range with
+    /// caller-computed interested sets: appends one [`Delivery`] per
+    /// index onto `out` (not cleared), *in index order*, bit-identical
+    /// to [`dispatch_chunk`](Self::dispatch_chunk). Adjacent events in
+    /// the same kept cell share a bucket that resolves its group, size
+    /// and hit strategy once; arrival order is kept (no bucket sort) so
+    /// the per-event packed interested sets stream sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interested set's universe differs from the
+    /// framework's subscription count, or on dimension mismatch.
+    pub fn dispatch_batch<'a>(
+        &self,
+        range: Range<usize>,
+        point_of: impl Fn(usize) -> &'a Point,
+        interested_of: impl Fn(usize) -> &'a BitSet,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Delivery>,
+    ) {
+        let b = range.len();
+        let base = out.len();
+        let start_event = range.start;
+        out.resize(base + b, Delivery::Unicast);
+        self.bucket_batch(range, &point_of, scratch, false);
+        let BatchScratch { slots, order, .. } = scratch;
+        let check = |e: usize| {
+            assert_eq!(
+                interested_of(e).universe(),
+                self.num_subscribers,
+                "universe mismatch"
+            );
+        };
+        let mut at = 0usize;
+        while at < b {
+            let slot = slots[order[at] as usize];
+            let mut end = at + 1;
+            while end < b && slots[order[end] as usize] == slot {
+                end += 1;
+            }
+            if slot == NO_SLOT {
+                for &l in &order[at..end] {
+                    check(start_event + l as usize);
+                    // `out[base + l]` stays `Unicast`.
+                }
+            } else {
+                let group = self.hyper_group[slot as usize] as usize;
+                let size = self.group_size[group] as usize;
+                if size == 0 {
+                    for &l in &order[at..end] {
+                        check(start_event + l as usize);
+                    }
+                } else if size <= self.words {
+                    // Sparse group: walk the member list per event (the
+                    // scalar strategy for this size), list resolved once.
+                    let gmembers = &self.group_members[self.group_offsets[group] as usize
+                        ..self.group_offsets[group + 1] as usize];
+                    for &l in &order[at..end] {
+                        let e = start_event + l as usize;
+                        check(e);
+                        let set = interested_of(e);
+                        let hits = gmembers
+                            .iter()
+                            .filter(|&&i| set.contains(i as usize))
+                            .count();
+                        out[base + l as usize] = self.decide(slot, hits);
+                    }
+                } else {
+                    // Dense group: blocked popcount against the packed
+                    // words, row resolved once per bucket.
+                    let gwords = &self.group_words[group * self.words..(group + 1) * self.words];
+                    for &l in &order[at..end] {
+                        let e = start_event + l as usize;
+                        check(e);
+                        let hits =
+                            crate::membership::and_popcount_words(gwords, interested_of(e).words());
+                        out[base + l as usize] = self.decide(slot, hits);
+                    }
+                }
+            }
+            at = end;
+        }
+    }
+    // lint: hot-path end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{CellProbability, GridFramework};
+    use crate::kmeans::{KMeans, KMeansVariant};
+    use crate::{ClusteringAlgorithm, DispatchScratch};
+    use geometry::{Grid, Interval, Rect};
+    use rand::prelude::*;
+
+    fn scenario(seed: u64) -> (Vec<Rect>, Vec<Point>, DispatchPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subs: Vec<Rect> = (0..150)
+            .map(|_| {
+                let lo = rng.gen_range(0.0..9.0);
+                let hi = lo + rng.gen_range(0.1..4.0);
+                Rect::new(vec![Interval::new(lo, hi.min(10.0)).unwrap()])
+            })
+            .collect();
+        let points: Vec<Point> = (0..700)
+            .map(|_| Point::new(vec![rng.gen_range(-1.0..11.0)]))
+            .collect();
+        let grid = Grid::cube(0.0, 10.0, 1, 50).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = GridFramework::build(grid, &subs, &probs, Some(30));
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 6);
+        let plan = DispatchPlan::compile(&fw, &c)
+            .with_threshold(0.2)
+            .with_subscriptions(&subs);
+        (subs, points, plan)
+    }
+
+    #[test]
+    fn serve_batch_matches_scalar_serve_at_any_batch_size() {
+        let (_, points, plan) = scenario(17);
+        let mut scalar = DispatchScratch::new();
+        let reference: Vec<(Delivery, Vec<usize>)> = points
+            .iter()
+            .map(|p| {
+                let d = plan.serve(p, &mut scalar);
+                (d, scalar.interested().to_vec())
+            })
+            .collect();
+        // Batch sizes below and above the bucket-sort threshold.
+        for batch in [1usize, 3, 16, 97, points.len()] {
+            let mut scratch = BatchScratch::new();
+            let mut out = Vec::new();
+            let mut start = 0;
+            while start < points.len() {
+                let end = (start + batch).min(points.len());
+                let before = out.len();
+                plan.serve_batch(start..end, |e| &points[e], &mut scratch, &mut out);
+                for local in 0..(end - start) {
+                    let (_, ref ids) = reference[start + local];
+                    assert_eq!(
+                        scratch.interested_of(local).collect::<Vec<_>>(),
+                        *ids,
+                        "interested set, batch {batch}, event {}",
+                        start + local
+                    );
+                    assert_eq!(out[before + local], reference[start + local].0);
+                }
+                start = end;
+            }
+            assert_eq!(out.len(), points.len());
+        }
+    }
+
+    #[test]
+    fn dispatch_batch_matches_dispatch_chunk() {
+        let (subs, points, plan) = scenario(18);
+        let sets: Vec<BitSet> = points
+            .iter()
+            .map(|p| {
+                BitSet::from_members(
+                    subs.len(),
+                    subs.iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.contains(p))
+                        .map(|(i, _)| i),
+                )
+            })
+            .collect();
+        let mut reference = Vec::new();
+        plan.dispatch_chunk(
+            0..points.len(),
+            |e| &points[e],
+            |e| &sets[e],
+            &mut reference,
+        );
+        for batch in [5usize, 64, points.len()] {
+            let mut scratch = BatchScratch::new();
+            let mut out = Vec::new();
+            let mut start = 0;
+            while start < points.len() {
+                let end = (start + batch).min(points.len());
+                plan.dispatch_batch(
+                    start..end,
+                    |e| &points[e],
+                    |e| &sets[e],
+                    &mut scratch,
+                    &mut out,
+                );
+                start = end;
+            }
+            assert_eq!(out, reference, "batch {batch}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with_subscriptions")]
+    fn serve_batch_without_subscriptions_panics() {
+        let (subs, points, _) = scenario(19);
+        let grid = Grid::cube(0.0, 10.0, 1, 50).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = GridFramework::build(grid, &subs, &probs, None);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 4);
+        let plan = DispatchPlan::compile(&fw, &c);
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        plan.serve_batch(0..points.len(), |e| &points[e], &mut scratch, &mut out);
+    }
+}

@@ -60,12 +60,12 @@ pub(crate) const NO_SLOT: u32 = u32::MAX;
 /// (`length / bins`), so the division and `ceil` below reproduce
 /// `Grid::cell_of` bit-for-bit.
 #[derive(Debug, Clone)]
-struct PlanDim {
-    lo: f64,
-    hi: f64,
-    width: f64,
-    bins: isize,
-    stride: usize,
+pub(crate) struct PlanDim {
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
+    pub(crate) width: f64,
+    pub(crate) bins: isize,
+    pub(crate) stride: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -78,11 +78,23 @@ pub(crate) enum CellTable {
 
 /// Owned subscription state enabling the self-contained serve path
 /// ([`DispatchPlan::serve`]): rectangles for candidate filtering and an
-/// R-tree index for events whose cell was not kept.
+/// R-tree index for events whose cell was not kept. For the batched
+/// serve kernel it also precompiles every kept slot's candidate bounds
+/// into flat dimension-major arrays, so `serve_batch` scans contiguous
+/// memory with no per-bucket `Rect` gather at all.
 #[derive(Debug, Clone)]
-struct ServeState {
-    rects: Vec<Rect>,
-    index: SubscriptionIndex,
+pub(crate) struct ServeState {
+    pub(crate) rects: Vec<Rect>,
+    pub(crate) index: SubscriptionIndex,
+    /// Lower bounds of slot `s`'s candidates, dimension-major within
+    /// the slot's block: `cand_lo[o * dim + d * nc + k]` where
+    /// `o = hyper_offsets[s]` and `nc` is the slot's member count.
+    pub(crate) cand_lo: Vec<f64>,
+    /// Upper bounds, same layout.
+    pub(crate) cand_hi: Vec<f64>,
+    /// `cand_in_group[o + k]` — whether candidate `k` of slot `s`
+    /// belongs to the slot's group.
+    pub(crate) cand_in_group: Vec<bool>,
 }
 
 /// Reusable per-thread buffers for [`DispatchPlan::serve`]. Buffers
@@ -139,7 +151,7 @@ pub struct DispatchPlan {
     pub(crate) num_subscribers: usize,
     /// Words per packed membership set (`num_subscribers / 64`, ceil).
     pub(crate) words: usize,
-    dims: Vec<PlanDim>,
+    pub(crate) dims: Vec<PlanDim>,
     pub(crate) table: CellTable,
     /// `hyper_group[h]` — the group of kept hyper-cell `h`.
     pub(crate) hyper_group: Vec<u32>,
@@ -156,7 +168,7 @@ pub struct DispatchPlan {
     pub(crate) group_members: Vec<u32>,
     /// … delimited by `group_offsets[g] .. group_offsets[g + 1]`.
     pub(crate) group_offsets: Vec<u32>,
-    serve_state: Option<ServeState>,
+    pub(crate) serve_state: Option<ServeState>,
 }
 
 impl DispatchPlan {
@@ -268,8 +280,10 @@ impl DispatchPlan {
     }
 
     /// Attaches the subscription rectangles, enabling
-    /// [`DispatchPlan::serve`] (the plan copies the rectangles and
-    /// builds the unicast-fallback R-tree once).
+    /// [`DispatchPlan::serve`] (the plan copies the rectangles, builds
+    /// the unicast-fallback R-tree once, and precompiles every kept
+    /// slot's candidate bounds into the flat arrays the batched serve
+    /// kernel scans — see DESIGN.md §13).
     ///
     /// # Panics
     ///
@@ -280,9 +294,32 @@ impl DispatchPlan {
             self.num_subscribers,
             "subscription count must match the compiled framework"
         );
+        let dim = self.dims.len();
+        let total = self.hyper_members.len();
+        let mut cand_lo = vec![0.0f64; total * dim];
+        let mut cand_hi = vec![0.0f64; total * dim];
+        let mut cand_in_group = vec![false; total];
+        for s in 0..self.hyper_group.len() {
+            let o = self.hyper_offsets[s] as usize;
+            let end = self.hyper_offsets[s + 1] as usize;
+            let nc = end - o;
+            let group = self.hyper_group[s] as usize;
+            for (k, &id) in self.hyper_members[o..end].iter().enumerate() {
+                let rect = &subscriptions[id as usize];
+                for d in 0..dim {
+                    let iv = rect.interval(d);
+                    cand_lo[o * dim + d * nc + k] = iv.lo();
+                    cand_hi[o * dim + d * nc + k] = iv.hi();
+                }
+                cand_in_group[o + k] = self.group_contains(group, id as usize);
+            }
+        }
         self.serve_state = Some(ServeState {
             rects: subscriptions.to_vec(),
             index: SubscriptionIndex::build(subscriptions),
+            cand_lo,
+            cand_hi,
+            cand_in_group,
         });
         self
     }
@@ -328,9 +365,10 @@ impl DispatchPlan {
 
     /// `|group ∩ interested|`, choosing the cheaper of the two exact
     /// strategies: walk the group's member list testing bits (sparse
-    /// groups) or AND the packed words (dense groups). Both return the
-    /// same integer, so the choice never affects decisions.
-    fn group_hits(&self, group: usize, interested: &BitSet) -> usize {
+    /// groups) or AND the packed words in blocked popcount form (dense
+    /// groups). Both return the same integer, so the choice never
+    /// affects decisions.
+    pub(crate) fn group_hits(&self, group: usize, interested: &BitSet) -> usize {
         let size = self.group_size[group] as usize;
         if size <= self.words {
             let range = self.group_offsets[group] as usize..self.group_offsets[group + 1] as usize;
@@ -339,23 +377,22 @@ impl DispatchPlan {
                 .filter(|&&i| interested.contains(i as usize))
                 .count()
         } else {
-            self.group_words[group * self.words..(group + 1) * self.words]
-                .iter()
-                .zip(interested.words())
-                .map(|(a, b)| (a & b).count_ones() as usize)
-                .sum()
+            crate::membership::and_popcount_words(
+                &self.group_words[group * self.words..(group + 1) * self.words],
+                interested.words(),
+            )
         }
     }
 
     /// Whether subscriber `i` belongs to `group`.
-    fn group_contains(&self, group: usize, i: usize) -> bool {
+    pub(crate) fn group_contains(&self, group: usize, i: usize) -> bool {
         self.group_words[group * self.words + i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
     }
 
     /// The threshold decision given a matched hyper-cell slot and the
     /// exact hit count — shared tail of [`dispatch`](Self::dispatch)
     /// and [`serve`](Self::serve), mirroring `GridMatcher::match_event`.
-    fn decide(&self, slot: u32, hits: usize) -> Delivery {
+    pub(crate) fn decide(&self, slot: u32, hits: usize) -> Delivery {
         let group = self.hyper_group[slot as usize] as usize;
         let size = self.group_size[group] as usize;
         if size == 0 {

@@ -16,9 +16,29 @@
 //! back to direct computation for merged groups (whose membership vectors
 //! differ from any hyper-cell's).
 
+use std::sync::OnceLock;
+
 use crate::framework::HyperCell;
 use crate::parallel;
 use crate::waste::expected_waste;
+
+/// Default for `PUBSUB_DM_BLOCK`.
+const DEFAULT_DM_BLOCK: usize = 32;
+
+/// Column-tile width (in hyper-cells) of the cache-blocked build and of
+/// the incremental reassembly. Each tile's membership vectors are
+/// walked by every row of an 8-row chunk while still cache-resident
+/// (32 vectors × ~12.5 KB at 100k subscribers fits in L2). Purely a
+/// performance knob — every entry is an independent
+/// [`expected_waste`] value placed by index, never summed, so the tile
+/// order cannot change any bit. Override with `PUBSUB_DM_BLOCK`
+/// (clamped to ≥ 1).
+pub(crate) fn dm_block() -> usize {
+    static BLOCK: OnceLock<usize> = OnceLock::new();
+    *BLOCK.get_or_init(|| {
+        crate::env_knob("PUBSUB_DM_BLOCK", DEFAULT_DM_BLOCK, |s| s.parse().ok()).max(1)
+    })
+}
 
 /// Packed lower-triangular matrix of `d(i, j)` over hyper-cell indices.
 pub struct DistanceMatrix {
@@ -30,22 +50,41 @@ pub struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Computes all pairwise expected-waste distances between the given
-    /// hyper-cells. Rows are filled in parallel; each entry is exactly
+    /// hyper-cells. Each entry is exactly
     /// `expected_waste(h[i].prob, &h[i].members, h[j].prob, &h[j].members)`.
+    ///
+    /// The triangle is filled in parallel 8-row chunks, each chunk
+    /// cache-blocked into `PUBSUB_DM_BLOCK`-column tiles: the tile's column
+    /// memberships are re-walked by every row of the chunk while still
+    /// hot, instead of streaming the full row past a cold cache. Every
+    /// entry is placed at its own index (no reduction), so the traversal
+    /// order is bit-irrelevant.
     pub fn build(hypercells: &[HyperCell]) -> Self {
         let n = hypercells.len();
-        let rows = parallel::par_map_indexed(n, 8, |i| {
-            let a = &hypercells[i];
-            (0..i)
-                .map(|j| {
-                    let b = &hypercells[j];
-                    expected_waste(a.prob, &a.members, b.prob, &b.members)
-                })
-                .collect::<Vec<f64>>()
+        let block = dm_block();
+        let chunks = parallel::par_chunks(n, 8, |rows| {
+            let mut out: Vec<Vec<f64>> = rows.clone().map(|i| vec![0.0f64; i]).collect();
+            let cols = rows.end.saturating_sub(1);
+            let mut j0 = 0usize;
+            while j0 < cols {
+                let j1 = (j0 + block).min(cols);
+                for (r, i) in rows.clone().enumerate() {
+                    let a = &hypercells[i];
+                    let row = &mut out[r];
+                    for j in j0..j1.min(i) {
+                        let b = &hypercells[j];
+                        row[j] = expected_waste(a.prob, &a.members, b.prob, &b.members);
+                    }
+                }
+                j0 = j1;
+            }
+            out
         });
         let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for row in rows {
-            data.extend_from_slice(&row);
+        for rows in chunks {
+            for row in rows {
+                data.extend_from_slice(&row);
+            }
         }
         DistanceMatrix { n, data }
     }

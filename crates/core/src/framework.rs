@@ -914,36 +914,59 @@ impl GridFramework {
                 let ids = &state.hyper_ids;
                 let hcs = &self.hypercells;
                 let oi = &old_index;
+                let block = crate::distance::dm_block();
                 type FreshPairs = Vec<((MembershipId, MembershipId), (usize, usize))>;
-                let rows: Vec<(Vec<f64>, FreshPairs, usize)> =
-                    parallel::par_map_indexed(l, 8, |i| {
-                        let mut row = Vec::with_capacity(i);
-                        let mut fresh: FreshPairs = Vec::new();
-                        let mut reused = 0usize;
-                        for j in 0..i {
-                            if let (Some(a), Some(b)) = (oi[i], oi[j]) {
-                                row.push(old_m.get(a, b));
-                                reused += 1;
-                            } else {
-                                let (ia, ib) = (ids[i], ids[j]);
-                                let (only_i, only_j) = match pool.cached_waste(ia, ib) {
-                                    Some(c) => c,
-                                    None => {
-                                        let c = pool.compute_waste(ia, ib);
-                                        fresh.push(((ia, ib), c));
-                                        c
+                // Cache-blocked like the cold build (`DistanceMatrix::
+                // build`): 8-row chunks × `block`-column tiles, so the
+                // tile's membership vectors stay hot across the chunk's
+                // rows. Each entry is the same reuse-or-recompute value
+                // as the plain row walk, placed at its own index, and
+                // the per-row fresh-pair order (ascending j) is
+                // preserved by the ascending tile sweep — so the
+                // assembled matrix and the pool memo are bit-identical
+                // to the untiled pipeline.
+                let chunks: Vec<Vec<(Vec<f64>, FreshPairs, usize)>> =
+                    parallel::par_chunks(l, 8, |rows| {
+                        let mut out: Vec<(Vec<f64>, FreshPairs, usize)> = rows
+                            .clone()
+                            .map(|i| (vec![0.0f64; i], FreshPairs::new(), 0usize))
+                            .collect();
+                        let cols = rows.end.saturating_sub(1);
+                        let mut j0 = 0usize;
+                        while j0 < cols {
+                            let j1 = (j0 + block).min(cols);
+                            for (r, i) in rows.clone().enumerate() {
+                                let (row, fresh, reused) = &mut out[r];
+                                for j in j0..j1.min(i) {
+                                    if let (Some(a), Some(b)) = (oi[i], oi[j]) {
+                                        row[j] = old_m.get(a, b);
+                                        *reused += 1;
+                                    } else {
+                                        let (ia, ib) = (ids[i], ids[j]);
+                                        let (only_i, only_j) = match pool.cached_waste(ia, ib) {
+                                            Some(c) => c,
+                                            None => {
+                                                let c = pool.compute_waste(ia, ib);
+                                                fresh.push(((ia, ib), c));
+                                                c
+                                            }
+                                        };
+                                        row[j] = hcs[i].prob * only_j as f64
+                                            + hcs[j].prob * only_i as f64;
                                     }
-                                };
-                                row.push(hcs[i].prob * only_j as f64 + hcs[j].prob * only_i as f64);
+                                }
                             }
+                            j0 = j1;
                         }
-                        (row, fresh, reused)
+                        out
                     });
                 let mut data_rows = Vec::with_capacity(l);
-                for (row, fresh, reused) in rows {
-                    data_rows.push(row);
-                    reused_distances += reused;
-                    state.pool.memoize_waste(fresh);
+                for rows in chunks {
+                    for (row, fresh, reused) in rows {
+                        data_rows.push(row);
+                        reused_distances += reused;
+                        state.pool.memoize_waste(fresh);
+                    }
                 }
                 let _ = self
                     .distances

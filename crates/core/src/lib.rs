@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod clustering;
 mod counting;
 mod dispatch;
@@ -75,6 +76,7 @@ pub mod parallel;
 mod validate;
 mod waste;
 
+pub use batch::BatchScratch;
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
 pub use counting::CountingMatcher;
 pub use dispatch::{DispatchPlan, DispatchScratch, NoLossDispatchPlan, DENSE_TABLE_MAX_CELLS};

@@ -12,6 +12,62 @@ use std::fmt;
 
 const WORD_BITS: usize = 64;
 
+/// Words per unrolled popcount block. The block loop has a fixed trip
+/// count, so the compiler unrolls it and keeps several popcount lanes
+/// in flight; the scalar tail handles at most `POPCOUNT_BLOCK - 1`
+/// words. Counts are exact integers, so blocking cannot change any
+/// result — it only restructures the loop for autovectorization.
+pub(crate) const POPCOUNT_BLOCK: usize = 8;
+
+// lint: hot-path
+/// Both directed difference popcounts, `(|a \ b|, |b \ a|)`, over raw
+/// word slices in `POPCOUNT_BLOCK`-word unrolled blocks with a
+/// scalar tail. Shared kernel of [`BitSet::waste_counts`] (and,
+/// through it, `MembershipPool::compute_waste`) — the inner loop of
+/// the expected-waste distance.
+pub(crate) fn waste_counts_words(a: &[u64], b: &[u64]) -> (usize, usize) {
+    let mut blocks_a = a.chunks_exact(POPCOUNT_BLOCK);
+    let mut blocks_b = b.chunks_exact(POPCOUNT_BLOCK);
+    let mut only_a = 0u64;
+    let mut only_b = 0u64;
+    for (ba, bb) in blocks_a.by_ref().zip(blocks_b.by_ref()) {
+        let mut x = 0u32;
+        let mut y = 0u32;
+        for (wa, wb) in ba.iter().zip(bb) {
+            x += (wa & !wb).count_ones();
+            y += (wb & !wa).count_ones();
+        }
+        only_a += u64::from(x);
+        only_b += u64::from(y);
+    }
+    for (wa, wb) in blocks_a.remainder().iter().zip(blocks_b.remainder()) {
+        only_a += u64::from((wa & !wb).count_ones());
+        only_b += u64::from((wb & !wa).count_ones());
+    }
+    (only_a as usize, only_b as usize)
+}
+
+/// `|a ∩ b|` over raw word slices, blocked exactly like
+/// [`waste_counts_words`]. Shared kernel of the dense branch of the
+/// dispatch plan's packed membership intersection.
+pub(crate) fn and_popcount_words(a: &[u64], b: &[u64]) -> usize {
+    let mut blocks_a = a.chunks_exact(POPCOUNT_BLOCK);
+    let mut blocks_b = b.chunks_exact(POPCOUNT_BLOCK);
+    let mut total = 0u64;
+    for (ba, bb) in blocks_a.by_ref().zip(blocks_b.by_ref()) {
+        let mut x = 0u32;
+        for (wa, wb) in ba.iter().zip(bb) {
+            x += (wa & wb).count_ones();
+        }
+        total += u64::from(x);
+    }
+    for (wa, wb) in blocks_a.remainder().iter().zip(blocks_b.remainder()) {
+        total += u64::from((wa & wb).count_ones());
+    }
+    total as usize
+}
+// lint: hot-path end
+
 /// A fixed-length packed bit vector over subscriber indices.
 ///
 /// # Examples
@@ -138,24 +194,20 @@ impl BitSet {
     }
 
     /// Both directed difference counts, `(|self \ other|, |other \ self|)`,
-    /// in a single pass over the words.
+    /// in a single blocked pass over the words.
     ///
     /// Equivalent to `(self.difference_count(other),
-    /// other.difference_count(self))` but reads each word pair once —
-    /// this is the inner loop of the expected-waste distance.
+    /// other.difference_count(self))` but reads each word pair once,
+    /// in `POPCOUNT_BLOCK`-word unrolled blocks — this is the inner
+    /// loop of the expected-waste distance (see
+    /// `waste_counts_words`).
     ///
     /// # Panics
     ///
     /// Panics on universe mismatch.
     pub fn waste_counts(&self, other: &BitSet) -> (usize, usize) {
         assert_eq!(self.len, other.len, "universe mismatch");
-        let mut only_self = 0usize;
-        let mut only_other = 0usize;
-        for (a, b) in self.words.iter().zip(&other.words) {
-            only_self += (a & !b).count_ones() as usize;
-            only_other += (b & !a).count_ones() as usize;
-        }
-        (only_self, only_other)
+        waste_counts_words(&self.words, &other.words)
     }
 
     /// `|self ∩ other|`.
@@ -359,6 +411,55 @@ mod tests {
         // Shrinking is a no-op.
         s.grow(10);
         assert_eq!(s.universe(), 200);
+    }
+
+    #[test]
+    fn blocked_kernels_match_scalar_formulations() {
+        // Universe sizes straddling the 8-word block boundary: 0..=7
+        // full blocks plus every remainder length 0..=7.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // xorshift* — deterministic, no external RNG needed here.
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for words in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31] {
+            let universe = words * 64 + 5;
+            let a = BitSet::from_members(universe, (0..universe).filter(|_| next() % 3 == 0));
+            let b = BitSet::from_members(universe, (0..universe).filter(|_| next() % 3 == 0));
+            let scalar_only_a: usize = a
+                .words
+                .iter()
+                .zip(&b.words)
+                .map(|(x, y)| (x & !y).count_ones() as usize)
+                .sum();
+            let scalar_only_b: usize = a
+                .words
+                .iter()
+                .zip(&b.words)
+                .map(|(x, y)| (y & !x).count_ones() as usize)
+                .sum();
+            assert_eq!(
+                waste_counts_words(&a.words, &b.words),
+                (scalar_only_a, scalar_only_b),
+                "waste at {words} words"
+            );
+            let scalar_and: usize = a
+                .words
+                .iter()
+                .zip(&b.words)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum();
+            assert_eq!(
+                and_popcount_words(&a.words, &b.words),
+                scalar_and,
+                "and at {words} words"
+            );
+            assert_eq!(a.waste_counts(&b), (scalar_only_a, scalar_only_b));
+            assert_eq!(a.intersection_count(&b), scalar_and);
+        }
     }
 
     #[test]

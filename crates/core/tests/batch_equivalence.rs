@@ -1,0 +1,320 @@
+//! The batched cell-bucketed kernels are a pure optimization: per-event
+//! deliveries (and serve-path interested sets) are bit-identical to the
+//! scalar paths for all five grid algorithms and No-Loss, at any batch
+//! decomposition and any thread count — so every downstream fixed-chunk
+//! `f64` aggregate (`sim`'s `DeliveryBreakdown` sums in particular) is
+//! bit-identical too. The end-to-end breakdown identity through the
+//! real simulator is pinned by `tests/dispatch_equivalence.rs`, whose
+//! evaluators now run on these kernels.
+
+use geometry::{Grid, Interval, Point, Rect};
+use proptest::prelude::*;
+use pubsub_core::{
+    parallel, BatchScratch, BitSet, CellProbability, ClusteringAlgorithm, Delivery, DispatchPlan,
+    DispatchScratch, GridFramework, KMeans, KMeansVariant, MstClustering, NoLossClustering,
+    NoLossConfig, NoLossDispatchPlan, PairsStrategy, PairwiseGrouping,
+};
+
+/// Random interval inside (0, 20], sometimes unbounded.
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        3 => (0.0..20.0f64, 0.0..20.0f64).prop_map(|(a, b)| Interval::from_unordered(a, b)),
+        1 => (0.0..20.0f64).prop_map(Interval::greater_than),
+        1 => (0.0..20.0f64).prop_map(Interval::at_most),
+        1 => Just(Interval::all()),
+    ]
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    prop::collection::vec(interval_strategy(), 2).prop_map(Rect::new)
+}
+
+/// Points both on- and off-grid (the grid covers (0, 20]).
+fn point_strategy() -> impl Strategy<Value = Point> {
+    prop::collection::vec(-1.0..22.0f64, 2).prop_map(Point::new)
+}
+
+/// All five grid clustering algorithms of the paper.
+fn algorithms() -> Vec<Box<dyn ClusteringAlgorithm>> {
+    vec![
+        Box::new(KMeans::new(KMeansVariant::MacQueen)),
+        Box::new(KMeans::new(KMeansVariant::Forgy)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 9,
+        })),
+        Box::new(MstClustering::new()),
+    ]
+}
+
+fn build_framework(subs: &[Rect], max_cells: Option<usize>) -> GridFramework {
+    let grid = Grid::cube(0.0, 20.0, 2, 10).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    GridFramework::build(grid, subs, &probs, max_cells)
+}
+
+fn interested_set(subs: &[Rect], p: &Point) -> BitSet {
+    BitSet::from_members(
+        subs.len(),
+        subs.iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(p))
+            .map(|(i, _)| i),
+    )
+}
+
+/// Batched plan decisions under a pinned thread count, via the same
+/// fixed-chunk decomposition `sim::delivery` uses.
+fn chunked_batched_decisions(
+    plan: &DispatchPlan,
+    points: &[Point],
+    sets: &[BitSet],
+    threads: usize,
+) -> Vec<Delivery> {
+    parallel::with_threads(threads, || {
+        parallel::par_chunks(points.len(), 64, |range| {
+            let mut scratch = BatchScratch::new();
+            let mut out = Vec::with_capacity(range.len());
+            plan.dispatch_batch(range, |e| &points[e], |e| &sets[e], &mut scratch, &mut out);
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Grid dispatch: batched == scalar for all five algorithms, on
+    /// both complete and truncated frameworks, whole-stream and chunked
+    /// at 1 and 8 threads.
+    #[test]
+    fn batched_dispatch_equals_scalar_for_all_algorithms(
+        subs in prop::collection::vec(rect_strategy(), 1..20),
+        points in prop::collection::vec(point_strategy(), 1..40),
+        threshold in 0.0..1.0f64,
+        k in 1usize..6,
+    ) {
+        let sets: Vec<BitSet> = points.iter().map(|p| interested_set(&subs, p)).collect();
+        for max_cells in [None, Some(5)] {
+            let fw = build_framework(&subs, max_cells);
+            for alg in algorithms() {
+                let clustering = alg.cluster(&fw, k);
+                let plan = DispatchPlan::compile(&fw, &clustering).with_threshold(threshold);
+                let reference: Vec<Delivery> = points
+                    .iter()
+                    .zip(&sets)
+                    .map(|(p, s)| plan.dispatch(p, s))
+                    .collect();
+                let mut scratch = BatchScratch::new();
+                let mut whole = Vec::new();
+                plan.dispatch_batch(
+                    0..points.len(),
+                    |e| &points[e],
+                    |e| &sets[e],
+                    &mut scratch,
+                    &mut whole,
+                );
+                prop_assert_eq!(
+                    &whole,
+                    &reference,
+                    "{} (max_cells {:?}): whole-stream batch",
+                    alg.name(),
+                    max_cells
+                );
+                for threads in [1, 8] {
+                    let chunked = chunked_batched_decisions(&plan, &points, &sets, threads);
+                    prop_assert_eq!(
+                        &chunked,
+                        &reference,
+                        "{} (max_cells {:?}) diverged at {} thread(s)",
+                        alg.name(),
+                        max_cells,
+                        threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batched serve path computes the exact interested set and the
+    /// same decision as scalar `serve`, event by event, at batch sizes
+    /// below and above the bucket-sort threshold.
+    #[test]
+    fn batched_serve_equals_scalar_serve(
+        subs in prop::collection::vec(rect_strategy(), 1..20),
+        points in prop::collection::vec(point_strategy(), 1..40),
+        threshold in 0.0..1.0f64,
+    ) {
+        for max_cells in [None, Some(5)] {
+            let fw = build_framework(&subs, max_cells);
+            let clustering = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 4);
+            let plan = DispatchPlan::compile(&fw, &clustering)
+                .with_threshold(threshold)
+                .with_subscriptions(&subs);
+            let mut scalar = DispatchScratch::new();
+            let reference: Vec<(Delivery, Vec<usize>)> = points
+                .iter()
+                .map(|p| {
+                    let d = plan.serve(p, &mut scalar);
+                    (d, scalar.interested().to_vec())
+                })
+                .collect();
+            for batch in [3usize, points.len()] {
+                let mut scratch = BatchScratch::new();
+                let mut out = Vec::new();
+                let mut start = 0;
+                while start < points.len() {
+                    let end = (start + batch).min(points.len());
+                    let before = out.len();
+                    plan.serve_batch(start..end, |e| &points[e], &mut scratch, &mut out);
+                    for local in 0..(end - start) {
+                        prop_assert_eq!(
+                            out[before + local],
+                            reference[start + local].0,
+                            "decision, batch {}, event {}",
+                            batch,
+                            start + local
+                        );
+                        prop_assert_eq!(
+                            scratch.interested_of(local).collect::<Vec<_>>(),
+                            reference[start + local].1.clone(),
+                            "interested set, batch {}, event {}",
+                            batch,
+                            start + local
+                        );
+                    }
+                    start = end;
+                }
+            }
+        }
+    }
+
+    /// No-Loss: the chunked plan path is bit-identical to per-event
+    /// matching at 1 and 8 threads (No-Loss dispatch is already
+    /// per-region; this pins the chunk decomposition the sim uses).
+    #[test]
+    fn noloss_chunked_identical_across_threads(
+        subs in prop::collection::vec(rect_strategy(), 1..15),
+        points in prop::collection::vec(point_strategy(), 1..40),
+    ) {
+        let cfg = NoLossConfig { max_rects: 60, iterations: 2, max_candidates_per_round: 5_000 };
+        let nl = NoLossClustering::build(&subs, &[], &cfg, 30);
+        let plan = NoLossDispatchPlan::compile(&nl);
+        let reference: Vec<Option<usize>> = points.iter().map(|p| nl.match_event(p)).collect();
+        for threads in [1, 8] {
+            let chunked: Vec<Option<usize>> = parallel::with_threads(threads, || {
+                parallel::par_chunks(points.len(), 64, |range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    plan.dispatch_chunk(range, |e| &points[e], &mut out);
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            });
+            prop_assert_eq!(&chunked, &reference, "diverged at {} thread(s)", threads);
+        }
+    }
+}
+
+/// Breakdown-shaped aggregates: a `DeliveryBreakdown`-style chunked
+/// `f64` reduction over the decisions is bit-identical between the
+/// scalar and batched paths at 1 and 8 threads — equal per-event
+/// decisions in equal order, combined over the same fixed 64-event
+/// chunks, leave no room for the sums to drift.
+#[test]
+fn breakdown_style_aggregates_bit_identical() {
+    use rand::prelude::*;
+
+    let mut rng = StdRng::seed_from_u64(2002);
+    let subs: Vec<Rect> = (0..300)
+        .map(|_| {
+            let lo = rng.gen_range(0.0..18.0);
+            let len = rng.gen_range(0.2..4.0);
+            let lo2 = rng.gen_range(0.0..18.0);
+            let len2 = rng.gen_range(0.2..4.0);
+            Rect::new(vec![
+                Interval::new(lo, (lo + len).min(20.0)).unwrap(),
+                Interval::new(lo2, (lo2 + len2).min(20.0)).unwrap(),
+            ])
+        })
+        .collect();
+    let points: Vec<Point> = (0..2_000)
+        .map(|_| Point::new(vec![rng.gen_range(-1.0..21.0), rng.gen_range(-1.0..21.0)]))
+        .collect();
+    let sets: Vec<BitSet> = points.iter().map(|p| interested_set(&subs, p)).collect();
+    let fw = build_framework(&subs, Some(200));
+    let clustering = KMeans::new(KMeansVariant::Forgy).cluster(&fw, 12);
+    let plan = DispatchPlan::compile(&fw, &clustering).with_threshold(0.25);
+
+    // Pseudo-cost per event from its decision and interested count —
+    // the same shape as the simulator's multicast/unicast cost sums.
+    let aggregate = |decisions: &[Delivery]| -> (usize, usize, u64, u64) {
+        let partials = parallel::par_chunks(points.len(), 64, |range| {
+            let mut multi = 0usize;
+            let mut uni = 0usize;
+            let mut mc = 0.0f64;
+            let mut uc = 0.0f64;
+            for e in range {
+                match decisions[e] {
+                    Delivery::Multicast { group } => {
+                        multi += 1;
+                        mc += (group as f64 + 1.0).sqrt() * sets[e].count() as f64;
+                    }
+                    Delivery::Unicast => {
+                        uni += 1;
+                        uc += 1.5 * sets[e].count() as f64 + 0.25;
+                    }
+                }
+            }
+            (multi, uni, mc, uc)
+        });
+        let mut total = (0usize, 0usize, 0.0f64, 0.0f64);
+        for (m, u, mc, uc) in partials {
+            total.0 += m;
+            total.1 += u;
+            total.2 += mc;
+            total.3 += uc;
+        }
+        (total.0, total.1, total.2.to_bits(), total.3.to_bits())
+    };
+
+    let runs: Vec<(usize, usize, u64, u64)> = [1usize, 8]
+        .iter()
+        .flat_map(|&threads| {
+            parallel::with_threads(threads, || {
+                let scalar: Vec<Delivery> = parallel::par_chunks(points.len(), 64, |range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    plan.dispatch_chunk(range, |e| &points[e], |e| &sets[e], &mut out);
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                let batched: Vec<Delivery> = parallel::par_chunks(points.len(), 64, |range| {
+                    let mut scratch = BatchScratch::new();
+                    let mut out = Vec::with_capacity(range.len());
+                    plan.dispatch_batch(
+                        range,
+                        |e| &points[e],
+                        |e| &sets[e],
+                        &mut scratch,
+                        &mut out,
+                    );
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                assert_eq!(scalar, batched, "decisions diverged at {threads} thread(s)");
+                vec![aggregate(&scalar), aggregate(&batched)]
+            })
+        })
+        .collect();
+    for r in &runs {
+        assert_eq!(r, &runs[0], "aggregates diverged across paths/threads");
+    }
+}

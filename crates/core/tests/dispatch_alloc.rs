@@ -13,8 +13,9 @@ use std::cell::Cell;
 
 use geometry::{Grid, Interval, Point, Rect};
 use pubsub_core::{
-    BitSet, CellProbability, ClusteringAlgorithm, DispatchPlan, DispatchScratch, GridFramework,
-    GridMatcher, KMeans, KMeansVariant, NoLossClustering, NoLossConfig, NoLossDispatchPlan,
+    BatchScratch, BitSet, CellProbability, ClusteringAlgorithm, Delivery, DispatchPlan,
+    DispatchScratch, GridFramework, GridMatcher, KMeans, KMeansVariant, NoLossClustering,
+    NoLossConfig, NoLossDispatchPlan,
 };
 use rand::prelude::*;
 
@@ -125,6 +126,75 @@ fn steady_state_dispatch_allocates_nothing() {
         0,
         "steady-state dispatch performed {allocs} heap allocations over {} events",
         events.len()
+    );
+}
+
+#[test]
+fn steady_state_batched_dispatch_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let subs: Vec<Rect> = (0..800).map(|_| random_rect(&mut rng)).collect();
+    let grid = Grid::cube(0.0, 1.0, 1, 512).unwrap();
+    let probs = CellProbability::uniform(&grid);
+    let fw = GridFramework::build(grid, &subs, &probs, Some(400));
+    let clustering = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 12);
+    let plan = DispatchPlan::compile(&fw, &clustering)
+        .with_threshold(0.15)
+        .with_subscriptions(&subs);
+
+    // Off-grid points exercise the NO_SLOT bucket (R-tree fallback) too.
+    let events: Vec<Point> = (0..2_000)
+        .map(|_| Point::new(vec![rng.gen_range(-0.05..1.05)]))
+        .collect();
+    let interested: Vec<BitSet> = events
+        .iter()
+        .map(|p| {
+            BitSet::from_members(
+                subs.len(),
+                subs.iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.contains(p))
+                    .map(|(i, _)| i),
+            )
+        })
+        .collect();
+    const BATCH: usize = 256;
+
+    // Warm-up pass: buffers reach their high-water mark, and the
+    // batched kernels must agree with the scalar paths event by event.
+    let mut scalar = DispatchScratch::new();
+    let mut scratch = BatchScratch::new();
+    let mut out: Vec<Delivery> = Vec::with_capacity(events.len());
+    let run_batches = |scratch: &mut BatchScratch, out: &mut Vec<Delivery>, served: bool| {
+        out.clear();
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + BATCH).min(events.len());
+            if served {
+                plan.serve_batch(start..end, |e| &events[e], scratch, out);
+            } else {
+                plan.dispatch_batch(start..end, |e| &events[e], |e| &interested[e], scratch, out);
+            }
+            start = end;
+        }
+    };
+    run_batches(&mut scratch, &mut out, true);
+    for (e, p) in events.iter().enumerate() {
+        assert_eq!(out[e], plan.serve(p, &mut scalar), "serve_batch event {e}");
+    }
+    run_batches(&mut scratch, &mut out, false);
+    for (e, (p, set)) in events.iter().zip(&interested).enumerate() {
+        assert_eq!(out[e], plan.dispatch(p, set), "dispatch_batch event {e}");
+    }
+
+    let allocs = count_allocs(|| {
+        run_batches(&mut scratch, &mut out, true);
+        run_batches(&mut scratch, &mut out, false);
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state batched dispatch performed {allocs} heap allocations over {} events",
+        2 * events.len()
     );
 }
 

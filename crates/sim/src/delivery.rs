@@ -8,8 +8,8 @@
 
 use netsim::{FrozenRouter, NodeId, ShortestPathTree, Topology};
 use pubsub_core::{
-    parallel, BitSet, Clustering, Delivery, DispatchPlan, GridFramework, NoLossClustering,
-    NoLossDispatchPlan, SubscriptionIndex,
+    parallel, BatchScratch, BitSet, Clustering, Delivery, DispatchPlan, GridFramework,
+    NoLossClustering, NoLossDispatchPlan, SubscriptionIndex,
 };
 use workload::Workload;
 
@@ -263,17 +263,25 @@ impl<'a> Evaluator<'a> {
         // Static per-group member-node lists (parallel over groups).
         let memberships: Vec<&BitSet> = clustering.groups().iter().map(|g| &g.members).collect();
         let group_nodes = self.member_nodes(&memberships);
-        // Match every event up front through the compiled dispatch plan
-        // (bit-identical to `GridMatcher`, allocation-free per event);
-        // chunks are the fixed `EVENT_CHUNK`, so decisions and ordering
-        // are thread-count independent.
+        // Match every event up front through the compiled dispatch
+        // plan's cell-bucketed batch kernel (bit-identical to
+        // `GridMatcher` and to per-event `dispatch`, emitting in event
+        // order); chunks are the fixed `EVENT_CHUNK`, so decisions and
+        // ordering are thread-count independent.
         let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
             // lint: hot-path
             parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
+                let mut scratch = BatchScratch::new();
                 let mut out = Vec::with_capacity(range.len());
-                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                plan.dispatch_batch(
+                    range,
+                    |e| &events[e].point,
+                    |e| &subs[e],
+                    &mut scratch,
+                    &mut out,
+                );
                 out
             })
             // lint: hot-path end
@@ -376,8 +384,15 @@ impl<'a> Evaluator<'a> {
             let subs = &self.interested_subs;
             // lint: hot-path
             parallel::par_chunks(events.len(), EVENT_CHUNK, |range| {
+                let mut scratch = BatchScratch::new();
                 let mut out = Vec::with_capacity(range.len());
-                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                plan.dispatch_batch(
+                    range,
+                    |e| &events[e].point,
+                    |e| &subs[e],
+                    &mut scratch,
+                    &mut out,
+                );
                 out
             })
             // lint: hot-path end

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 
 use netsim::{DegradedView, EdgeId, FaultSchedule, Graph, NodeId, ShortestPathTree};
 use pubsub_core::{
-    env_knob, parallel, BitSet, Clustering, Delivery, DispatchPlan, DynamicClustering,
-    DynamicError, GridFramework, SubscriptionId,
+    env_knob, parallel, BatchScratch, BitSet, Clustering, Delivery, DispatchPlan,
+    DynamicClustering, DynamicError, GridFramework, SubscriptionId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -343,8 +343,15 @@ impl<'a> Evaluator<'a> {
         let matches: Vec<Delivery> = {
             let subs = &self.interested_subs;
             parallel::par_chunks(n, EVENT_CHUNK, |range| {
+                let mut scratch = BatchScratch::new();
                 let mut out = Vec::with_capacity(range.len());
-                plan.dispatch_chunk(range, |e| &events[e].point, |e| &subs[e], &mut out);
+                plan.dispatch_batch(
+                    range,
+                    |e| &events[e].point,
+                    |e| &subs[e],
+                    &mut scratch,
+                    &mut out,
+                );
                 out
             })
             .into_iter()
