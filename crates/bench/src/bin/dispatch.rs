@@ -36,7 +36,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use geometry::{Grid, Interval, Point, Rect};
-use pubsub_bench::Scale;
+use pubsub_bench::{LatencyHistogram, LatencySummary, Scale};
 use pubsub_core::{
     parallel, BatchScratch, BitSet, CellProbability, ClusteringAlgorithm, Delivery, DispatchPlan,
     DispatchScratch, GridFramework, GridMatcher, KMeans, KMeansVariant, NoLossClustering,
@@ -69,6 +69,7 @@ struct GridRecord {
     old_match_eps: f64,
     plan_match_eps: f64,
     match_events: usize,
+    serve_latency: LatencySummary,
 }
 
 struct NoLossRecord {
@@ -206,6 +207,17 @@ fn main() {
         }
         let plan_serve_eps = events.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
 
+        // Per-event serve-latency percentiles (separate pass so the
+        // per-event `Instant` reads don't skew the throughput number),
+        // through the same log-bucketed histogram the service bin uses.
+        let mut serve_hist = LatencyHistogram::new();
+        for p in &events {
+            let t = Instant::now();
+            std::hint::black_box(plan.serve(p, &mut scratch));
+            serve_hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let serve_latency = serve_hist.summary();
+
         // --- Batched serve: the cell-bucketed SoA kernel over
         // fixed-size batches. Warm pass asserts bit-identity with the
         // scalar decisions; a second check runs the sim-style fixed
@@ -292,7 +304,12 @@ fn main() {
             old_match_eps,
             plan_match_eps,
             match_events,
+            serve_latency,
         });
+        println!(
+            "{n:>8} plan serve latency ns: p50 {} / p99 {} / p999 {} (max {})",
+            serve_latency.p50, serve_latency.p99, serve_latency.p999, serve_latency.max
+        );
 
         // --- No-Loss (bounded population: region construction is the
         // expensive part, matching is what we time).
@@ -426,7 +443,9 @@ fn main() {
             "    {{\"n\": {}, \"events\": {}, \"old_serve_events_per_sec\": {:.0}, \
              \"plan_serve_events_per_sec\": {:.0}, \"serve_speedup\": {:.2}, \
              \"match_only_events\": {}, \"old_match_events_per_sec\": {:.0}, \
-             \"plan_match_events_per_sec\": {:.0}, \"match_speedup\": {:.2}, \"identical\": true}}",
+             \"plan_match_events_per_sec\": {:.0}, \"match_speedup\": {:.2}, \
+             \"plan_serve_latency_ns\": {{\"mean\": {}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"p999\": {}, \"max\": {}}}, \"identical\": true}}",
             r.n,
             r.events,
             r.old_serve_eps,
@@ -436,6 +455,12 @@ fn main() {
             r.old_match_eps,
             r.plan_match_eps,
             r.plan_match_eps / r.old_match_eps.max(1e-9),
+            r.serve_latency.mean,
+            r.serve_latency.p50,
+            r.serve_latency.p90,
+            r.serve_latency.p99,
+            r.serve_latency.p999,
+            r.serve_latency.max,
         );
         json.push_str(if i + 1 < grid_records.len() {
             ",\n"

@@ -1,0 +1,248 @@
+//! Log-bucketed latency histogram: HDR-style, dependency-free,
+//! deterministic.
+//!
+//! Values (nanoseconds) are bucketed exactly below 64 and
+//! logarithmically above: each power-of-two octave is split into 32
+//! linear subbuckets, so any recorded value is reported within ~3%
+//! ([`LatencyHistogram::percentile`] returns the bucket's inclusive
+//! upper bound, never underestimating a quantile). Recording is O(1)
+//! with a fixed 1920-slot table, covering the full `u64` range with no
+//! allocation after construction and no floating point on the record
+//! path — two runs that record the same multiset of values produce
+//! bit-identical summaries regardless of order.
+
+/// Subbucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets (relative error ≤ `2^-SUB_BITS` ≈ 3%).
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `2 * SUBS` get exact unit-width buckets.
+const EXACT: u64 = (2 * SUBS) as u64;
+/// Octaves above the exact range: msb ∈ [SUB_BITS+1, 63].
+const SLOTS: usize = 2 * SUBS + (63 - SUB_BITS as usize) * SUBS;
+
+/// A fixed-size log-bucketed histogram of `u64` latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Deterministic percentile summary of one histogram, ready for JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean (truncating) of the exact recorded values.
+    pub mean: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact smallest recorded value.
+    pub min: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUBS - 1);
+    (shift as usize + 1) * SUBS + sub
+}
+
+/// Inclusive upper bound of bucket `i` — what quantiles report.
+fn bucket_top(i: usize) -> u64 {
+    if (i as u64) < EXACT {
+        return i as u64;
+    }
+    let shift = (i / SUBS - 1) as u32;
+    let sub = (i % SUBS) as u64;
+    // In u128: the top octave's last bucket ends exactly at 2^64 - 1.
+    let next = (u128::from(SUBS as u64 + sub) + 1) << shift;
+    u64::try_from(next - 1).unwrap_or(u64::MAX)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (one fixed allocation).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; SLOTS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value. O(1), allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the inclusive upper bound
+    /// of the bucket holding the `ceil(q · count)`-th smallest value
+    /// (so it never underestimates), clamped to the exact observed
+    /// min/max. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_top(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The full summary (count, mean, p50/p90/p99/p999, min, max).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: if self.count == 0 {
+                0
+            } else {
+                u64::try_from(self.sum / u128::from(self.count)).unwrap_or(u64::MAX)
+            },
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps into a bucket whose top bounds it from
+        // above, and bucket indices never decrease with the value.
+        let mut last = 0usize;
+        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index regressed at {v}");
+            assert!(bucket_top(b) >= v, "top({b}) < {v}");
+            // Relative error of the bound is within one subbucket.
+            if v >= EXACT {
+                assert!(bucket_top(b) - v <= v / (SUBS as u64 - 1));
+            }
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < SLOTS);
+    }
+
+    #[test]
+    fn exact_range_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..EXACT {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), EXACT - 1);
+        let s = h.summary();
+        assert_eq!(s.count, EXACT);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, EXACT - 1);
+        // ceil-rank median of 0..64 is the 32nd smallest, i.e. 31.
+        assert_eq!(s.p50, EXACT / 2 - 1);
+    }
+
+    #[test]
+    fn percentiles_bound_from_above_within_three_percent() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100_000u64 {
+            h.record(i * 17); // 17 .. 1.7e6 ns, uniform
+        }
+        for (q, exact) in [(0.5, 850_000.0), (0.99, 1_683_000.0), (0.999, 1_698_300.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(got >= exact * 0.999, "q{q}: {got} < {exact}");
+            assert!(got <= exact * 1.04, "q{q}: {got} too loose vs {exact}");
+        }
+    }
+
+    #[test]
+    fn order_independent_and_mergeable() {
+        let values: Vec<u64> = (0..5_000u64)
+            .map(|i| (i * 2654435761) % 10_000_000)
+            .collect();
+        let mut fwd = LatencyHistogram::new();
+        let mut rev = LatencyHistogram::new();
+        for &v in &values {
+            fwd.record(v);
+        }
+        for &v in values.iter().rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd.summary(), rev.summary());
+
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let (left, right) = values.split_at(1234);
+        for &v in left {
+            a.record(v);
+        }
+        for &v in right {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), fwd.summary());
+    }
+
+    #[test]
+    fn empty_and_extremes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.summary().count, 0);
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.summary().min, 0);
+        assert_eq!(h.summary().max, u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hist;
+
+pub use hist::{LatencyHistogram, LatencySummary};
+
 /// Run scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

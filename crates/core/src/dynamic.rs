@@ -15,6 +15,7 @@
 //! the update needed.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use geometry::{CellId, Grid, Point, Rect};
@@ -23,6 +24,7 @@ use crate::clustering::Clustering;
 use crate::framework::{CellProbability, GridFramework};
 use crate::kmeans::KMeans;
 use crate::parallel;
+use crate::validate::{ValidationError, Validator};
 
 /// Default dirty-fraction threshold above which [`DynamicClustering::rebalance`]
 /// falls back to the full re-rasterizing path. Override with
@@ -139,6 +141,32 @@ impl std::fmt::Display for DynamicError {
 
 impl std::error::Error for DynamicError {}
 
+/// Why a [`DynamicClustering::try_rebalance`] attempt was rejected.
+/// Either way the clustering is rolled back to the state it held
+/// before the call — the error never poisons the serve path, which is
+/// exactly what the service-loop watchdog
+/// ([`crate::BrokerService`]) consumes.
+#[derive(Debug, Clone)]
+pub enum RebalanceError {
+    /// A maintenance path panicked; the payload message is preserved
+    /// for diagnostics.
+    Panicked(String),
+    /// The rebalanced artifacts failed the structural audit
+    /// ([`Validator`]); publishing them would corrupt dispatch.
+    Validation(ValidationError),
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::Panicked(msg) => write!(f, "rebalance panicked: {msg}"),
+            RebalanceError::Validation(e) => write!(f, "rebalance produced invalid artifacts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
 impl DynamicClustering {
     /// Creates an empty dynamic clustering over the grid.
     pub fn new(grid: Grid, probs: CellProbability, algorithm: KMeans, k: usize) -> Self {
@@ -224,6 +252,16 @@ impl DynamicClustering {
         self.subscriptions.iter().filter(|s| s.is_some()).count()
     }
 
+    /// The subscription slots in id order, tombstones included
+    /// (`slots()[id] == None` once `id` was unsubscribed). Slot count
+    /// equals [`GridFramework::num_subscribers`] after a rebalance, so
+    /// callers compiling a [`crate::DispatchPlan`] with
+    /// [`with_subscriptions`](crate::DispatchPlan::with_subscriptions)
+    /// can derive an id-aligned rectangle vector from it.
+    pub fn subscription_slots(&self) -> &[Option<Rect>] {
+        &self.subscriptions
+    }
+
     /// Number of changes since the last rebalance.
     pub fn pending_changes(&self) -> usize {
         self.pending
@@ -265,16 +303,53 @@ impl DynamicClustering {
     /// Both paths produce bit-identical frameworks, clusterings and
     /// move counts at any `PUBSUB_THREADS`.
     pub fn rebalance(&mut self) -> usize {
+        let moves = self.rebalance_paths();
+        self.debug_validate("DynamicClustering::rebalance");
+        moves
+    }
+
+    /// Path selection shared by [`rebalance`](Self::rebalance) and
+    /// [`try_rebalance`](Self::try_rebalance) — everything except the
+    /// post-condition audit.
+    fn rebalance_paths(&mut self) -> usize {
         let changed = self.baseline.len();
         let threshold = self.max_dirty.unwrap_or_else(incremental_max_dirty);
         let fraction = changed as f64 / self.subscriptions.len().max(1) as f64;
-        let moves = if self.framework.supports_incremental() && fraction <= threshold {
+        if self.framework.supports_incremental() && fraction <= threshold {
             self.rebalance_incremental(changed)
         } else {
             self.rebalance_full(changed)
+        }
+    }
+
+    /// Panic-free [`rebalance`](Self::rebalance) with an *unconditional*
+    /// (release-mode too) structural audit: folds pending churn in,
+    /// re-balances, and runs [`Validator::check_framework`] +
+    /// [`Validator::check_clustering`] over the result before accepting
+    /// it. On any failure — a panic in a maintenance path or an audit
+    /// violation — the clustering (subscriptions, framework, pending
+    /// baseline, stats) is rolled back bit-for-bit to its pre-call
+    /// state and the error is returned instead, so a long-running
+    /// service can keep serving the last good clustering. This is the
+    /// entry point the service-loop watchdog consumes; on success it is
+    /// observationally identical to [`rebalance`](Self::rebalance).
+    pub fn try_rebalance(&mut self) -> Result<RebalanceStats, RebalanceError> {
+        let before = self.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.rebalance_paths()));
+        let rolled_back = match outcome {
+            Ok(_moves) => {
+                let mut v = Validator::new();
+                v.check_framework(&self.framework)
+                    .check_clustering(&self.framework, &self.clustering);
+                match v.finish() {
+                    Ok(()) => return Ok(self.last_stats),
+                    Err(e) => RebalanceError::Validation(e),
+                }
+            }
+            Err(payload) => RebalanceError::Panicked(panic_message(payload.as_ref())),
         };
-        self.debug_validate("DynamicClustering::rebalance");
-        moves
+        *self = before;
+        Err(rolled_back)
     }
 
     /// Debug-build structural audit at the rebalance boundary: the
@@ -479,6 +554,18 @@ impl DynamicClustering {
         self.finish_full(changed, moves);
         self.debug_validate("DynamicClustering::rebuild");
         moves
+    }
+}
+
+/// Best-effort rendering of a panic payload (the two shapes `panic!`
+/// actually produces, then a fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
     }
 }
 
@@ -696,6 +783,42 @@ mod tests {
         assert!(stats.unchanged_hypercells > 0);
         // The default threshold comes from the environment knob.
         assert!((0.0..=1.0).contains(&super::incremental_max_dirty()));
+    }
+
+    #[test]
+    fn try_rebalance_matches_rebalance_and_exposes_slots() {
+        let mut a = system(2);
+        let mut b = system(2);
+        for s in [&mut a, &mut b] {
+            for i in 0..6 {
+                s.subscribe(rect1(i as f64, i as f64 + 3.0));
+            }
+        }
+        let moves = a.rebalance();
+        let stats = b.try_rebalance().expect("healthy rebalance validates");
+        assert_eq!(stats.moves, moves);
+        assert_eq!(stats, b.last_rebalance());
+        assert_eq!(
+            a.framework().hypercells().len(),
+            b.framework().hypercells().len()
+        );
+        // Slot accessor: ids index the slots, tombstones stay visible.
+        let id = SubscriptionId(2);
+        b.unsubscribe(id).unwrap();
+        assert_eq!(b.subscription_slots().len(), 6);
+        assert!(b.subscription_slots()[id.index()].is_none());
+        assert!(b.subscription_slots()[0].is_some());
+        b.try_rebalance().expect("tombstone fold validates");
+        assert_eq!(b.framework().num_subscribers(), 6);
+        // Error rendering is exercised even without a failure path.
+        let err = RebalanceError::Panicked("boom".into());
+        assert!(err.to_string().contains("boom"));
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("s"));
+        assert_eq!(panic_message(payload.as_ref()), "s");
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(payload.as_ref()), "static");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
     }
 
     #[test]

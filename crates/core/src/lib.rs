@@ -73,6 +73,8 @@ mod mst_cluster;
 mod noloss;
 mod pairs;
 pub mod parallel;
+mod service;
+mod snapshot;
 mod validate;
 mod waste;
 
@@ -81,7 +83,9 @@ pub use clustering::{Clustering, ClusteringAlgorithm, Group};
 pub use counting::CountingMatcher;
 pub use dispatch::{DispatchPlan, DispatchScratch, NoLossDispatchPlan, DENSE_TABLE_MAX_CELLS};
 pub use distance::DistanceMatrix;
-pub use dynamic::{DynamicClustering, DynamicError, RebalanceStats, SubscriptionId};
+pub use dynamic::{
+    DynamicClustering, DynamicError, RebalanceError, RebalanceStats, SubscriptionId,
+};
 pub use framework::{CellProbability, DeltaReport, FrameworkStats, GridFramework, HyperCell};
 pub use intern::{MembershipId, MembershipPool};
 pub use kmeans::{KMeans, KMeansVariant};
@@ -92,5 +96,10 @@ pub use membership::BitSet;
 pub use mst_cluster::MstClustering;
 pub use noloss::{NoLossClustering, NoLossConfig, NoLossRegion};
 pub use pairs::{PairsStrategy, PairwiseGrouping};
+pub use service::{
+    BrokerService, EventRecord, RebalanceAbort, ServiceConfig, ServiceReport, ShedPolicy,
+    SwapReport,
+};
+pub use snapshot::{SnapshotCell, SnapshotReader};
 pub use validate::{ValidationError, Validator, Violation};
 pub use waste::{expected_waste, popularity};

@@ -1,0 +1,960 @@
+//! The always-on broker service loop: concurrent ingest over an
+//! atomically hot-swapped [`DispatchPlan`], with bounded queues,
+//! explicit overload shedding, and a watchdog-guarded background
+//! rebalancer (DESIGN.md §14).
+//!
+//! Everything before this module is batch: build framework → cluster →
+//! compile plan → replay events. [`BrokerService`] turns the same
+//! pipeline into a long-running loop:
+//!
+//! * **N ingest threads** pop events from a bounded queue and serve
+//!   them with [`DispatchPlan::serve`] against an epoch-cached
+//!   [`SnapshotCell`](crate::SnapshotCell) snapshot — one atomic load
+//!   per event in steady state, no lock on the serve path;
+//! * a **rebalancer thread** consumes churn ops, folds them into a
+//!   *clone* of the [`DynamicClustering`], runs the incremental
+//!   pipeline ([`DynamicClustering::try_rebalance`]), compiles the
+//!   next plan and publishes it **only after** the structural
+//!   [`Validator`] passes. A failed, panicking, or timed-out attempt
+//!   rolls back to the last good state (the clone is simply dropped)
+//!   and surfaces a [`RebalanceAbort`] — the serve path is never
+//!   poisoned;
+//! * **backpressure is explicit**: the ingest queue holds at most
+//!   `queue_depth` events (`PUBSUB_SERVICE_QUEUE_DEPTH`) and overload
+//!   follows the configured [`ShedPolicy`] (`PUBSUB_SERVICE_SHED`).
+//!   Every shed event is counted with its id, so
+//!   `delivered + shed == offered` exactly partitions the offered load
+//!   — nothing is ever dropped on the floor silently;
+//! * repeated rebalance failures back off exponentially
+//!   (shift-capped, mirroring the PR 2 retry machinery) and the
+//!   watchdog timeout can be retuned live
+//!   ([`BrokerService::set_rebalance_timeout`]).
+//!
+//! Determinism: an event's decision depends only on `(event, plan
+//! snapshot)`, and each published snapshot is a pure function of the
+//! op stream. Drivers that quiesce between phases
+//! ([`BrokerService::drain`] + the synchronous
+//! [`BrokerService::rebalance`]) therefore get decisions bit-identical
+//! to a serial replay at any ingest thread count — pinned by the
+//! swap-storm suite in `crates/core/tests/service.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use geometry::{Interval, Point, Rect};
+
+use crate::dispatch::{DispatchPlan, DispatchScratch};
+use crate::dynamic::{DynamicClustering, RebalanceError, RebalanceStats, SubscriptionId};
+use crate::knob::env_knob;
+use crate::matching::Delivery;
+use crate::snapshot::SnapshotCell;
+use crate::validate::Validator;
+
+/// Exponent cap of the abort backoff: after this many consecutive
+/// failures the delay stops doubling (`base << SHIFT_CAP` at most), so
+/// arithmetic can never overflow and the rebalancer never sleeps
+/// unboundedly long.
+const BACKOFF_SHIFT_CAP: u32 = 6;
+
+/// What [`BrokerService::offer`] does when the ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Block the offering thread until a slot frees up — lossless
+    /// backpressure, latency absorbed by the publisher.
+    Block,
+    /// Shed the incoming event (classic tail drop).
+    DropNewest,
+    /// Shed the oldest queued event to admit the new one (the queue
+    /// always holds the freshest window).
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Parses the `PUBSUB_SERVICE_SHED` spelling.
+    fn parse(s: &str) -> Option<ShedPolicy> {
+        match s {
+            "block" => Some(ShedPolicy::Block),
+            "drop-newest" => Some(ShedPolicy::DropNewest),
+            "drop-oldest" => Some(ShedPolicy::DropOldest),
+            _ => None,
+        }
+    }
+
+    /// The canonical knob spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedPolicy::Block => "block",
+            ShedPolicy::DropNewest => "drop-newest",
+            ShedPolicy::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Configuration of a [`BrokerService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Ingest worker threads (at least 1).
+    pub ingest_threads: usize,
+    /// Bounded ingest-queue capacity (at least 1).
+    pub queue_depth: usize,
+    /// Overload behavior when the queue is full.
+    pub shed: ShedPolicy,
+    /// Multicast threshold compiled into every published plan.
+    pub threshold: f64,
+    /// Watchdog deadline for one rebalance attempt (checked between
+    /// pipeline stages); `None` disables the watchdog.
+    pub rebalance_timeout: Option<Duration>,
+    /// Base delay of the exponential abort backoff (doubled per
+    /// consecutive failure, shift-capped at 2^6; `ZERO` disables).
+    pub retry_backoff: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            ingest_threads: crate::parallel::num_threads(),
+            queue_depth: 1024,
+            shed: ShedPolicy::Block,
+            threshold: 0.0,
+            rebalance_timeout: Some(Duration::from_millis(5_000)),
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults overridden by the environment knobs
+    /// `PUBSUB_SERVICE_QUEUE_DEPTH` (≥ 1),
+    /// `PUBSUB_SERVICE_SHED` (`block` | `drop-newest` | `drop-oldest`)
+    /// and `PUBSUB_SERVICE_REBALANCE_TIMEOUT_MS` (`0` disables the
+    /// watchdog). Malformed values keep the defaults with a one-time
+    /// stderr report ([`env_knob`]).
+    pub fn from_env() -> Self {
+        let d = ServiceConfig::default();
+        let timeout_ms = env_knob("PUBSUB_SERVICE_REBALANCE_TIMEOUT_MS", 5_000u64, |s| {
+            s.parse().ok()
+        });
+        ServiceConfig {
+            queue_depth: env_knob("PUBSUB_SERVICE_QUEUE_DEPTH", d.queue_depth, |s| {
+                s.parse().ok().filter(|&n| n > 0)
+            }),
+            shed: env_knob("PUBSUB_SERVICE_SHED", d.shed, ShedPolicy::parse),
+            rebalance_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+            ..d
+        }
+    }
+}
+
+/// A churn operation queued for the next rebalance.
+#[derive(Debug, Clone)]
+enum ServiceOp {
+    Subscribe { id: SubscriptionId, rect: Rect },
+    Unsubscribe { id: SubscriptionId },
+    Resubscribe { id: SubscriptionId, rect: Rect },
+}
+
+/// An immutable published plan: the snapshot unit of the hot swap.
+#[derive(Debug)]
+struct VersionedPlan {
+    /// Publication epoch of this plan (0 = the plan the service
+    /// started with; equals the [`SnapshotCell`] epoch it was
+    /// published under).
+    version: u64,
+    plan: DispatchPlan,
+}
+
+/// One decided event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The id [`BrokerService::offer`] returned.
+    pub id: u64,
+    /// Version of the (validated, published) plan that decided it.
+    pub plan_version: u64,
+    /// The delivery decision.
+    pub decision: Delivery,
+    /// Exact interested subscribers computed by the serve path.
+    pub interested: u32,
+    /// offer → decision latency in nanoseconds (includes queue wait).
+    pub latency_ns: u64,
+}
+
+/// Why a rebalance attempt was aborted. The previous plan keeps
+/// serving in every case.
+#[derive(Debug, Clone)]
+pub enum RebalanceAbort {
+    /// The watchdog deadline passed; `stage` names the last completed
+    /// pipeline stage (`churn`, `rebalance`, `compile`, `validate`).
+    TimedOut {
+        /// Last pipeline stage that completed before the deadline.
+        stage: &'static str,
+    },
+    /// The maintenance pipeline itself failed (panic or structural
+    /// audit violation) and rolled back.
+    Rejected(RebalanceError),
+    /// The compiled plan failed the dispatch-plan audit.
+    PlanRejected(String),
+}
+
+impl std::fmt::Display for RebalanceAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceAbort::TimedOut { stage } => {
+                write!(f, "rebalance watchdog fired after stage `{stage}`")
+            }
+            RebalanceAbort::Rejected(e) => write!(f, "rebalance rejected: {e}"),
+            RebalanceAbort::PlanRejected(e) => write!(f, "compiled plan rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceAbort {}
+
+/// Outcome of one successful rebalance + hot swap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapReport {
+    /// Version of the newly published plan.
+    pub version: u64,
+    /// Diagnostics of the underlying [`DynamicClustering`] rebalance.
+    pub stats: RebalanceStats,
+    /// Churn ops skipped because their target id was unknown or
+    /// already gone (e.g. raced a crash-forced unsubscribe).
+    pub rejected_ops: usize,
+    /// Live subscriptions after the swap.
+    pub subscriptions: usize,
+}
+
+/// Final accounting of a service run ([`BrokerService::shutdown`]).
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Events offered (every id in `0..offered` was issued).
+    pub offered: u64,
+    /// Events decided by a published plan (`records.len()`).
+    pub delivered: u64,
+    /// Events shed by the overload policy (`shed_events.len()`).
+    pub shed: u64,
+    /// Plans published after validation (excluding the initial plan).
+    pub swaps: u64,
+    /// Rebalance attempts aborted (timeout, panic, audit).
+    pub aborts: u64,
+    /// Total churn ops skipped across all swaps.
+    pub rejected_ops: u64,
+    /// The shed policy in force.
+    pub shed_policy: ShedPolicy,
+    /// Every decision, sorted by event id.
+    pub records: Vec<EventRecord>,
+    /// Ids of shed events, sorted.
+    pub shed_events: Vec<u64>,
+    /// Versions published over the run, in order (starts with 0, the
+    /// initial plan; all of them passed the validator before publish).
+    pub published_versions: Vec<u64>,
+}
+
+impl ServiceReport {
+    /// The load-partition invariant: every offered event is counted
+    /// exactly once as delivered or shed, with matching id sets.
+    pub fn partitions_offered(&self) -> bool {
+        if self.delivered + self.shed != self.offered {
+            return false;
+        }
+        if self.records.len() as u64 != self.delivered || self.shed_events.len() as u64 != self.shed
+        {
+            return false;
+        }
+        // Merge the two sorted id sequences; together they must be
+        // exactly 0..offered.
+        let mut ri = self.records.iter().map(|r| r.id).peekable();
+        let mut si = self.shed_events.iter().copied().peekable();
+        for expect in 0..self.offered {
+            let took = match (ri.peek().copied(), si.peek().copied()) {
+                (Some(a), _) if a == expect => ri.next(),
+                (_, Some(b)) if b == expect => si.next(),
+                _ => None,
+            };
+            if took != Some(expect) {
+                return false;
+            }
+        }
+        ri.next().is_none() && si.next().is_none()
+    }
+}
+
+/// An event waiting in the ingest queue.
+struct PendingEvent {
+    id: u64,
+    point: Point,
+    enqueued: Instant,
+}
+
+struct QueueState {
+    buf: VecDeque<PendingEvent>,
+    in_flight: usize,
+    paused: bool,
+    closed: bool,
+}
+
+/// Bounded MPMC ingest queue (mutex + condvars; the serve path itself
+/// never touches it while deciding an event).
+struct IngestQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a slot frees up (block-policy producers wait).
+    space: Condvar,
+    /// Signalled when an event arrives or the queue closes/resumes.
+    ready: Condvar,
+    /// Signalled when the queue is empty with nothing in flight.
+    idle: Condvar,
+}
+
+impl IngestQueue {
+    fn new() -> Self {
+        IngestQueue {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::new(),
+                in_flight: 0,
+                paused: false,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // A worker panic while holding the lock (impossible in the
+        // current loop body, which only moves plain data) must not
+        // wedge every other thread.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Shared state between the service handle, the ingest workers and the
+/// rebalancer.
+struct Shared {
+    plan: SnapshotCell<VersionedPlan>,
+    queue: IngestQueue,
+    records: Mutex<Vec<EventRecord>>,
+    shed_events: Mutex<Vec<u64>>,
+    published: Mutex<Vec<u64>>,
+    offered: AtomicU64,
+    shed: AtomicU64,
+    swaps: AtomicU64,
+    aborts: AtomicU64,
+    rejected_ops: AtomicU64,
+}
+
+/// Control messages consumed by the rebalancer thread.
+enum ControlMsg {
+    Ops(Vec<ServiceOp>),
+    Rebalance(Sender<Result<SwapReport, RebalanceAbort>>),
+    SetTimeout(Option<Duration>),
+    Shutdown,
+}
+
+/// Serialized control-plane side of the handle: op submission order
+/// must equal id pre-assignment order.
+struct Control {
+    tx: Sender<ControlMsg>,
+    next_slot: usize,
+}
+
+/// The running broker service. See the module docs for the thread
+/// layout; construct with [`BrokerService::start`], stop with
+/// [`BrokerService::shutdown`].
+pub struct BrokerService {
+    shared: Arc<Shared>,
+    control: Mutex<Control>,
+    workers: Vec<JoinHandle<()>>,
+    rebalancer: Option<JoinHandle<DynamicClustering>>,
+    shed_policy: ShedPolicy,
+    queue_depth: usize,
+}
+
+/// Id-aligned rectangles for [`DispatchPlan::with_subscriptions`]:
+/// tombstoned slots become degenerate (point-empty) rectangles that
+/// contain no event, so they can never match.
+fn slot_rects(dynamic: &DynamicClustering) -> Vec<Rect> {
+    let bounds = dynamic.framework().grid().bounds().clone();
+    let empty = Rect::new(
+        bounds
+            .intervals()
+            .iter()
+            .map(|iv| Interval::new(iv.lo(), iv.lo()).expect("degenerate interval is valid"))
+            .collect(),
+    );
+    dynamic
+        .subscription_slots()
+        .iter()
+        .map(|slot| slot.clone().unwrap_or_else(|| empty.clone()))
+        .collect()
+}
+
+/// Compiles and audits a plan for the given clustering state.
+fn compile_plan(
+    dynamic: &DynamicClustering,
+    threshold: f64,
+) -> Result<DispatchPlan, RebalanceAbort> {
+    let rects = slot_rects(dynamic);
+    let plan = DispatchPlan::compile(dynamic.framework(), dynamic.clustering())
+        .with_threshold(threshold)
+        .with_subscriptions(&rects);
+    let mut v = Validator::new();
+    v.check_dispatch_plan(dynamic.framework(), dynamic.clustering(), &plan);
+    match v.finish() {
+        Ok(()) => Ok(plan),
+        Err(e) => Err(RebalanceAbort::PlanRejected(e.to_string())),
+    }
+}
+
+/// State owned by the rebalancer thread.
+struct Rebalancer {
+    dynamic: DynamicClustering,
+    pending: Vec<ServiceOp>,
+    threshold: f64,
+    timeout: Option<Duration>,
+    backoff_base: Duration,
+    consecutive_failures: u32,
+    shared: Arc<Shared>,
+}
+
+/// Shift-capped exponential backoff: `base << min(failures - 1, CAP)`,
+/// saturating, `ZERO` when there is no failure streak or no base.
+fn backoff_delay(base: Duration, consecutive_failures: u32) -> Duration {
+    if consecutive_failures == 0 || base.is_zero() {
+        return Duration::ZERO;
+    }
+    let shift = (consecutive_failures - 1).min(BACKOFF_SHIFT_CAP);
+    base.saturating_mul(1u32 << shift)
+}
+
+impl Rebalancer {
+    fn run(mut self, rx: Receiver<ControlMsg>) -> DynamicClustering {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ControlMsg::Ops(mut ops) => self.pending.append(&mut ops),
+                ControlMsg::SetTimeout(t) => self.timeout = t,
+                ControlMsg::Rebalance(reply) => {
+                    let outcome = self.attempt();
+                    match &outcome {
+                        Ok(report) => {
+                            self.consecutive_failures = 0;
+                            self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+                            self.shared
+                                .rejected_ops
+                                .fetch_add(report.rejected_ops as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                            self.shared.aborts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // The requester may have gone away; the swap (or
+                    // abort accounting) above stands either way.
+                    let _ = reply.send(outcome);
+                }
+                ControlMsg::Shutdown => break,
+            }
+        }
+        self.dynamic
+    }
+
+    /// One guarded rebalance attempt: churn → rebalance → compile →
+    /// validate → publish, with the watchdog deadline checked between
+    /// stages. All work happens on a clone; an abort at any stage
+    /// drops the clone, leaving the last good state (and plan) in
+    /// force.
+    fn attempt(&mut self) -> Result<SwapReport, RebalanceAbort> {
+        let delay = backoff_delay(self.backoff_base, self.consecutive_failures);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        let overdue = |stage: &'static str| -> Result<(), RebalanceAbort> {
+            match deadline {
+                Some(d) if Instant::now() >= d => Err(RebalanceAbort::TimedOut { stage }),
+                _ => Ok(()),
+            }
+        };
+
+        let mut work = self.dynamic.clone();
+        let mut rejected = 0usize;
+        for op in &self.pending {
+            match op {
+                ServiceOp::Subscribe { id, rect } => {
+                    let got = work.subscribe(rect.clone());
+                    debug_assert_eq!(got, *id, "pre-assigned subscription id drifted");
+                }
+                ServiceOp::Unsubscribe { id } => {
+                    if work.unsubscribe(*id).is_err() {
+                        rejected += 1;
+                    }
+                }
+                ServiceOp::Resubscribe { id, rect } => {
+                    if work.resubscribe(*id, rect.clone()).is_err() {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        overdue("churn")?;
+
+        let stats = work.try_rebalance().map_err(RebalanceAbort::Rejected)?;
+        overdue("rebalance")?;
+
+        let plan = compile_plan(&work, self.threshold)?;
+        overdue("compile")?;
+        overdue("validate")?;
+
+        // Commit: the clone becomes the truth and the plan goes live.
+        let version = self.shared.plan.epoch() + 1;
+        let subscriptions = work.num_subscriptions();
+        self.dynamic = work;
+        self.pending.clear();
+        let published = self
+            .shared
+            .plan
+            .publish(Arc::new(VersionedPlan { version, plan }));
+        debug_assert_eq!(published, version);
+        self.shared
+            .published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(version);
+        Ok(SwapReport {
+            version,
+            stats,
+            rejected_ops: rejected,
+            subscriptions,
+        })
+    }
+}
+
+/// Ingest worker: pop, refresh the plan snapshot (one atomic load when
+/// unchanged), serve, record.
+fn worker_loop(shared: &Shared) {
+    let (mut cached, mut epoch) = shared.plan.load_with_epoch();
+    let mut scratch = DispatchScratch::new();
+    loop {
+        let ev = {
+            let mut state = shared.queue.lock();
+            loop {
+                if !state.paused {
+                    if let Some(ev) = state.buf.pop_front() {
+                        state.in_flight += 1;
+                        shared.queue.space.notify_one();
+                        break ev;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                }
+                state = shared
+                    .queue
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        if shared.plan.epoch() != epoch {
+            let fresh = shared.plan.load_with_epoch();
+            cached = fresh.0;
+            epoch = fresh.1;
+        }
+        let decision = cached.plan.serve(&ev.point, &mut scratch);
+        let record = EventRecord {
+            id: ev.id,
+            plan_version: cached.version,
+            decision,
+            interested: scratch.interested().len() as u32,
+            latency_ns: u64::try_from(ev.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
+        shared
+            .records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+
+        let mut state = shared.queue.lock();
+        state.in_flight -= 1;
+        if state.buf.is_empty() && state.in_flight == 0 {
+            shared.queue.idle.notify_all();
+        }
+    }
+}
+
+impl BrokerService {
+    /// Starts the service over an initial clustering state: compiles,
+    /// audits and publishes the version-0 plan, then spawns the ingest
+    /// workers and the rebalancer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the audit failure if the *initial* state does not
+    /// compile to a valid plan (nothing is spawned in that case).
+    pub fn start(
+        dynamic: DynamicClustering,
+        config: ServiceConfig,
+    ) -> Result<BrokerService, RebalanceAbort> {
+        let plan = compile_plan(&dynamic, config.threshold)?;
+        let next_slot = dynamic.subscription_slots().len();
+        let shared = Arc::new(Shared {
+            plan: SnapshotCell::new(Arc::new(VersionedPlan { version: 0, plan })),
+            queue: IngestQueue::new(),
+            records: Mutex::new(Vec::new()),
+            shed_events: Mutex::new(Vec::new()),
+            published: Mutex::new(vec![0]),
+            offered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            rejected_ops: AtomicU64::new(0),
+        });
+
+        let workers = (0..config.ingest_threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let (tx, rx) = mpsc::channel();
+        let rebalancer = Rebalancer {
+            dynamic,
+            pending: Vec::new(),
+            threshold: config.threshold,
+            timeout: config.rebalance_timeout,
+            backoff_base: config.retry_backoff,
+            consecutive_failures: 0,
+            shared: Arc::clone(&shared),
+        };
+        let rebalancer = std::thread::spawn(move || rebalancer.run(rx));
+
+        Ok(BrokerService {
+            shared,
+            control: Mutex::new(Control { tx, next_slot }),
+            workers,
+            rebalancer: Some(rebalancer),
+            shed_policy: config.shed,
+            queue_depth: config.queue_depth.max(1),
+        })
+    }
+
+    fn control(&self) -> MutexGuard<'_, Control> {
+        self.control.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn send(&self, msg: ControlMsg) {
+        // The rebalancer only exits on Shutdown, which consumes `self`;
+        // a dead receiver here is a bug worth surfacing loudly.
+        self.control()
+            .tx
+            .send(msg)
+            .expect("rebalancer thread is alive");
+    }
+
+    /// Offers one event, returning its id. Depending on the
+    /// [`ShedPolicy`] this may block (lossless backpressure), shed the
+    /// event itself, or shed the oldest queued event; every shed is
+    /// counted against the returned ids, so
+    /// `delivered + shed == offered` always holds at shutdown.
+    pub fn offer(&self, point: Point) -> u64 {
+        let id = self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.shared.queue.lock();
+        debug_assert!(!state.closed, "offer after shutdown");
+        match self.shed_policy {
+            ShedPolicy::Block => {
+                while state.buf.len() >= self.queue_depth {
+                    state = self
+                        .shared
+                        .queue
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            ShedPolicy::DropNewest => {
+                if state.buf.len() >= self.queue_depth {
+                    drop(state);
+                    self.record_shed(id);
+                    return id;
+                }
+            }
+            ShedPolicy::DropOldest => {
+                if state.buf.len() >= self.queue_depth {
+                    if let Some(victim) = state.buf.pop_front() {
+                        self.record_shed(victim.id);
+                    }
+                }
+            }
+        }
+        state.buf.push_back(PendingEvent {
+            id,
+            point,
+            enqueued: Instant::now(),
+        });
+        self.shared.queue.ready.notify_one();
+        id
+    }
+
+    fn record_shed(&self, id: u64) {
+        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .shed_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(id);
+    }
+
+    /// Registers a subscription, returning its stable id immediately;
+    /// the clustering picks it up at the next rebalance.
+    pub fn subscribe(&self, rect: Rect) -> SubscriptionId {
+        let mut control = self.control();
+        let id = SubscriptionId(control.next_slot);
+        control.next_slot += 1;
+        control
+            .tx
+            .send(ControlMsg::Ops(vec![ServiceOp::Subscribe { id, rect }]))
+            .expect("rebalancer thread is alive");
+        id
+    }
+
+    /// Queues an unsubscribe for the next rebalance. Unknown or
+    /// already-gone ids are counted as rejected ops, not errors — a
+    /// crash-forced removal may legitimately race a user unsubscribe.
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        self.send(ControlMsg::Ops(vec![ServiceOp::Unsubscribe { id }]));
+    }
+
+    /// Queues a rectangle change for the next rebalance.
+    pub fn resubscribe(&self, id: SubscriptionId, rect: Rect) {
+        self.send(ControlMsg::Ops(vec![ServiceOp::Resubscribe { id, rect }]));
+    }
+
+    /// Runs one rebalance + hot swap on the background thread and
+    /// waits for the outcome. On success, events offered after this
+    /// returns are decided by the new plan; on abort, the previous
+    /// plan (and every queued churn op) stays in force for a later
+    /// retry. Ingest never stops either way.
+    pub fn rebalance(&self) -> Result<SwapReport, RebalanceAbort> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.send(ControlMsg::Rebalance(reply_tx));
+        reply_rx.recv().expect("rebalancer thread replies")
+    }
+
+    /// Retunes the watchdog deadline live (applies from the next
+    /// rebalance attempt).
+    pub fn set_rebalance_timeout(&self, timeout: Option<Duration>) {
+        self.send(ControlMsg::SetTimeout(timeout));
+    }
+
+    /// Pauses the ingest workers after their current event (events
+    /// keep queueing / shedding per policy). Used to build controlled
+    /// overload in tests and maintenance windows.
+    pub fn pause_ingest(&self) {
+        self.shared.queue.lock().paused = true;
+    }
+
+    /// Resumes paused ingest workers.
+    pub fn resume_ingest(&self) {
+        let mut state = self.shared.queue.lock();
+        state.paused = false;
+        self.shared.queue.ready.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no event is in flight.
+    /// Ingest must not be paused, or this never returns.
+    pub fn drain(&self) {
+        let mut state = self.shared.queue.lock();
+        while !state.buf.is_empty() || state.in_flight > 0 {
+            state = self
+                .shared
+                .queue
+                .idle
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Current published-plan epoch (0 until the first swap).
+    pub fn plan_epoch(&self) -> u64 {
+        self.shared.plan.epoch()
+    }
+
+    /// Plans published so far (excluding the initial one).
+    pub fn swaps(&self) -> u64 {
+        self.shared.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Rebalance attempts aborted so far.
+    pub fn aborts(&self) -> u64 {
+        self.shared.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Events shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the service: drains the queue (resuming ingest if
+    /// paused), joins every thread, and returns the final accounting
+    /// together with the final clustering state (for oracle replay and
+    /// state hand-off).
+    pub fn shutdown(mut self) -> (ServiceReport, DynamicClustering) {
+        {
+            let mut state = self.shared.queue.lock();
+            state.paused = false;
+            state.closed = true;
+            self.shared.queue.ready.notify_all();
+            self.shared.queue.space.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            // A worker panic already aborted the process in practice
+            // (panic = abort is not set, but the loop body cannot
+            // panic on valid plans); surface it if it ever happens.
+            w.join().expect("ingest worker exited cleanly");
+        }
+        self.send(ControlMsg::Shutdown);
+        let dynamic = self
+            .rebalancer
+            .take()
+            .expect("rebalancer joined once")
+            .join()
+            .expect("rebalancer exited cleanly");
+
+        let mut records = std::mem::take(
+            &mut *self
+                .shared
+                .records
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        records.sort_unstable_by_key(|r| r.id);
+        let mut shed_events = std::mem::take(
+            &mut *self
+                .shared
+                .shed_events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        shed_events.sort_unstable();
+        let published = std::mem::take(
+            &mut *self
+                .shared
+                .published
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        let report = ServiceReport {
+            offered: self.shared.offered.load(Ordering::Relaxed),
+            delivered: records.len() as u64,
+            shed: shed_events.len() as u64,
+            swaps: self.shared.swaps.load(Ordering::Relaxed),
+            aborts: self.shared.aborts.load(Ordering::Relaxed),
+            rejected_ops: self.shared.rejected_ops.load(Ordering::Relaxed),
+            shed_policy: self.shed_policy,
+            records,
+            shed_events,
+            published_versions: published,
+        };
+        (report, dynamic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Threaded end-to-end coverage (swap storms, shed accounting,
+    // watchdog aborts) lives in `crates/core/tests/service.rs`, out of
+    // the Miri-interpreted `--lib` suite; these tests cover the pure
+    // logic only.
+
+    #[test]
+    fn shed_policy_parses_and_renders() {
+        assert_eq!(ShedPolicy::parse("block"), Some(ShedPolicy::Block));
+        assert_eq!(
+            ShedPolicy::parse("drop-newest"),
+            Some(ShedPolicy::DropNewest)
+        );
+        assert_eq!(
+            ShedPolicy::parse("drop-oldest"),
+            Some(ShedPolicy::DropOldest)
+        );
+        assert_eq!(ShedPolicy::parse("nonsense"), None);
+        for p in [
+            ShedPolicy::Block,
+            ShedPolicy::DropNewest,
+            ShedPolicy::DropOldest,
+        ] {
+            assert_eq!(ShedPolicy::parse(p.as_str()), Some(p));
+            assert_eq!(p.to_string(), p.as_str());
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let d = ServiceConfig::default();
+        assert!(d.ingest_threads >= 1);
+        assert!(d.queue_depth >= 1);
+        assert_eq!(d.shed, ShedPolicy::Block);
+        assert!(d.rebalance_timeout.is_some());
+        let e = ServiceConfig::from_env();
+        assert!(e.queue_depth >= 1);
+    }
+
+    #[test]
+    fn partition_check_rejects_gaps_and_overlaps() {
+        let record = |id| EventRecord {
+            id,
+            plan_version: 0,
+            decision: Delivery::Unicast,
+            interested: 0,
+            latency_ns: 1,
+        };
+        let base = ServiceReport {
+            offered: 3,
+            delivered: 2,
+            shed: 1,
+            swaps: 0,
+            aborts: 0,
+            rejected_ops: 0,
+            shed_policy: ShedPolicy::DropNewest,
+            records: vec![record(0), record(2)],
+            shed_events: vec![1],
+            published_versions: vec![0],
+        };
+        assert!(base.partitions_offered());
+        let mut gap = base.clone();
+        gap.shed_events = vec![2]; // id 1 missing, id 2 double-counted
+        assert!(!gap.partitions_offered());
+        let mut wrong_count = base.clone();
+        wrong_count.shed = 0;
+        assert!(!wrong_count.partitions_offered());
+        let mut extra = base.clone();
+        extra.offered = 2;
+        assert!(!extra.partitions_offered());
+    }
+
+    #[test]
+    fn backoff_is_shift_capped() {
+        let base = Duration::from_millis(3);
+        assert_eq!(backoff_delay(base, 0), Duration::ZERO);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(3));
+        assert_eq!(backoff_delay(base, 4), Duration::from_millis(24));
+        // Far past the cap: 3ms << 6, never more, never overflowing.
+        assert_eq!(backoff_delay(base, u32::MAX), Duration::from_millis(3 * 64));
+        assert_eq!(backoff_delay(Duration::ZERO, 9), Duration::ZERO);
+        // Even a huge base saturates instead of panicking.
+        assert_eq!(backoff_delay(Duration::MAX, 40), Duration::MAX);
+    }
+}

@@ -1,0 +1,363 @@
+//! End-to-end swap semantics of the always-on broker service:
+//!
+//! * a plan-swap storm (one rebalance + hot swap per phase) is
+//!   bit-identical to a serial oracle that replays the same op/event
+//!   interleaving with no concurrency at all, at 1 and 8 ingest
+//!   threads — every event decided by exactly one validated plan;
+//! * `delivered + shed` exactly partitions offered load under each
+//!   shed policy, with the shed id sets the policies promise;
+//! * a timed-out rebalance aborts, rolls back, keeps serving the old
+//!   plan, retains its churn, and recovers after the watchdog is
+//!   retuned live.
+//!
+//! These tests are deliberately placed outside the crate (`tests/`) so
+//! the Miri CI job, which interprets `--lib` only, runs the small
+//! snapshot unit tests but not these thread-heavy suites.
+
+use std::time::Duration;
+
+use geometry::{Grid, Interval, Point, Rect};
+use pubsub_core::{
+    BrokerService, CellProbability, Delivery, DispatchPlan, DispatchScratch, DynamicClustering,
+    KMeans, KMeansVariant, RebalanceAbort, ServiceConfig, ShedPolicy, SubscriptionId,
+};
+use rand::prelude::*;
+
+const CELLS: usize = 64;
+const GROUPS: usize = 8;
+const THRESHOLD: f64 = 0.15;
+
+fn random_rect(rng: &mut StdRng) -> Rect {
+    let lo = rng.gen_range(0.0..0.9);
+    let width = rng.gen_range(0.02..0.1);
+    Rect::new(vec![
+        Interval::new(lo, (lo + width).min(1.0)).expect("valid interval")
+    ])
+}
+
+fn seed_dynamic(n: usize, seed: u64) -> (DynamicClustering, Vec<SubscriptionId>) {
+    let grid = Grid::cube(0.0, 1.0, 1, CELLS).expect("grid");
+    let probs = CellProbability::uniform(&grid);
+    let mut dynamic =
+        DynamicClustering::new(grid, probs, KMeans::new(KMeansVariant::MacQueen), GROUPS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = (0..n)
+        .map(|_| dynamic.subscribe(random_rect(&mut rng)))
+        .collect();
+    dynamic.try_rebalance().expect("seed population rebalances");
+    (dynamic, ids)
+}
+
+/// The oracle's plan compiler: public-API reimplementation of what the
+/// service publishes (tombstoned slots become contain-nothing
+/// degenerate rectangles), so agreement is checked against an
+/// independent construction.
+fn oracle_plan(dynamic: &DynamicClustering) -> DispatchPlan {
+    let bounds = dynamic.framework().grid().bounds().clone();
+    let empty = Rect::new(
+        bounds
+            .intervals()
+            .iter()
+            .map(|iv| Interval::new(iv.lo(), iv.lo()).expect("degenerate interval"))
+            .collect(),
+    );
+    let rects: Vec<Rect> = dynamic
+        .subscription_slots()
+        .iter()
+        .map(|s| s.clone().unwrap_or_else(|| empty.clone()))
+        .collect();
+    DispatchPlan::compile(dynamic.framework(), dynamic.clustering())
+        .with_threshold(THRESHOLD)
+        .with_subscriptions(&rects)
+}
+
+/// One deterministically generated storm phase.
+struct Phase {
+    unsubscribe: SubscriptionId,
+    subscribe: Rect,
+    resubscribe: (SubscriptionId, Rect),
+    events: Vec<Point>,
+}
+
+fn make_phases(ids: &[SubscriptionId], phases: usize, events_per_phase: usize) -> Vec<Phase> {
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..phases)
+        .map(|p| Phase {
+            unsubscribe: ids[p],
+            subscribe: random_rect(&mut rng),
+            resubscribe: (ids[ids.len() - 1 - p], random_rect(&mut rng)),
+            events: (0..events_per_phase)
+                .map(|_| Point::new(vec![rng.gen_range(0.0..1.0)]))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Every event is decided by exactly one validated plan, bit-identical
+/// to a serial oracle replay, regardless of ingest thread count.
+#[test]
+fn swap_storm_is_bit_identical_to_serial_oracle() {
+    const N: usize = 60;
+    const PHASES: usize = 10;
+    const EVENTS_PER_PHASE: usize = 40;
+
+    // --- Serial oracle: replay churn + rebalance + serve with no
+    // service, no threads, no queue.
+    let (mut oracle, ids) = seed_dynamic(N, 7);
+    let phases = make_phases(&ids, PHASES, EVENTS_PER_PHASE);
+    let mut scratch = DispatchScratch::new();
+    // (event id, plan version, decision, interested) in offer order.
+    let mut expected: Vec<(u64, u64, Delivery, u32)> = Vec::new();
+    let mut next_event = 0u64;
+    for (p, phase) in phases.iter().enumerate() {
+        oracle.unsubscribe(phase.unsubscribe).expect("oracle unsub");
+        oracle.subscribe(phase.subscribe.clone());
+        let (rid, rect) = &phase.resubscribe;
+        oracle
+            .resubscribe(*rid, rect.clone())
+            .expect("oracle resub");
+        oracle.try_rebalance().expect("oracle rebalance");
+        let plan = oracle_plan(&oracle);
+        for point in &phase.events {
+            let decision = plan.serve(point, &mut scratch);
+            expected.push((
+                next_event,
+                (p + 1) as u64,
+                decision,
+                scratch.interested().len() as u32,
+            ));
+            next_event += 1;
+        }
+    }
+
+    for threads in [1usize, 8] {
+        let (dynamic, _) = seed_dynamic(N, 7);
+        let service = BrokerService::start(
+            dynamic,
+            ServiceConfig {
+                ingest_threads: threads,
+                threshold: THRESHOLD,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service starts");
+        for phase in &phases {
+            service.unsubscribe(phase.unsubscribe);
+            service.subscribe(phase.subscribe.clone());
+            let (rid, rect) = &phase.resubscribe;
+            service.resubscribe(*rid, rect.clone());
+            let swap = service.rebalance().expect("storm swap");
+            assert_eq!(swap.rejected_ops, 0);
+            for point in &phase.events {
+                service.offer(point.clone());
+            }
+            // Quiesce between phases: with the queue drained, every
+            // event of this phase was decided by this phase's plan.
+            service.drain();
+        }
+        let (report, final_dynamic) = service.shutdown();
+
+        assert_eq!(report.swaps, PHASES as u64);
+        assert_eq!(report.aborts, 0);
+        assert!(report.partitions_offered());
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.delivered, (PHASES * EVENTS_PER_PHASE) as u64);
+        assert_eq!(
+            report.published_versions,
+            (0..=PHASES as u64).collect::<Vec<_>>()
+        );
+
+        let got: Vec<(u64, u64, Delivery, u32)> = report
+            .records
+            .iter()
+            .map(|r| (r.id, r.plan_version, r.decision, r.interested))
+            .collect();
+        assert_eq!(got, expected, "diverged from oracle at {threads} thread(s)");
+
+        // The service's final clustering state matches the oracle's.
+        assert_eq!(
+            final_dynamic.num_subscriptions(),
+            oracle.num_subscriptions()
+        );
+        assert_eq!(
+            final_dynamic.subscription_slots(),
+            oracle.subscription_slots()
+        );
+    }
+}
+
+fn shed_service(policy: ShedPolicy, depth: usize) -> BrokerService {
+    let (dynamic, _) = seed_dynamic(20, 3);
+    BrokerService::start(
+        dynamic,
+        ServiceConfig {
+            ingest_threads: 2,
+            queue_depth: depth,
+            shed: policy,
+            threshold: THRESHOLD,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts")
+}
+
+#[test]
+fn drop_newest_sheds_the_overflow_and_partitions_load() {
+    let service = shed_service(ShedPolicy::DropNewest, 4);
+    service.pause_ingest();
+    for i in 0..10u64 {
+        assert_eq!(service.offer(Point::new(vec![0.5])), i);
+    }
+    // Queue held the first 4; the 6 newest were shed at offer time.
+    assert_eq!(service.shed(), 6);
+    service.resume_ingest();
+    service.drain();
+    let (report, _) = service.shutdown();
+    assert!(report.partitions_offered());
+    assert_eq!(report.offered, 10);
+    assert_eq!(report.delivered, 4);
+    assert_eq!(report.shed, 6);
+    assert_eq!(
+        report.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    assert_eq!(report.shed_events, vec![4, 5, 6, 7, 8, 9]);
+    assert_eq!(report.shed_policy, ShedPolicy::DropNewest);
+}
+
+#[test]
+fn drop_oldest_keeps_the_freshest_window() {
+    let service = shed_service(ShedPolicy::DropOldest, 4);
+    service.pause_ingest();
+    for _ in 0..10 {
+        service.offer(Point::new(vec![0.5]));
+    }
+    service.resume_ingest();
+    service.drain();
+    let (report, _) = service.shutdown();
+    assert!(report.partitions_offered());
+    assert_eq!(report.delivered, 4);
+    assert_eq!(report.shed, 6);
+    // The queue always holds the freshest window.
+    assert_eq!(
+        report.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![6, 7, 8, 9]
+    );
+    assert_eq!(report.shed_events, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn block_policy_is_lossless_backpressure() {
+    let service = shed_service(ShedPolicy::Block, 4);
+    service.pause_ingest();
+    for _ in 0..4 {
+        service.offer(Point::new(vec![0.5]));
+    }
+    // The queue is full: further offers must block until a worker
+    // frees a slot, never shed.
+    std::thread::scope(|scope| {
+        let svc = &service;
+        let blocked = scope.spawn(move || {
+            for _ in 0..6 {
+                svc.offer(Point::new(vec![0.25]));
+            }
+        });
+        // Give the offerer a chance to hit the full queue, then open
+        // the drain; it must finish without shedding.
+        std::thread::sleep(Duration::from_millis(50));
+        service.resume_ingest();
+        blocked.join().expect("blocked offerer finishes");
+    });
+    service.drain();
+    let (report, _) = service.shutdown();
+    assert!(report.partitions_offered());
+    assert_eq!(report.offered, 10);
+    assert_eq!(report.delivered, 10);
+    assert_eq!(report.shed, 0);
+    assert!(report.shed_events.is_empty());
+}
+
+/// A timed-out rebalance aborts and rolls back: the old plan keeps
+/// serving, the churn stays queued, and after the watchdog is retuned
+/// live the same churn lands in the next successful swap.
+#[test]
+fn watchdog_abort_rolls_back_and_recovers() {
+    let (dynamic, _) = seed_dynamic(30, 5);
+    let before = 30;
+    let service = BrokerService::start(
+        dynamic,
+        ServiceConfig {
+            ingest_threads: 2,
+            threshold: THRESHOLD,
+            rebalance_timeout: Some(Duration::ZERO),
+            retry_backoff: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let added = service.subscribe(random_rect(&mut rng));
+    assert_eq!(added, SubscriptionId(before));
+
+    // Every attempt times out instantly (deadline already passed at
+    // the first stage check); repeated failures exercise the backoff.
+    for expected_aborts in 1..=3u64 {
+        match service.rebalance() {
+            Err(RebalanceAbort::TimedOut { stage }) => assert_eq!(stage, "churn"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(service.aborts(), expected_aborts);
+    }
+    assert_eq!(service.swaps(), 0);
+    assert_eq!(service.plan_epoch(), 0, "no plan published on abort");
+
+    // The old plan still serves while the rebalancer is wedged.
+    for _ in 0..20 {
+        service.offer(Point::new(vec![rng.gen_range(0.0..1.0)]));
+    }
+    service.drain();
+
+    // Live retune: disable the watchdog, and the *retained* churn
+    // (the subscribe above) lands in the recovered swap.
+    service.set_rebalance_timeout(None);
+    let swap = service.rebalance().expect("recovered swap");
+    assert_eq!(swap.version, 1);
+    assert_eq!(swap.rejected_ops, 0);
+    assert_eq!(swap.subscriptions, before + 1);
+    assert_eq!(service.plan_epoch(), 1);
+
+    for _ in 0..20 {
+        service.offer(Point::new(vec![rng.gen_range(0.0..1.0)]));
+    }
+    service.drain();
+    let (report, final_dynamic) = service.shutdown();
+
+    assert_eq!(report.aborts, 3);
+    assert_eq!(report.swaps, 1);
+    assert!(report.partitions_offered());
+    assert_eq!(report.published_versions, vec![0, 1]);
+    // Pre-recovery events were decided by plan 0, post-recovery by 1.
+    for r in &report.records {
+        assert_eq!(r.plan_version, if r.id < 20 { 0 } else { 1 });
+    }
+    assert_eq!(final_dynamic.num_subscriptions(), before + 1);
+}
+
+/// Sanity for the knob-driven constructor under test env isolation.
+#[test]
+fn from_env_config_runs_a_service() {
+    let (dynamic, _) = seed_dynamic(10, 2);
+    let config = ServiceConfig {
+        ingest_threads: 2,
+        ..ServiceConfig::from_env()
+    };
+    let service = BrokerService::start(dynamic, config).expect("service starts");
+    for _ in 0..50 {
+        service.offer(Point::new(vec![0.3]));
+    }
+    service.drain();
+    let (report, _) = service.shutdown();
+    assert!(report.partitions_offered());
+    assert_eq!(report.delivered, 50);
+}

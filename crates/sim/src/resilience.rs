@@ -88,13 +88,27 @@ impl RetryPolicy {
         }
     }
 
+    /// Backoff units waited before retry `r` (1-based):
+    /// `backoff_base^min(r, 32)`. The exponent is shift-capped so a
+    /// huge `PUBSUB_RETRY_MAX` cannot push the accounting to `inf` —
+    /// past the cap every further retry waits the same capped amount.
+    fn backoff_at(&self, r: u32) -> f64 {
+        self.backoff_base.powi(r.min(BACKOFF_EXP_CAP) as i32)
+    }
+
     /// Total backoff units spent by `attempts` consecutive retries.
+    /// The sub-cap head is summed term by term (bit-identical to the
+    /// pre-cap arithmetic for `attempts ≤ 32`) and the flat tail in
+    /// closed form, so the cost is O(cap) even for `u32::MAX` retries.
     fn backoff_sum(&self, attempts: u32) -> f64 {
-        (1..=attempts)
-            .map(|r| self.backoff_base.powi(r as i32))
-            .sum()
+        let head = attempts.min(BACKOFF_EXP_CAP);
+        let sum: f64 = (1..=head).map(|r| self.backoff_at(r)).sum();
+        sum + f64::from(attempts - head) * self.backoff_at(BACKOFF_EXP_CAP)
     }
 }
+
+/// Exponent cap of the retry backoff (see [`RetryPolicy::backoff_at`]).
+const BACKOFF_EXP_CAP: u32 = 32;
 
 /// Per-event accounting of a grid clustering under a fault schedule.
 ///
@@ -271,7 +285,7 @@ fn resolve_member(
     }
     for r in 1..=policy.max_retries {
         p.retry_attempts += 1;
-        p.backoff_units += policy.backoff_base.powi(r as i32);
+        p.backoff_units += policy.backoff_at(r);
         p.retry_cost += spt.distance(m);
         if !rng.gen_bool(policy.loss_prob.min(1.0)) {
             p.delivered += 1;
@@ -711,6 +725,25 @@ mod tests {
         let q = RetryPolicy::from_env();
         assert!(q.loss_prob >= 0.0 && q.loss_prob <= 1.0);
         assert!(q.backoff_base >= 1.0);
+    }
+
+    #[test]
+    fn backoff_is_shift_capped_and_finite() {
+        let p = RetryPolicy::default();
+        // Below the cap the arithmetic is the plain geometric sum.
+        let naive: f64 = (1..=7).map(|r| p.backoff_base.powi(r)).sum();
+        assert_eq!(p.backoff_sum(7), naive);
+        assert_eq!(p.backoff_at(3), p.backoff_base.powi(3));
+        // Past the cap each retry waits the capped term, the sum stays
+        // finite and is O(1) to compute even at u32::MAX retries.
+        assert_eq!(p.backoff_at(33), p.backoff_at(u32::MAX));
+        let huge = p.backoff_sum(u32::MAX);
+        assert!(huge.is_finite());
+        assert!(huge > p.backoff_sum(1_000));
+        assert_eq!(
+            p.backoff_sum(40),
+            p.backoff_sum(32) + 8.0 * p.backoff_at(32)
+        );
     }
 
     #[test]

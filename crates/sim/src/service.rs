@@ -1,0 +1,248 @@
+//! Chaos driver for the always-on broker: replays a
+//! [`ChaosScenario`] — epoch-aligned subscription churn, publication
+//! bursts and network faults — through a live
+//! [`BrokerService`], wiring each epoch's node crashes into
+//! crash-forced unsubscribes exactly as [`failure_churn`] does for the
+//! batch pipeline.
+//!
+//! The driver is the integration point of three robustness mechanisms:
+//! the service's bounded-queue backpressure absorbs the event bursts,
+//! the watchdog-guarded rebalancer absorbs churn (user plus
+//! crash-forced), and aborted swaps degrade gracefully — the previous
+//! validated plan keeps serving and the queued churn is retried at the
+//! next epoch boundary.
+//!
+//! [`failure_churn`]: crate::failure_churn
+
+use netsim::{DegradedView, NodeId, Topology};
+use pubsub_core::{
+    BrokerService, CellProbability, DynamicClustering, KMeans, RebalanceAbort, ServiceConfig,
+    ServiceReport, SubscriptionId,
+};
+use workload::{ChaosScenario, ChurnOp};
+
+/// Outcome of one chaos run ([`run_chaos`]).
+#[derive(Debug)]
+pub struct ChaosRunReport {
+    /// The service-side accounting (delivery, shed, swaps, aborts).
+    pub service: ServiceReport,
+    /// Epochs replayed.
+    pub epochs: usize,
+    /// Node crashes observed across the storm.
+    pub crashed_nodes: usize,
+    /// Subscriptions forcibly removed because their home crashed.
+    pub forced_unsubscribes: usize,
+    /// Live subscriptions when the storm ended.
+    pub final_subscriptions: usize,
+    /// Human-readable reasons of every aborted swap, in order.
+    pub swap_failures: Vec<String>,
+}
+
+/// Replays `scenario` through a [`BrokerService`] built over the given
+/// discretization: the initial population is subscribed and rebalanced
+/// once (the version-0 plan), then each epoch applies its churn ops,
+/// forcibly unsubscribes every subscription homed on a node that
+/// crashed in that epoch, requests one rebalance + hot swap, and
+/// publishes its event burst. Ingest never stops — an aborted swap
+/// leaves the previous plan serving and its churn queued for the next
+/// epoch's retry.
+///
+/// # Errors
+///
+/// Returns an error only if the *initial* population fails to
+/// rebalance or compile into a valid plan; mid-storm failures are
+/// absorbed and reported in
+/// [`swap_failures`](ChaosRunReport::swap_failures).
+pub fn run_chaos(
+    topo: &Topology,
+    scenario: &ChaosScenario,
+    grid: geometry::Grid,
+    probs: CellProbability,
+    algorithm: KMeans,
+    k: usize,
+    config: ServiceConfig,
+) -> Result<ChaosRunReport, RebalanceAbort> {
+    let graph = topo.graph();
+    let mut dynamic = DynamicClustering::new(grid, probs, algorithm, k);
+    // Birth-ordinal bookkeeping: ordinal -> (service id, home node,
+    // live as far as this driver knows). The service itself tolerates
+    // (and counts) ops that race a removal.
+    let mut homes: Vec<(SubscriptionId, NodeId)> = Vec::with_capacity(scenario.initial.len());
+    let mut alive: Vec<bool> = Vec::with_capacity(scenario.initial.len());
+    for sub in &scenario.initial {
+        homes.push((dynamic.subscribe(sub.rect.clone()), sub.node));
+        alive.push(true);
+    }
+    dynamic.try_rebalance().map_err(RebalanceAbort::Rejected)?;
+
+    let service = BrokerService::start(dynamic, config)?;
+    let mut crashed_nodes = 0usize;
+    let mut forced_unsubscribes = 0usize;
+    let mut swap_failures = Vec::new();
+    let mut prev = DegradedView::healthy(graph);
+
+    for (e, epoch) in scenario.epochs.iter().enumerate() {
+        for op in &epoch.churn {
+            match op {
+                ChurnOp::Subscribe { node, rect } => {
+                    homes.push((service.subscribe(rect.clone()), *node));
+                    alive.push(true);
+                }
+                // Sent even if a crash already removed the target —
+                // that race is exactly what the service's rejected-op
+                // accounting is for.
+                ChurnOp::Unsubscribe { target } => {
+                    service.unsubscribe(homes[*target].0);
+                    alive[*target] = false;
+                }
+                ChurnOp::Resubscribe { target, rect } => {
+                    service.resubscribe(homes[*target].0, rect.clone());
+                }
+            }
+        }
+
+        let view = scenario.faults.view_at(graph, e);
+        for n in graph.nodes() {
+            if prev.node_live(n) && !view.node_live(n) {
+                crashed_nodes += 1;
+                for (ordinal, &(id, home)) in homes.iter().enumerate() {
+                    if home == n && alive[ordinal] {
+                        service.unsubscribe(id);
+                        alive[ordinal] = false;
+                        forced_unsubscribes += 1;
+                    }
+                }
+            }
+        }
+        prev = view;
+
+        if let Err(abort) = service.rebalance() {
+            swap_failures.push(abort.to_string());
+        }
+        for ev in &epoch.events {
+            service.offer(ev.point.clone());
+        }
+    }
+
+    service.drain();
+    let (report, final_dynamic) = service.shutdown();
+    Ok(ChaosRunReport {
+        service: report,
+        epochs: scenario.epochs.len(),
+        crashed_nodes,
+        forced_unsubscribes,
+        final_subscriptions: final_dynamic.num_subscriptions(),
+        swap_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FaultModel, TransitStubParams};
+    use pubsub_core::KMeansVariant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workload::{ChaosConfig, PredicateDist, Section3Model};
+
+    #[test]
+    fn chaos_storm_degrades_gracefully() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let topo = netsim::Topology::generate(
+            &TransitStubParams {
+                transit_blocks: 2,
+                transit_nodes_per_block: 2,
+                stubs_per_transit: 2,
+                nodes_per_stub: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let base = Section3Model {
+            regionalism: 0.4,
+            dist: PredicateDist::Uniform,
+            num_subscriptions: 30,
+            num_events: 10,
+        }
+        .generate(&topo, &mut rng);
+        let scenario = ChaosScenario::generate(
+            &topo,
+            &base,
+            &FaultModel {
+                node_crash: 0.25,
+                node_recover: 0.0,
+                ..FaultModel::default()
+            },
+            &ChaosConfig {
+                epochs: 5,
+                churn_per_epoch: 8,
+                events_per_epoch: 25,
+                subscribe_fraction: 0.4,
+            },
+            42,
+        );
+
+        let grid = geometry::Grid::new(base.bounds.clone(), base.suggested_bins.clone())
+            .expect("workload grid is valid");
+        let probs = CellProbability::uniform(&grid);
+        let report = run_chaos(
+            &topo,
+            &scenario,
+            grid,
+            probs,
+            KMeans::new(KMeansVariant::Forgy),
+            4,
+            ServiceConfig {
+                ingest_threads: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("initial plan compiles");
+
+        assert_eq!(report.epochs, 5);
+        assert!(report.service.partitions_offered());
+        assert_eq!(report.service.offered, scenario.total_events() as u64);
+        // Block policy: nothing shed, everything delivered.
+        assert_eq!(report.service.shed, 0);
+        assert_eq!(report.service.delivered, report.service.offered);
+        // Every epoch's swap succeeded (generous default watchdog).
+        assert_eq!(report.service.swaps, 5);
+        assert!(
+            report.swap_failures.is_empty(),
+            "{:?}",
+            report.swap_failures
+        );
+        // Every decision came from a validated, published plan.
+        for r in &report.service.records {
+            assert!(report.service.published_versions.contains(&r.plan_version));
+        }
+        // Crash wiring fired (seed chosen to produce crashes) and the
+        // books balance: births minus removals equals the survivors.
+        assert!(report.crashed_nodes > 0, "seed produced no crashes");
+        assert!(report.forced_unsubscribes > 0);
+        let births = scenario.initial.len()
+            + scenario
+                .epochs
+                .iter()
+                .flat_map(|e| &e.churn)
+                .filter(|op| matches!(op, ChurnOp::Subscribe { .. }))
+                .count();
+        let user_unsubs = scenario
+            .epochs
+            .iter()
+            .flat_map(|e| &e.churn)
+            .filter(|op| matches!(op, ChurnOp::Unsubscribe { .. }))
+            .count();
+        // Every removal is a sent unsubscribe that was not rejected;
+        // rejected ops (unsubscribe/resubscribe races with crashes)
+        // bound the slack.
+        let floor = births - user_unsubs - report.forced_unsubscribes;
+        assert!(report.final_subscriptions >= floor);
+        assert!(
+            report.final_subscriptions <= floor + report.service.rejected_ops as usize,
+            "census leak: {} live, floor {floor}, {} rejected",
+            report.final_subscriptions,
+            report.service.rejected_ops
+        );
+    }
+}

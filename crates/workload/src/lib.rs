@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod covering;
 mod density;
 mod dist;
@@ -26,6 +27,7 @@ mod section3;
 mod stock;
 mod types;
 
+pub use chaos::{ChaosConfig, ChaosEpoch, ChaosScenario, ChurnOp};
 pub use covering::{prune_covered, PruneOutcome};
 pub use density::{NormalMixture, PublicationDensity};
 pub use dist::{DistError, Normal, Pareto, Zipf};
