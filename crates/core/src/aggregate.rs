@@ -1,0 +1,1002 @@
+//! Subscription aggregation: canonical subscription classes, the
+//! aggregated dispatch plan and dimension-0 sharding (DESIGN.md §15).
+//!
+//! At a million subscribers the concrete population is dominated by
+//! near-duplicates: popular interest specifications are submitted by
+//! many subscribers verbatim. [`Aggregation`] collapses identical
+//! rectangles into *canonical classes* before rasterization, keeping a
+//! reverse map `class → packed concrete-subscriber list` used only at
+//! delivery time. The class universe — typically orders of magnitude
+//! smaller — is clustered with per-class multiplicities
+//! ([`GridFramework::build_weighted`]), producing decisions
+//! bit-identical to clustering the expanded concrete population.
+//!
+//! [`AggregatePlan`] compiles a class framework + clustering into the
+//! serve path: locate the event's cell, filter the cell's *classes* by
+//! per-variant rectangle containment, expand the surviving variants'
+//! packed member lists into the exact concrete interested set, and make
+//! the threshold decision on weighted counts (the same integers the
+//! concrete plan computes, hence the same `f64` comparison).
+//!
+//! [`ShardedAggregate`] splits the grid into contiguous dimension-0
+//! slabs, each with its own sub-framework and plan, so churn touches
+//! one shard instead of rebuilding the whole structure.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use geometry::{CellId, Grid, Interval, Point, Rect};
+
+use crate::clustering::{Clustering, ClusteringAlgorithm};
+use crate::dispatch::DispatchPlan;
+use crate::framework::{CellProbability, GridFramework};
+use crate::knob::env_knob;
+use crate::match_index::SubscriptionIndex;
+use crate::matching::Delivery;
+use crate::parallel;
+
+/// Bit-pattern identity key of a rectangle: `(lo, hi)` bits per
+/// dimension. Two rectangles with equal keys rasterize, match and
+/// cluster identically in every context.
+pub(crate) fn rect_key(r: &Rect) -> Vec<(u64, u64)> {
+    r.intervals()
+        .iter()
+        .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+        .collect()
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Whether cell-set canonicalization (tier 2) is enabled.
+fn cell_canon_enabled() -> bool {
+    env_knob("PUBSUB_AGG_CELL_CANON", false, parse_bool)
+}
+
+/// Canonicalized subscription population: concrete subscriptions
+/// collapsed into classes of identical rectangles (tier 1) and,
+/// optionally, classes of identical rasterized cell sets (tier 2,
+/// behind `PUBSUB_AGG_CELL_CANON`).
+///
+/// A *variant* is one distinct rectangle bit-pattern; a *class* is one
+/// clustering slot. Under tier 1 every class holds exactly one variant.
+/// Under tier 2 a class may hold several variants whose rectangles
+/// differ but overlap the same grid cells — delivery then tests each
+/// variant's own rectangle, so interested sets stay exact.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{Interval, Rect};
+/// use pubsub_core::Aggregation;
+///
+/// let subs = vec![
+///     Rect::new(vec![Interval::new(0.0, 5.0)?]),
+///     Rect::new(vec![Interval::new(2.0, 9.0)?]),
+///     Rect::new(vec![Interval::new(0.0, 5.0)?]), // duplicate of #0
+/// ];
+/// let agg = Aggregation::build(&subs);
+/// assert_eq!(agg.num_classes(), 2);
+/// assert_eq!(agg.weights(), &[2, 1]);
+/// # Ok::<(), geometry::IntervalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aggregation {
+    num_concrete: usize,
+    /// Concrete subscriber → class.
+    class_of: Vec<u32>,
+    /// Class → concrete multiplicity (sum of its variants' weights).
+    weights: Vec<u64>,
+    /// Class → its variants, `variant_offsets[c] .. variant_offsets[c+1]`.
+    variant_offsets: Vec<u32>,
+    /// Variant → distinct rectangle.
+    variant_rects: Vec<Rect>,
+    /// Variant → concrete multiplicity.
+    variant_weights: Vec<u64>,
+    /// Variant → packed concrete subscriber ids, ascending.
+    variant_members: Vec<Vec<u32>>,
+    /// Variant → owning class.
+    variant_class: Vec<u32>,
+    /// Rectangle bit-pattern → variant, for churn-time lookups.
+    class_index: HashMap<Vec<(u64, u64)>, u32>,
+}
+
+impl Aggregation {
+    /// Canonicalizes by exact rectangle identity (tier 1): concrete
+    /// subscriptions with bit-identical rectangles form one class, in
+    /// first-occurrence order.
+    pub fn build(subscriptions: &[Rect]) -> Self {
+        let n = subscriptions.len();
+        let mut class_index: HashMap<Vec<(u64, u64)>, u32> = HashMap::with_capacity(n);
+        let mut class_of = Vec::with_capacity(n);
+        let mut variant_rects: Vec<Rect> = Vec::new();
+        let mut variant_weights: Vec<u64> = Vec::new();
+        let mut variant_members: Vec<Vec<u32>> = Vec::new();
+        for (i, sub) in subscriptions.iter().enumerate() {
+            let c = *class_index.entry(rect_key(sub)).or_insert_with(|| {
+                variant_rects.push(sub.clone());
+                variant_weights.push(0);
+                variant_members.push(Vec::new());
+                (variant_rects.len() - 1) as u32
+            });
+            class_of.push(c);
+            variant_weights[c as usize] += 1;
+            variant_members[c as usize].push(i as u32);
+        }
+        let num_classes = variant_rects.len();
+        Aggregation {
+            num_concrete: n,
+            class_of,
+            weights: variant_weights.clone(),
+            variant_offsets: (0..=num_classes as u32).collect(),
+            variant_rects,
+            variant_weights,
+            variant_members,
+            variant_class: (0..num_classes as u32).collect(),
+            class_index,
+        }
+    }
+
+    /// Tier-1 canonicalization, then — when `PUBSUB_AGG_CELL_CANON` is
+    /// enabled — a second pass merging variants whose rectangles
+    /// overlap exactly the same cells of `grid` into one class.
+    ///
+    /// Cell-set classes are sound only when the serving grid equals the
+    /// canonicalization grid (shard sub-grids recompute cell edges, so
+    /// a variant's cell set there could in principle drift by one
+    /// cell); [`ShardedAggregate`] should therefore be fed a tier-1
+    /// aggregation, which is the knob's default.
+    pub fn build_with_grid(subscriptions: &[Rect], grid: &Grid) -> Self {
+        let t1 = Self::build(subscriptions);
+        if !cell_canon_enabled() {
+            return t1;
+        }
+        t1.cell_canonicalize(grid)
+    }
+
+    /// Regroups tier-1 variants by identical rasterized cell set.
+    fn cell_canonicalize(mut self, grid: &Grid) -> Self {
+        let nv = self.variant_rects.len();
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map(&self.variant_rects, parallel::MIN_PARALLEL_LEN, |r| {
+                grid.cells_overlapping(r)
+            });
+        // Group variants by cell set, classes in first-occurrence order.
+        let mut by_cells: HashMap<Vec<CellId>, u32> = HashMap::with_capacity(nv);
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut class_of_variant = vec![0u32; nv];
+        for (v, cells) in cell_sets.into_iter().enumerate() {
+            let c = *by_cells.entry(cells).or_insert_with(|| {
+                classes.push(Vec::new());
+                (classes.len() - 1) as u32
+            });
+            classes[c as usize].push(v as u32);
+            class_of_variant[v] = c;
+        }
+        // Reorder variants so each class's variants are contiguous.
+        let mut variant_rects = Vec::with_capacity(nv);
+        let mut variant_weights = Vec::with_capacity(nv);
+        let mut variant_members = Vec::with_capacity(nv);
+        let mut variant_class = Vec::with_capacity(nv);
+        let mut variant_offsets = Vec::with_capacity(classes.len() + 1);
+        variant_offsets.push(0u32);
+        let mut weights = vec![0u64; classes.len()];
+        let mut new_variant_of_old = vec![0u32; nv];
+        for (c, vs) in classes.iter().enumerate() {
+            for &v in vs {
+                let v = v as usize;
+                new_variant_of_old[v] = variant_rects.len() as u32;
+                variant_rects.push(self.variant_rects[v].clone());
+                variant_weights.push(self.variant_weights[v]);
+                variant_members.push(std::mem::take(&mut self.variant_members[v]));
+                variant_class.push(c as u32);
+                weights[c] += self.variant_weights[v];
+            }
+            variant_offsets.push(variant_rects.len() as u32);
+        }
+        // In tier 1 a class id *is* its variant id, so the concrete map
+        // composes directly with the variant regrouping.
+        let class_of = self
+            .class_of
+            .iter()
+            .map(|&old| class_of_variant[old as usize])
+            .collect();
+        let class_index = self
+            .class_index
+            // lint: allow(hash-order): value remap only, rebuilt into a map
+            .into_iter()
+            .map(|(k, v)| (k, new_variant_of_old[v as usize]))
+            .collect();
+        Aggregation {
+            num_concrete: self.num_concrete,
+            class_of,
+            weights,
+            variant_offsets,
+            variant_rects,
+            variant_weights,
+            variant_members,
+            variant_class,
+            class_index,
+        }
+    }
+
+    /// Number of concrete subscriptions the aggregation was built from.
+    pub fn num_concrete(&self) -> usize {
+        self.num_concrete
+    }
+
+    /// Number of canonical classes (clustering slots).
+    pub fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of distinct rectangle variants.
+    pub fn num_variants(&self) -> usize {
+        self.variant_rects.len()
+    }
+
+    /// Per-class concrete multiplicities.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// The class of concrete subscriber `i`.
+    pub fn class_of(&self) -> &[u32] {
+        &self.class_of
+    }
+
+    /// The distinct rectangles, one per variant.
+    pub fn variant_rects(&self) -> &[Rect] {
+        &self.variant_rects
+    }
+
+    /// Concrete subscriptions per class — the aggregation ratio. `1.0`
+    /// means nothing aggregated; large values mean heavy duplication.
+    pub fn ratio(&self) -> f64 {
+        if self.num_classes() == 0 {
+            1.0
+        } else {
+            self.num_concrete as f64 / self.num_classes() as f64
+        }
+    }
+
+    /// The variants of `class`.
+    fn variants_of(&self, class: usize) -> Range<usize> {
+        self.variant_offsets[class] as usize..self.variant_offsets[class + 1] as usize
+    }
+
+    /// One representative rectangle per class (the first variant's).
+    /// Under tier 1 this is exactly the distinct-rectangle list.
+    pub fn class_rects(&self) -> Vec<Rect> {
+        (0..self.num_classes())
+            .map(|c| self.variant_rects[self.variant_offsets[c] as usize].clone())
+            .collect()
+    }
+
+    /// Appends the concrete subscriber ids of `class` to `out`.
+    pub fn expand_class_into(&self, class: usize, out: &mut Vec<usize>) {
+        for v in self.variants_of(class) {
+            out.extend(self.variant_members[v].iter().map(|&i| i as usize));
+        }
+    }
+
+    /// Builds the class-universe framework: one slot per class, ranked
+    /// and clustered with the class multiplicities, bit-identical to
+    /// building over the expanded concrete population.
+    pub fn build_framework(
+        &self,
+        grid: Grid,
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+    ) -> GridFramework {
+        let class_rects = self.class_rects();
+        GridFramework::build_weighted(
+            grid,
+            &class_rects,
+            Arc::new(self.weights.clone()),
+            probs,
+            max_cells,
+        )
+    }
+}
+
+/// Reusable per-thread buffers for [`AggregatePlan::serve`].
+#[derive(Debug, Default)]
+pub struct AggregateScratch {
+    interested: Vec<usize>,
+    variant_hits: Vec<usize>,
+}
+
+impl AggregateScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        AggregateScratch::default()
+    }
+
+    /// The concrete interested subscriber ids of the last
+    /// [`AggregatePlan::serve`] call, in increasing order.
+    pub fn interested(&self) -> &[usize] {
+        &self.interested
+    }
+}
+
+/// A dispatch plan over a class-universe framework: decisions use
+/// weighted class counts (the same integers the concrete plan computes)
+/// and interested sets are expanded from the aggregation's packed
+/// member lists — exact per concrete subscriber.
+#[derive(Debug, Clone)]
+pub struct AggregatePlan {
+    plan: DispatchPlan,
+    agg: Arc<Aggregation>,
+    /// Fallback index over the *variant* rectangles for events outside
+    /// every kept cell.
+    index: Arc<SubscriptionIndex>,
+    /// Per-group concrete (weighted) size.
+    group_wsize: Vec<u64>,
+}
+
+impl AggregatePlan {
+    /// Compiles the plan from a class framework, its clustering and the
+    /// aggregation that produced the framework.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framework's subscriber universe exceeds the
+    /// aggregation's class count, if the clustering was not built over
+    /// `framework`, or if `threshold` is outside `[0, 1]`.
+    pub fn compile(
+        framework: &GridFramework,
+        clustering: &Clustering,
+        threshold: f64,
+        aggregation: Arc<Aggregation>,
+    ) -> Self {
+        let index = Arc::new(SubscriptionIndex::build(&aggregation.variant_rects));
+        Self::compile_with_index(framework, clustering, threshold, aggregation, index)
+    }
+
+    /// [`AggregatePlan::compile`] with a shared variant index —
+    /// [`ShardedAggregate`] builds the index once for all shards.
+    pub(crate) fn compile_with_index(
+        framework: &GridFramework,
+        clustering: &Clustering,
+        threshold: f64,
+        aggregation: Arc<Aggregation>,
+        index: Arc<SubscriptionIndex>,
+    ) -> Self {
+        // `<=` rather than `==`: after churn a shard untouched by the
+        // new classes keeps its smaller class universe (see
+        // `ShardedAggregate::apply_churn`).
+        assert!(
+            framework.num_subscribers() <= aggregation.num_classes(),
+            "framework universe exceeds the aggregation's class count"
+        );
+        let plan = DispatchPlan::compile(framework, clustering).with_threshold(threshold);
+        let group_wsize = clustering
+            .groups()
+            .iter()
+            .map(|g| g.members.iter().map(|c| aggregation.weights[c]).sum())
+            .collect();
+        AggregatePlan {
+            plan,
+            agg: aggregation,
+            index,
+            group_wsize,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.plan.threshold
+    }
+
+    /// Number of compiled groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_wsize.len()
+    }
+
+    // lint: hot-path
+    /// Serves one event: computes the exact concrete interested set
+    /// (into `scratch`, ascending) and the delivery decision.
+    ///
+    /// Candidates are the event cell's *classes*; each class's variants
+    /// are filtered by their own rectangle, so tier-2 classes (merged
+    /// cell sets, different rectangles) still deliver exactly. The
+    /// threshold compares `weighted hits / weighted group size` — the
+    /// same integers, hence the same `f64`s, as the concrete
+    /// [`DispatchPlan::serve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`'s dimension differs from the grid's.
+    pub fn serve(&self, p: &Point, scratch: &mut AggregateScratch) -> Delivery {
+        match self.plan.locate(p) {
+            Some(slot) => {
+                scratch.interested.clear();
+                let s = slot as usize;
+                let range =
+                    self.plan.hyper_offsets[s] as usize..self.plan.hyper_offsets[s + 1] as usize;
+                let group = self.plan.hyper_group[s] as usize;
+                let mut whits = 0u64;
+                for &class in &self.plan.hyper_members[range] {
+                    let c = class as usize;
+                    let in_group = self.plan.group_contains(group, c);
+                    for v in self.agg.variants_of(c) {
+                        if self.agg.variant_rects[v].contains(p) {
+                            scratch
+                                .interested
+                                .extend(self.agg.variant_members[v].iter().map(|&i| i as usize));
+                            if in_group {
+                                whits += self.agg.variant_weights[v];
+                            }
+                        }
+                    }
+                }
+                scratch.interested.sort_unstable();
+                let wsize = self.group_wsize[group];
+                if wsize == 0 {
+                    return Delivery::Unicast;
+                }
+                let proportion = whits as f64 / wsize as f64;
+                if proportion >= self.plan.threshold && whits > 0 {
+                    Delivery::Multicast { group }
+                } else {
+                    Delivery::Unicast
+                }
+            }
+            None => {
+                // Outside every kept cell: exact variant stab, expanded
+                // to concrete ids. Always unicast, as in the concrete
+                // plan's fallback.
+                self.index.matching_into(p, &mut scratch.variant_hits);
+                scratch.interested.clear();
+                for &v in &scratch.variant_hits {
+                    scratch
+                        .interested
+                        .extend(self.agg.variant_members[v].iter().map(|&i| i as usize));
+                }
+                scratch.interested.sort_unstable();
+                Delivery::Unicast
+            }
+        }
+    }
+
+    /// Batched [`serve`](Self::serve) over an index range: pushes one
+    /// [`Delivery`] per index onto `out` (not cleared). Chunk
+    /// boundaries are the caller's, so deterministic chunked
+    /// decompositions are preserved.
+    pub fn serve_chunk<'a>(
+        &self,
+        range: Range<usize>,
+        point_of: impl Fn(usize) -> &'a Point,
+        out: &mut Vec<Delivery>,
+        scratch: &mut AggregateScratch,
+    ) {
+        out.reserve(range.len());
+        for e in range {
+            out.push(self.serve(point_of(e), scratch));
+        }
+    }
+    // lint: hot-path end
+}
+
+/// One dimension-0 slab: its sub-grid framework, clustering and plan.
+#[derive(Debug)]
+struct AggregateShard {
+    /// Half-open dimension-0 extent `(lo, hi]` of the slab.
+    lo: f64,
+    hi: f64,
+    probs: CellProbability,
+    framework: GridFramework,
+    clustering: Clustering,
+    plan: AggregatePlan,
+}
+
+/// Outcome of [`ShardedAggregate::apply_churn`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateChurnReport {
+    /// Concrete subscriptions added.
+    pub added: usize,
+    /// Additions that created a brand-new class.
+    pub new_classes: usize,
+    /// Additions folded into an existing class (weight bump only).
+    pub weight_bumps: usize,
+    /// Shards whose framework changed structurally and were
+    /// re-clustered.
+    pub shards_reclustered: usize,
+    /// Shards whose plan was recompiled (superset of the above).
+    pub shards_recompiled: usize,
+}
+
+/// The aggregated structure sharded into contiguous dimension-0 slabs
+/// (`PUBSUB_AGG_SHARDS`), each an independent sub-framework + plan over
+/// the full class universe. Events route to their slab by the
+/// dimension-0 coordinate; churn re-clusters only the slabs the changed
+/// rectangles overlap.
+///
+/// With one shard the slab grid equals the full grid, so serving is
+/// identical to an unsharded [`AggregatePlan`]. With several shards the
+/// per-slab clusterings are a different (equally valid) grouping
+/// policy; interested sets remain exact at any shard count.
+#[derive(Debug)]
+pub struct ShardedAggregate {
+    agg: Arc<Aggregation>,
+    index: Arc<SubscriptionIndex>,
+    shards: Vec<AggregateShard>,
+    threshold: f64,
+    k: usize,
+}
+
+impl ShardedAggregate {
+    /// Builds with the shard count from `PUBSUB_AGG_SHARDS` (default 1).
+    ///
+    /// `probs_of` supplies each slab grid's cell-probability model
+    /// (e.g. [`CellProbability::uniform`]).
+    pub fn build(
+        grid: &Grid,
+        aggregation: Arc<Aggregation>,
+        probs_of: impl Fn(&Grid) -> CellProbability,
+        algorithm: &dyn ClusteringAlgorithm,
+        k: usize,
+        threshold: f64,
+    ) -> Self {
+        let shards = env_knob("PUBSUB_AGG_SHARDS", 1usize, |s| {
+            s.parse().ok().filter(|&n| n > 0)
+        });
+        Self::build_with_shards(grid, aggregation, probs_of, algorithm, k, threshold, shards)
+    }
+
+    /// Builds with an explicit shard count (clamped to the grid's
+    /// dimension-0 bin count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0` or `threshold` is outside `[0, 1]`.
+    pub fn build_with_shards(
+        grid: &Grid,
+        aggregation: Arc<Aggregation>,
+        probs_of: impl Fn(&Grid) -> CellProbability,
+        algorithm: &dyn ClusteringAlgorithm,
+        k: usize,
+        threshold: f64,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "at least one shard");
+        // lint: allow(no-literal-index): sharding is along dimension 0,
+        // and grids always have >= 1 dimension
+        let b0 = grid.bins()[0];
+        let s = num_shards.min(b0);
+        let iv0 = grid.bounds().interval(0);
+        let w0 = iv0.length() / b0 as f64;
+        let index = Arc::new(SubscriptionIndex::build(&aggregation.variant_rects));
+        let mut shards = Vec::with_capacity(s);
+        for si in 0..s {
+            let start = si * b0 / s;
+            let end = (si + 1) * b0 / s;
+            // Bin-aligned slab edges; the outer edges reuse the exact
+            // bounds so a single shard reproduces the grid bit-for-bit.
+            let lo = if start == 0 {
+                iv0.lo()
+            } else {
+                iv0.lo() + start as f64 * w0
+            };
+            let hi = if end == b0 {
+                iv0.hi()
+            } else {
+                iv0.lo() + end as f64 * w0
+            };
+            let mut ivs = grid.bounds().intervals().to_vec();
+            // lint: allow(no-literal-index): see above
+            ivs[0] = Interval::new(lo, hi).expect("slab interval is well-formed");
+            let mut bins = grid.bins().to_vec();
+            // lint: allow(no-literal-index): see above
+            bins[0] = end - start;
+            let sub = Grid::new(Rect::new(ivs), bins).expect("slab grid is well-formed");
+            let probs = probs_of(&sub);
+            let framework = aggregation.build_framework(sub, &probs, None);
+            let clustering = algorithm.cluster(&framework, k);
+            let plan = AggregatePlan::compile_with_index(
+                &framework,
+                &clustering,
+                threshold,
+                aggregation.clone(),
+                index.clone(),
+            );
+            shards.push(AggregateShard {
+                lo,
+                hi,
+                probs,
+                framework,
+                clustering,
+                plan,
+            });
+        }
+        ShardedAggregate {
+            agg: aggregation,
+            index,
+            shards,
+            threshold,
+            k,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The aggregation backing the shards.
+    pub fn aggregation(&self) -> &Aggregation {
+        &self.agg
+    }
+
+    /// The shard whose dimension-0 slab contains the event, if any.
+    fn shard_of(&self, p: &Point) -> Option<usize> {
+        // lint: allow(no-literal-index): sharding is along dimension 0
+        let x = p[0];
+        let i = self.shards.partition_point(|sh| sh.hi < x);
+        (i < self.shards.len() && self.shards[i].lo < x && x <= self.shards[i].hi).then_some(i)
+    }
+
+    // lint: hot-path
+    /// Serves one event through its slab's plan. Events outside the
+    /// dimension-0 extent fall back to the global variant index and are
+    /// unicast; interested sets are exact in every case.
+    pub fn serve(&self, p: &Point, scratch: &mut AggregateScratch) -> Delivery {
+        match self.shard_of(p) {
+            Some(s) => self.shards[s].plan.serve(p, scratch),
+            None => {
+                self.index.matching_into(p, &mut scratch.variant_hits);
+                scratch.interested.clear();
+                for &v in &scratch.variant_hits {
+                    scratch
+                        .interested
+                        .extend(self.agg.variant_members[v].iter().map(|&i| i as usize));
+                }
+                scratch.interested.sort_unstable();
+                Delivery::Unicast
+            }
+        }
+    }
+    // lint: hot-path end
+
+    /// Folds a batch of new concrete subscriptions into the structure.
+    ///
+    /// A rectangle identical to an existing variant is a *weight bump*:
+    /// the class's multiplicity and member list grow, no framework
+    /// changes shape. A new rectangle becomes a new class, applied via
+    /// [`GridFramework::apply_delta`] to — and re-clustered on — only
+    /// the shards its dimension-0 extent overlaps. Shards untouched by
+    /// every added rectangle keep their framework, clustering, plan and
+    /// (smaller) class universe: a class whose rectangle misses a slab
+    /// can never match an event routed there, so their serving stays
+    /// exact without recompilation.
+    pub fn apply_churn(
+        &mut self,
+        added: &[Rect],
+        algorithm: &dyn ClusteringAlgorithm,
+    ) -> AggregateChurnReport {
+        let mut report = AggregateChurnReport {
+            added: added.len(),
+            ..AggregateChurnReport::default()
+        };
+        if added.is_empty() {
+            return report;
+        }
+        // 1. Fold into the aggregation. Plans hold `Arc` snapshots, so
+        //    `make_mut` gives untouched shards their consistent old view.
+        let agg = Arc::make_mut(&mut self.agg);
+        let mut structural: Vec<(usize, Rect)> = Vec::new();
+        for rect in added {
+            let concrete = agg.num_concrete as u32;
+            agg.num_concrete += 1;
+            match agg.class_index.get(&rect_key(rect)) {
+                Some(&v) => {
+                    let v = v as usize;
+                    let c = agg.variant_class[v] as usize;
+                    agg.class_of.push(c as u32);
+                    agg.weights[c] += 1;
+                    agg.variant_weights[v] += 1;
+                    agg.variant_members[v].push(concrete);
+                    report.weight_bumps += 1;
+                }
+                None => {
+                    let c = agg.weights.len();
+                    let v = agg.variant_rects.len() as u32;
+                    agg.class_of.push(c as u32);
+                    agg.weights.push(1);
+                    agg.variant_offsets.push(v + 1);
+                    agg.variant_rects.push(rect.clone());
+                    agg.variant_weights.push(1);
+                    agg.variant_members.push(vec![concrete]);
+                    agg.variant_class.push(c as u32);
+                    agg.class_index.insert(rect_key(rect), v);
+                    structural.push((c, rect.clone()));
+                    report.new_classes += 1;
+                }
+            }
+        }
+        let num_classes = agg.weights.len();
+        let shared_weights = Arc::new(agg.weights.clone());
+        if !structural.is_empty() {
+            self.index = Arc::new(SubscriptionIndex::build(&self.agg.variant_rects));
+        }
+        // 2. Refresh only the shards some added rectangle overlaps.
+        //    Half-open slabs: rect (a, b] overlaps slab (lo, hi] iff
+        //    a < hi and lo < b.
+        let spans: Vec<(f64, f64)> = added
+            .iter()
+            // lint: allow(no-literal-index): sharding is along dimension 0
+            .map(|r| (r.interval(0).lo(), r.interval(0).hi()))
+            .collect();
+        for shard in &mut self.shards {
+            let affected = spans.iter().any(|&(a, b)| a < shard.hi && shard.lo < b);
+            if !affected {
+                continue;
+            }
+            report.shards_recompiled += 1;
+            shard.framework.weights = Some(shared_weights.clone());
+            let adds: Vec<(usize, Rect)> = structural
+                .iter()
+                .filter(|(_, r)| {
+                    // lint: allow(no-literal-index): dimension-0 slab test
+                    let iv = r.interval(0);
+                    iv.lo() < shard.hi && shard.lo < iv.hi()
+                })
+                .cloned()
+                .collect();
+            if !adds.is_empty() {
+                shard
+                    .framework
+                    .apply_delta(&adds, &[], &shard.probs, num_classes);
+                shard.clustering = algorithm.cluster(&shard.framework, self.k);
+                report.shards_reclustered += 1;
+            }
+            shard.plan = AggregatePlan::compile_with_index(
+                &shard.framework,
+                &shard.clustering,
+                self.threshold,
+                self.agg.clone(),
+                self.index.clone(),
+            );
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::DispatchScratch;
+    use crate::framework::CellProbability;
+    use crate::kmeans::{KMeans, KMeansVariant};
+    use rand::prelude::*;
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![Interval::new(lo, hi).unwrap()])
+    }
+
+    /// Subscriptions drawn from a small pool of distinct rectangles —
+    /// the Zipf-head duplication the aggregation layer targets.
+    fn near_dup_subs(n: usize, distinct: usize, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<Rect> = (0..distinct)
+            .map(|_| {
+                let lo = rng.gen_range(0.0..9.0);
+                let hi = lo + rng.gen_range(0.1..4.0);
+                rect1(lo, hi.min(10.0))
+            })
+            .collect();
+        (0..n)
+            .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+            .collect()
+    }
+
+    #[test]
+    fn aggregation_collapses_identical_rects() {
+        let subs = near_dup_subs(200, 13, 5);
+        let agg = Aggregation::build(&subs);
+        assert!(agg.num_classes() <= 13);
+        assert_eq!(agg.num_concrete(), 200);
+        assert_eq!(agg.weights().iter().sum::<u64>(), 200);
+        assert!(agg.ratio() >= 200.0 / 13.0);
+        // The packed member lists partition 0..n and agree with class_of.
+        let mut seen = [false; 200];
+        for c in 0..agg.num_classes() {
+            let mut members = Vec::new();
+            agg.expand_class_into(c, &mut members);
+            for &m in &members {
+                assert!(!seen[m], "member {m} in two classes");
+                seen[m] = true;
+                assert_eq!(agg.class_of()[m] as usize, c);
+                assert_eq!(rect_key(&subs[m]), rect_key(&agg.class_rects()[c]));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_population() {
+        let agg = Aggregation::build(&[]);
+        assert_eq!(agg.num_classes(), 0);
+        assert_eq!(agg.ratio(), 1.0);
+        let grid = Grid::cube(0.0, 10.0, 1, 10).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = agg.build_framework(grid, &probs, None);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 3);
+        let plan = AggregatePlan::compile(&fw, &c, 0.0, Arc::new(agg));
+        let mut scratch = AggregateScratch::new();
+        let d = plan.serve(&Point::new(vec![5.0]), &mut scratch);
+        assert_eq!(d, Delivery::Unicast);
+        assert!(scratch.interested().is_empty());
+    }
+
+    #[test]
+    fn aggregated_serve_matches_concrete_serve() {
+        let subs = near_dup_subs(300, 17, 9);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let mut rng = StdRng::seed_from_u64(99);
+        for threshold in [0.0, 0.3, 1.0] {
+            let grid = Grid::cube(0.0, 10.0, 1, 40).unwrap();
+            let probs = CellProbability::uniform(&grid);
+            let raw_fw = GridFramework::build(grid.clone(), &subs, &probs, None);
+            let raw_c = KMeans::new(KMeansVariant::MacQueen).cluster(&raw_fw, 6);
+            let raw_plan = DispatchPlan::compile(&raw_fw, &raw_c)
+                .with_threshold(threshold)
+                .with_subscriptions(&subs);
+            let agg_fw = agg.build_framework(grid, &probs, None);
+            let agg_c = KMeans::new(KMeansVariant::MacQueen).cluster(&agg_fw, 6);
+            let agg_plan = AggregatePlan::compile(&agg_fw, &agg_c, threshold, agg.clone());
+            let mut raw_scratch = DispatchScratch::new();
+            let mut agg_scratch = AggregateScratch::new();
+            for _ in 0..500 {
+                let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+                let raw_d = raw_plan.serve(&p, &mut raw_scratch);
+                let agg_d = agg_plan.serve(&p, &mut agg_scratch);
+                assert_eq!(raw_d, agg_d, "threshold {threshold}, point {p:?}");
+                assert_eq!(
+                    raw_scratch.interested(),
+                    agg_scratch.interested(),
+                    "threshold {threshold}, point {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_plan() {
+        let subs = near_dup_subs(250, 15, 21);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 1, 30).unwrap();
+        let probs = CellProbability::uniform(&grid);
+        let fw = agg.build_framework(grid.clone(), &probs, None);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 5);
+        let plan = AggregatePlan::compile(&fw, &c, 0.25, agg.clone());
+        let sharded = ShardedAggregate::build_with_shards(
+            &grid,
+            agg,
+            CellProbability::uniform,
+            &KMeans::new(KMeansVariant::MacQueen),
+            5,
+            0.25,
+            1,
+        );
+        assert_eq!(sharded.num_shards(), 1);
+        let mut a = AggregateScratch::new();
+        let mut b = AggregateScratch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..400 {
+            let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+            assert_eq!(plan.serve(&p, &mut a), sharded.serve(&p, &mut b));
+            assert_eq!(a.interested(), b.interested());
+        }
+    }
+
+    #[test]
+    fn sharded_interested_sets_are_exact_at_any_shard_count() {
+        let subs = near_dup_subs(220, 19, 33);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 1, 24).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for shards in [1, 3, 4, 24] {
+            let sharded = ShardedAggregate::build_with_shards(
+                &grid,
+                agg.clone(),
+                CellProbability::uniform,
+                &KMeans::new(KMeansVariant::MacQueen),
+                4,
+                0.2,
+                shards,
+            );
+            let mut scratch = AggregateScratch::new();
+            for _ in 0..300 {
+                let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+                let brute: Vec<usize> = subs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.contains(&p))
+                    .map(|(i, _)| i)
+                    .collect();
+                sharded.serve(&p, &mut scratch);
+                assert_eq!(scratch.interested(), &brute[..], "{shards} shards, {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_keeps_interested_sets_exact() {
+        let mut subs = near_dup_subs(150, 11, 41);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 1, 20).unwrap();
+        let alg = KMeans::new(KMeansVariant::MacQueen);
+        let mut sharded = ShardedAggregate::build_with_shards(
+            &grid,
+            agg,
+            CellProbability::uniform,
+            &alg,
+            4,
+            0.2,
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..3 {
+            // A mix of duplicates (weight bumps) and fresh rectangles.
+            let mut batch = Vec::new();
+            for _ in 0..10 {
+                if rng.gen_bool(0.5) && !subs.is_empty() {
+                    batch.push(subs[rng.gen_range(0..subs.len())].clone());
+                } else {
+                    let lo = rng.gen_range(0.0..9.0);
+                    batch.push(rect1(lo, (lo + rng.gen_range(0.1..2.0)).min(10.0)));
+                }
+            }
+            let report = sharded.apply_churn(&batch, &alg);
+            assert_eq!(report.added, 10);
+            assert_eq!(report.new_classes + report.weight_bumps, 10);
+            subs.extend(batch);
+            assert_eq!(sharded.aggregation().num_concrete(), subs.len());
+            let mut scratch = AggregateScratch::new();
+            for _ in 0..200 {
+                let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+                let brute: Vec<usize> = subs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.contains(&p))
+                    .map(|(i, _)| i)
+                    .collect();
+                sharded.serve(&p, &mut scratch);
+                assert_eq!(scratch.interested(), &brute[..], "round {round}, {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_canonicalization_merges_same_cell_sets() {
+        // Two rectangles with different bounds but identical cell
+        // overlap on a coarse grid must merge under tier 2.
+        let subs = vec![rect1(1.1, 3.9), rect1(1.3, 3.7), rect1(6.0, 8.0)];
+        let grid = Grid::cube(0.0, 10.0, 1, 5).unwrap();
+        let t1 = Aggregation::build(&subs);
+        assert_eq!(t1.num_classes(), 3);
+        let t2 = t1.cell_canonicalize(&grid);
+        assert_eq!(t2.num_classes(), 2);
+        assert_eq!(t2.num_variants(), 3);
+        assert_eq!(t2.weights(), &[2, 1]);
+        // Delivery through a tier-2 plan still tests per-variant rects.
+        let probs = CellProbability::uniform(&grid);
+        let fw = t2.build_framework(grid, &probs, None);
+        let c = KMeans::new(KMeansVariant::MacQueen).cluster(&fw, 2);
+        let plan = AggregatePlan::compile(&fw, &c, 0.0, Arc::new(t2));
+        let mut scratch = AggregateScratch::new();
+        // 1.2 is inside variant 0 only; 1.35 is inside variants 0 and 1.
+        plan.serve(&Point::new(vec![1.2]), &mut scratch);
+        assert_eq!(scratch.interested(), &[0]);
+        plan.serve(&Point::new(vec![1.35]), &mut scratch);
+        assert_eq!(scratch.interested(), &[0, 1]);
+    }
+}

@@ -1,11 +1,13 @@
 //! Shared clustering types: groups, clusterings, the algorithm trait and
 //! the incremental group accumulator the iterative algorithms use.
 
+use std::sync::Arc;
+
 use geometry::Point;
 
 use crate::framework::{GridFramework, HyperCell};
 use crate::membership::BitSet;
-use crate::waste::expected_waste;
+use crate::waste::{expected_waste, expected_waste_weighted};
 
 /// One multicast group produced by a clustering algorithm: the union of
 /// one or more hyper-cells.
@@ -132,8 +134,12 @@ pub trait ClusteringAlgorithm {
 pub(crate) struct GroupAccumulator {
     /// How many of the group's hyper-cells contain each subscriber.
     counts: Vec<u32>,
-    /// Number of subscribers with `counts > 0`.
-    size: usize,
+    /// Per-slot multiplicities for class-universe frameworks; `None`
+    /// (every slot counts 1) for concrete frameworks.
+    weights: Option<Arc<Vec<u64>>>,
+    /// Weighted number of subscribers with `counts > 0`. Equal to the
+    /// plain count when `weights` is `None`.
+    size: u64,
     /// Number of hyper-cells in the group.
     num_cells: usize,
     /// Total publication probability.
@@ -141,19 +147,44 @@ pub(crate) struct GroupAccumulator {
 }
 
 impl GroupAccumulator {
+    /// An unweighted accumulator over a bare subscriber universe
+    /// (tests only; production paths go through
+    /// [`GroupAccumulator::for_framework`]).
+    #[cfg(test)]
     pub(crate) fn new(num_subscribers: usize) -> Self {
         GroupAccumulator {
             counts: vec![0; num_subscribers],
+            weights: None,
             size: 0,
             num_cells: 0,
             prob: 0.0,
         }
     }
 
+    /// An accumulator over `framework`'s subscriber universe, weighted
+    /// when the framework is a class-universe (aggregated) build.
+    pub(crate) fn for_framework(framework: &GridFramework) -> Self {
+        GroupAccumulator {
+            counts: vec![0; framework.num_subscribers()],
+            weights: framework.weights.clone(),
+            size: 0,
+            num_cells: 0,
+            prob: 0.0,
+        }
+    }
+
+    #[inline]
+    fn weight_of(&self, m: usize) -> u64 {
+        match &self.weights {
+            None => 1,
+            Some(w) => w[m],
+        }
+    }
+
     pub(crate) fn add(&mut self, hc: &HyperCell) {
         for m in hc.members.iter() {
             if self.counts[m] == 0 {
-                self.size += 1;
+                self.size += self.weight_of(m);
             }
             self.counts[m] += 1;
         }
@@ -166,7 +197,7 @@ impl GroupAccumulator {
             debug_assert!(self.counts[m] > 0, "removing a cell that was never added");
             self.counts[m] -= 1;
             if self.counts[m] == 0 {
-                self.size -= 1;
+                self.size -= self.weight_of(m);
             }
         }
         self.num_cells -= 1;
@@ -178,15 +209,18 @@ impl GroupAccumulator {
     }
 
     /// Expected-waste distance between a hyper-cell and this group:
-    /// `p(hc)·|group \ hc| + p(group)·|hc \ group|`.
+    /// `p(hc)·|group \ hc| + p(group)·|hc \ group|`, with set sizes
+    /// weighted by the per-slot multiplicities when present. The
+    /// weighted integers equal the concrete counts, so the `f64` result
+    /// is bit-identical to the expanded computation.
     pub(crate) fn distance_to(&self, hc: &HyperCell) -> f64 {
-        let mut in_both = 0usize;
-        let mut only_cell = 0usize;
+        let mut in_both = 0u64;
+        let mut only_cell = 0u64;
         for m in hc.members.iter() {
             if self.counts[m] > 0 {
-                in_both += 1;
+                in_both += self.weight_of(m);
             } else {
-                only_cell += 1;
+                only_cell += self.weight_of(m);
             }
         }
         let only_group = self.size - in_both;
@@ -208,9 +242,19 @@ impl GroupAccumulator {
 }
 
 /// Distance between two materialized groups (used by the hierarchical
-/// algorithms): plain expected waste on their member vectors.
-pub(crate) fn group_distance(pa: f64, a: &BitSet, pb: f64, b: &BitSet) -> f64 {
-    expected_waste(pa, a, pb, b)
+/// algorithms): plain expected waste on their member vectors, weighted
+/// by the per-slot multiplicities when clustering a class universe.
+pub(crate) fn group_distance(
+    pa: f64,
+    a: &BitSet,
+    pb: f64,
+    b: &BitSet,
+    weights: Option<&[u64]>,
+) -> f64 {
+    match weights {
+        None => expected_waste(pa, a, pb, b),
+        Some(w) => expected_waste_weighted(pa, a, pb, b, w),
+    }
 }
 
 #[cfg(test)]

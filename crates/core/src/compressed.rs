@@ -1,0 +1,511 @@
+//! Adaptive compressed membership containers.
+//!
+//! A dense [`BitSet`] spends `universe / 8` bytes no matter how few
+//! members it holds — at a million subscribers that is 125 KB *per
+//! cell*, which is what makes the raw layout collapse at scale (see
+//! `results/BENCH_churn.json`). [`CompressedSet`] stores each set in
+//! whichever of two containers is smaller, roaring-style but chosen
+//! per set rather than per 2^16 chunk:
+//!
+//! * **Array** — a sorted `Vec<u32>` of member indices. Intersections
+//!   use a galloping (exponential probe + binary search) walk when one
+//!   side is much smaller, a linear merge otherwise.
+//! * **Bitmap** — packed words, identical layout to [`BitSet`], so the
+//!   blocked-popcount kernels ([`waste_counts_words`],
+//!   [`and_popcount_words`]) serve the dense arm unchanged.
+//!
+//! Promotion (array → bitmap) and demotion (bitmap → array) happen on
+//! mutation with hysteresis so a set oscillating around the threshold
+//! does not thrash. All counting operations return exactly the same
+//! integers as the dense `BitSet` equivalents — pinned by the
+//! `compressed_oracle` proptests — so swapping representations can
+//! never change a clustering decision.
+
+use crate::membership::{and_popcount_words, waste_counts_words, BitSet};
+
+const WORD_BITS: usize = 64;
+
+/// An array container above this fraction of the universe promotes to
+/// a bitmap: an array of `u32` beats packed words while
+/// `4·count < universe/8`, i.e. `count < universe/32`.
+const PROMOTE_DIV: usize = 32;
+/// A bitmap demotes back to an array only below half the promotion
+/// point (hysteresis: grow-then-shrink round-trips near the threshold
+/// do not rebuild the container every step).
+const DEMOTE_DIV: usize = 64;
+/// Arrays never promote below this many members regardless of universe
+/// (tiny universes: the bitmap is a handful of words anyway).
+const PROMOTE_MIN: usize = 8;
+/// When the larger array is at least this many times the smaller, the
+/// intersection gallops instead of merging.
+const GALLOP_RATIO: usize = 16;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// Sorted member indices.
+    Array(Vec<u32>),
+    /// Packed words, `BitSet` layout.
+    Bitmap(Vec<u64>),
+}
+
+/// A membership set stored in the smaller of a sorted index array and
+/// a packed bitmap, switching representation adaptively as it mutates.
+///
+/// # Examples
+///
+/// ```
+/// use pubsub_core::{BitSet, CompressedSet};
+///
+/// let mut s = CompressedSet::new(1_000_000);
+/// s.insert(3);
+/// s.insert(999_999);
+/// assert!(s.is_array()); // 2 members in a 1M universe: array wins
+/// assert_eq!(s.count(), 2);
+/// let dense = BitSet::from_members(1_000_000, [3, 999_999]);
+/// assert_eq!(s.to_bitset(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedSet {
+    universe: usize,
+    repr: Repr,
+}
+
+/// `|a ∩ b|` for sorted slices via galloping: each element of the
+/// smaller side is located in the larger by an exponential probe
+/// followed by a binary search over the probed window, resuming from
+/// the last match position.
+fn gallop_intersect_count(small: &[u32], large: &[u32]) -> usize {
+    let mut count = 0usize;
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential probe from the current frontier. On exit every
+        // index below `lo` holds a value < x and, if in range, `hi` is
+        // the first probe with `large[hi] >= x` — so the window must
+        // include `hi` itself.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi += step;
+            step *= 2;
+        }
+        let end = (hi + 1).min(large.len());
+        match large[lo..end].binary_search(&x) {
+            Ok(p) => {
+                count += 1;
+                lo += p + 1;
+            }
+            Err(p) => lo += p,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// `|a ∩ b|` for sorted slices via a linear merge walk.
+fn merge_intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Sorted-slice intersection size, choosing galloping when the size
+/// skew warrants it. Both strategies count the same elements, so the
+/// choice never changes the result.
+fn sorted_intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        0
+    } else if large.len() / small.len().max(1) >= GALLOP_RATIO {
+        gallop_intersect_count(small, large)
+    } else {
+        merge_intersect_count(small, large)
+    }
+}
+
+impl CompressedSet {
+    /// An empty set over `0..universe` (starts as an array).
+    pub fn new(universe: usize) -> Self {
+        CompressedSet {
+            universe,
+            repr: Repr::Array(Vec::new()),
+        }
+    }
+
+    /// Converts a dense [`BitSet`], picking the smaller container.
+    pub fn from_bitset(set: &BitSet) -> Self {
+        let universe = set.universe();
+        let count = set.count();
+        let repr = if count > promote_at(universe) {
+            Repr::Bitmap(set.words().to_vec())
+        } else {
+            Repr::Array(set.iter().map(|i| i as u32).collect())
+        };
+        CompressedSet { universe, repr }
+    }
+
+    /// Materializes the dense [`BitSet`] with identical members.
+    pub fn to_bitset(&self) -> BitSet {
+        match &self.repr {
+            Repr::Array(v) => BitSet::from_members(self.universe, v.iter().map(|&i| i as usize)),
+            Repr::Bitmap(w) => {
+                let mut s = BitSet::new(self.universe);
+                for (wi, &word) in w.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        s.insert(wi * WORD_BITS + b);
+                        bits &= bits - 1;
+                    }
+                }
+                s
+            }
+        }
+    }
+
+    /// Size of the universe (not the member count).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Whether the set currently uses the sorted-array container.
+    pub fn is_array(&self) -> bool {
+        matches!(self.repr, Repr::Array(_))
+    }
+
+    /// The sorted member indices when in array form (the packed
+    /// concrete-subscriber lists of the aggregation layer read this
+    /// directly).
+    pub fn as_array(&self) -> Option<&[u32]> {
+        match &self.repr {
+            Repr::Array(v) => Some(v),
+            Repr::Bitmap(_) => None,
+        }
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        match &self.repr {
+            Repr::Array(v) => v.len(),
+            Repr::Bitmap(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Whether index `i` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(
+            i < self.universe,
+            "index {i} out of universe {}",
+            self.universe
+        );
+        match &self.repr {
+            Repr::Array(v) => v.binary_search(&(i as u32)).is_ok(),
+            Repr::Bitmap(w) => w[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0,
+        }
+    }
+
+    /// Adds index `i`; returns whether it was newly inserted. May
+    /// promote the container to a bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.universe,
+            "index {i} out of universe {}",
+            self.universe
+        );
+        let newly = match &mut self.repr {
+            Repr::Array(v) => match v.binary_search(&(i as u32)) {
+                Ok(_) => false,
+                Err(p) => {
+                    v.insert(p, i as u32);
+                    true
+                }
+            },
+            Repr::Bitmap(w) => {
+                let (wi, b) = (i / WORD_BITS, i % WORD_BITS);
+                let newly = w[wi] & (1 << b) == 0;
+                w[wi] |= 1 << b;
+                newly
+            }
+        };
+        self.rebalance();
+        newly
+    }
+
+    /// Removes index `i`; returns whether it was present. May demote
+    /// the container back to an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.universe,
+            "index {i} out of universe {}",
+            self.universe
+        );
+        let present = match &mut self.repr {
+            Repr::Array(v) => match v.binary_search(&(i as u32)) {
+                Ok(p) => {
+                    v.remove(p);
+                    true
+                }
+                Err(_) => false,
+            },
+            Repr::Bitmap(w) => {
+                let (wi, b) = (i / WORD_BITS, i % WORD_BITS);
+                let present = w[wi] & (1 << b) != 0;
+                w[wi] &= !(1 << b);
+                present
+            }
+        };
+        self.rebalance();
+        present
+    }
+
+    /// Extends the universe to `new_universe`, keeping all members (a
+    /// smaller value is a no-op, as for [`BitSet::grow`]).
+    pub fn grow(&mut self, new_universe: usize) {
+        if new_universe <= self.universe {
+            return;
+        }
+        self.universe = new_universe;
+        if let Repr::Bitmap(w) = &mut self.repr {
+            w.resize(new_universe.div_ceil(WORD_BITS), 0);
+        }
+        self.rebalance();
+    }
+
+    /// Iterator over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        // Chain of two optional iterators keeps one concrete type.
+        let (arr, words) = match &self.repr {
+            Repr::Array(v) => (Some(v.iter().map(|&i| i as usize)), None),
+            Repr::Bitmap(w) => (None, Some(w)),
+        };
+        arr.into_iter().flatten().chain(
+            words
+                .into_iter()
+                .flat_map(|w| w.iter().enumerate())
+                .flat_map(|(wi, &word)| {
+                    let mut bits = word;
+                    std::iter::from_fn(move || {
+                        if bits == 0 {
+                            None
+                        } else {
+                            let b = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            Some(wi * WORD_BITS + b)
+                        }
+                    })
+                }),
+        )
+    }
+
+    /// `|self ∩ other|` — galloping/merge on the array arm, blocked
+    /// popcount on the bitmap arm, index probes when mixed. All arms
+    /// count the same elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn intersection_count(&self, other: &CompressedSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => sorted_intersect_count(a, b),
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => and_popcount_words(a, b),
+            (Repr::Array(a), Repr::Bitmap(w)) | (Repr::Bitmap(w), Repr::Array(a)) => a
+                .iter()
+                .filter(|&&i| w[i as usize / WORD_BITS] & (1 << (i as usize % WORD_BITS)) != 0)
+                .count(),
+        }
+    }
+
+    /// Both directed difference counts `(|self \ other|, |other \ self|)`
+    /// — the expected-waste inner loop. Derived from the intersection
+    /// (`|A\B| = |A| - |A∩B|`), so every representation pair returns
+    /// exactly the dense result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn waste_counts(&self, other: &CompressedSet) -> (usize, usize) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        if let (Repr::Bitmap(a), Repr::Bitmap(b)) = (&self.repr, &other.repr) {
+            // Dense × dense: the single-pass blocked kernel reads each
+            // word pair once instead of three count passes.
+            return waste_counts_words(a, b);
+        }
+        let common = self.intersection_count(other);
+        (self.count() - common, other.count() - common)
+    }
+
+    /// Applies the promotion/demotion policy after a mutation.
+    fn rebalance(&mut self) {
+        match &self.repr {
+            Repr::Array(v) => {
+                if v.len() > promote_at(self.universe) {
+                    let mut words = vec![0u64; self.universe.div_ceil(WORD_BITS)];
+                    for &i in v {
+                        words[i as usize / WORD_BITS] |= 1 << (i as usize % WORD_BITS);
+                    }
+                    self.repr = Repr::Bitmap(words);
+                }
+            }
+            Repr::Bitmap(_) => {
+                if self.count() < demote_at(self.universe) {
+                    let members: Vec<u32> = self.iter().map(|i| i as u32).collect();
+                    self.repr = Repr::Array(members);
+                }
+            }
+        }
+    }
+}
+
+fn promote_at(universe: usize) -> usize {
+    (universe / PROMOTE_DIV).max(PROMOTE_MIN)
+}
+
+fn demote_at(universe: usize) -> usize {
+    (universe / DEMOTE_DIV).max(PROMOTE_MIN / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = CompressedSet::new(500);
+        assert!(s.is_empty());
+        assert!(s.is_array());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.to_bitset(), BitSet::new(500));
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn full_universe_promotes_to_bitmap() {
+        let mut s = CompressedSet::new(1024);
+        for i in 0..1024 {
+            assert!(s.insert(i));
+        }
+        assert!(!s.is_array());
+        assert_eq!(s.count(), 1024);
+        assert_eq!(s.to_bitset(), BitSet::from_members(1024, 0..1024));
+        assert!(s.contains(0) && s.contains(1023));
+    }
+
+    #[test]
+    fn single_bit_stays_array() {
+        let mut s = CompressedSet::new(1 << 20);
+        s.insert(777_777);
+        assert!(s.is_array());
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![777_777]);
+    }
+
+    #[test]
+    fn grow_across_word_boundaries_preserves_members() {
+        let mut s = CompressedSet::new(63);
+        for i in [0usize, 31, 62] {
+            s.insert(i);
+        }
+        for new_len in [64usize, 65, 128, 129, 1000] {
+            s.grow(new_len);
+            assert_eq!(s.universe(), new_len);
+            assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 31, 62]);
+        }
+        s.insert(999);
+        assert_eq!(s.count(), 4);
+        // Shrinking is a no-op.
+        s.grow(10);
+        assert_eq!(s.universe(), 1000);
+    }
+
+    #[test]
+    fn promotion_demotion_round_trip_is_lossless() {
+        let universe = 640; // promote at 20, demote below 10
+        let mut s = CompressedSet::new(universe);
+        let mut oracle = BitSet::new(universe);
+        assert!(s.is_array());
+        for i in 0..promote_at(universe) + 5 {
+            s.insert(i * 3);
+            oracle.insert(i * 3);
+        }
+        assert!(!s.is_array(), "should have promoted");
+        assert_eq!(s.to_bitset(), oracle);
+        // Remove until demotion; members must survive the rebuild.
+        let members: Vec<usize> = s.iter().collect();
+        for &m in members.iter().skip(demote_at(universe) - 1) {
+            s.remove(m);
+            oracle.remove(m);
+        }
+        assert!(s.is_array(), "should have demoted");
+        assert_eq!(s.to_bitset(), oracle);
+        assert_eq!(s.count(), oracle.count());
+    }
+
+    #[test]
+    fn gallop_and_merge_agree() {
+        let a: Vec<u32> = (0..1000).step_by(7).collect();
+        let b: Vec<u32> = (0..1000).step_by(3).collect();
+        let tiny: Vec<u32> = vec![21, 42, 500, 999];
+        for (x, y) in [(&a, &b), (&tiny, &b), (&tiny, &a)] {
+            assert_eq!(
+                gallop_intersect_count(x, y),
+                merge_intersect_count(x, y),
+                "gallop vs merge"
+            );
+        }
+        assert_eq!(gallop_intersect_count(&[], &a), 0);
+        assert_eq!(merge_intersect_count(&a, &[]), 0);
+    }
+
+    #[test]
+    fn waste_counts_match_dense_across_representations() {
+        let universe = 2048;
+        // One sparse (array) set, one dense (bitmap) set.
+        let sparse = BitSet::from_members(universe, (0..universe).step_by(131));
+        let dense = BitSet::from_members(universe, (0..universe).filter(|i| i % 3 != 0));
+        let cs = CompressedSet::from_bitset(&sparse);
+        let cd = CompressedSet::from_bitset(&dense);
+        assert!(cs.is_array());
+        assert!(!cd.is_array());
+        for (x, y, bx, by) in [
+            (&cs, &cd, &sparse, &dense),
+            (&cd, &cs, &dense, &sparse),
+            (&cs, &cs, &sparse, &sparse),
+            (&cd, &cd, &dense, &dense),
+        ] {
+            assert_eq!(x.waste_counts(y), bx.waste_counts(by));
+            assert_eq!(x.intersection_count(y), bx.intersection_count(by));
+        }
+    }
+}

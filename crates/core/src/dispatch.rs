@@ -518,12 +518,16 @@ pub struct NoLossDispatchPlan<'a> {
 }
 
 impl<'a> NoLossDispatchPlan<'a> {
-    /// Compiles the plan from a built No-Loss clustering.
+    /// Compiles the plan from a built No-Loss clustering. The member
+    /// counts are copied from the clustering's precomputed (possibly
+    /// class-weighted) counts so aggregated and concrete plans rank
+    /// regions identically.
     pub fn compile(clustering: &'a NoLossClustering) -> Self {
         let keys = clustering
             .regions()
             .iter()
-            .map(|r| (r.subscribers.count() as u32, r.weight))
+            .zip(&clustering.counts)
+            .map(|(r, &c)| (c, r.weight))
             .collect();
         NoLossDispatchPlan { clustering, keys }
     }

@@ -20,7 +20,7 @@ use std::sync::OnceLock;
 
 use crate::framework::HyperCell;
 use crate::parallel;
-use crate::waste::expected_waste;
+use crate::waste::{expected_waste, expected_waste_weighted};
 
 /// Default for `PUBSUB_DM_BLOCK`.
 const DEFAULT_DM_BLOCK: usize = 32;
@@ -60,6 +60,16 @@ impl DistanceMatrix {
     /// entry is placed at its own index (no reduction), so the traversal
     /// order is bit-irrelevant.
     pub fn build(hypercells: &[HyperCell]) -> Self {
+        Self::build_weighted(hypercells, None)
+    }
+
+    /// [`DistanceMatrix::build`] with optional per-subscriber weights:
+    /// each entry becomes the *weighted* expected waste, where member
+    /// `i` of an exclusive set counts `weights[i]` deliveries. With
+    /// `None` this is exactly the unweighted build. The aggregation
+    /// layer passes class weights here so class-level matrices equal
+    /// the concrete matrices bit-for-bit.
+    pub(crate) fn build_weighted(hypercells: &[HyperCell], weights: Option<&[u64]>) -> Self {
         let n = hypercells.len();
         let block = dm_block();
         let chunks = parallel::par_chunks(n, 8, |rows| {
@@ -73,7 +83,12 @@ impl DistanceMatrix {
                     let row = &mut out[r];
                     for j in j0..j1.min(i) {
                         let b = &hypercells[j];
-                        row[j] = expected_waste(a.prob, &a.members, b.prob, &b.members);
+                        row[j] = match weights {
+                            None => expected_waste(a.prob, &a.members, b.prob, &b.members),
+                            Some(w) => {
+                                expected_waste_weighted(a.prob, &a.members, b.prob, &b.members, w)
+                            }
+                        };
                     }
                 }
                 j0 = j1;

@@ -460,17 +460,50 @@ impl DynamicClustering {
         moves
     }
 
-    /// Full path: re-rasterize the whole population (tombstoned slots
-    /// rasterize nothing, keeping membership vectors aligned with ids)
-    /// and re-balance from the per-cell vote warm start.
-    fn rebalance_full(&mut self, changed: usize) -> usize {
+    /// Rasterizes the whole population, computing `cells_overlapping`
+    /// once per *distinct* rectangle bit-pattern. Churned populations
+    /// are dominated by repeated interest specifications, and the cell
+    /// set is a pure function of the rectangle, so slots sharing a
+    /// rectangle share the rasterization. Tombstoned slots rasterize
+    /// nothing, keeping membership vectors aligned with ids.
+    fn rasterize_population(&self) -> Vec<Vec<CellId>> {
+        const TOMBSTONE: u32 = u32::MAX;
+        let mut distinct_rects: Vec<Rect> = Vec::new();
+        let mut index: HashMap<Vec<(u64, u64)>, u32> = HashMap::new();
+        let distinct_of: Vec<u32> = self
+            .subscriptions
+            .iter()
+            .map(|s| match s {
+                None => TOMBSTONE,
+                Some(r) => *index
+                    .entry(crate::aggregate::rect_key(r))
+                    .or_insert_with(|| {
+                        distinct_rects.push(r.clone());
+                        (distinct_rects.len() - 1) as u32
+                    }),
+            })
+            .collect();
         let grid = &self.grid;
-        let cell_sets: Vec<Vec<CellId>> =
-            parallel::par_map(&self.subscriptions, parallel::MIN_PARALLEL_LEN, |s| {
-                s.as_ref()
-                    .map(|r| grid.cells_overlapping(r))
-                    .unwrap_or_default()
+        let distinct_sets: Vec<Vec<CellId>> =
+            parallel::par_map(&distinct_rects, parallel::MIN_PARALLEL_LEN, |r| {
+                grid.cells_overlapping(r)
             });
+        distinct_of
+            .iter()
+            .map(|&d| {
+                if d == TOMBSTONE {
+                    Vec::new()
+                } else {
+                    distinct_sets[d as usize].clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Full path: re-rasterize the whole population and re-balance
+    /// from the per-cell vote warm start.
+    fn rebalance_full(&mut self, changed: usize) -> usize {
+        let cell_sets = self.rasterize_population();
         let new_fw =
             GridFramework::build_from_cells(self.grid.clone(), &cell_sets, &self.probs, None);
         let l = new_fw.hypercells().len();
@@ -531,13 +564,7 @@ impl DynamicClustering {
     /// start is measured against. Returns the moves performed.
     pub fn rebuild(&mut self) -> usize {
         let changed = self.baseline.len();
-        let grid = &self.grid;
-        let cell_sets: Vec<Vec<CellId>> =
-            parallel::par_map(&self.subscriptions, parallel::MIN_PARALLEL_LEN, |s| {
-                s.as_ref()
-                    .map(|r| grid.cells_overlapping(r))
-                    .unwrap_or_default()
-            });
+        let cell_sets = self.rasterize_population();
         let new_fw =
             GridFramework::build_from_cells(self.grid.clone(), &cell_sets, &self.probs, None);
         let l = new_fw.hypercells().len();

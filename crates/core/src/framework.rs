@@ -21,7 +21,7 @@ use crate::distance::DistanceMatrix;
 use crate::intern::{MembershipId, MembershipPool};
 use crate::membership::BitSet;
 use crate::parallel;
-use crate::waste::popularity;
+use crate::waste::{popularity, popularity_weighted};
 
 /// Default cap (in hyper-cells) above which [`GridFramework`] declines to
 /// materialize the pairwise distance cache (`l(l−1)/2` f64s ≈ 150 MB at
@@ -183,6 +183,12 @@ pub struct FrameworkStats {
 pub struct GridFramework {
     pub(crate) grid: Grid,
     pub(crate) num_subscribers: usize,
+    /// Per-subscriber multiplicities for class-universe frameworks built
+    /// by the aggregation layer (`None` for ordinary concrete builds).
+    /// A weighted framework ranks and measures hyper-cells as if member
+    /// `i` were `weights[i]` concrete subscribers, which makes its
+    /// clustering bit-identical to the expanded concrete clustering.
+    pub(crate) weights: Option<Arc<Vec<u64>>>,
     pub(crate) hypercells: Vec<HyperCell>,
     pub(crate) cell_to_hyper: HashMap<CellId, usize>,
     /// Lazily-built pairwise distance cache, shared by clones. `None`
@@ -272,6 +278,35 @@ impl GridFramework {
         Self::build_from_cells(grid, &cell_sets, probs, max_cells)
     }
 
+    /// [`GridFramework::build`] over a *class* universe: slot `i` stands
+    /// for `weights[i]` concrete subscribers. Ranking, distances and
+    /// popularity all use the weighted counts, so the resulting
+    /// clustering is bit-identical to building over the expanded
+    /// concrete population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != subscriptions.len()` or on dimension
+    /// mismatch.
+    pub(crate) fn build_weighted(
+        grid: Grid,
+        subscriptions: &[Rect],
+        weights: Arc<Vec<u64>>,
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            subscriptions.len(),
+            "one weight per class subscription"
+        );
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map(subscriptions, parallel::MIN_PARALLEL_LEN, |rect| {
+                grid.cells_overlapping(rect)
+            });
+        Self::build_from_cells_impl(grid, &cell_sets, probs, max_cells, Some(weights))
+    }
+
     /// Builds the framework *without* the hyper-cell merge step: every
     /// non-empty cell becomes its own single-cell "hyper-cell". Same
     /// matching semantics, strictly more clustering input — the
@@ -322,6 +357,7 @@ impl GridFramework {
         GridFramework {
             grid,
             num_subscribers,
+            weights: None,
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
@@ -347,6 +383,18 @@ impl GridFramework {
         cell_sets: &[Vec<CellId>],
         probs: &CellProbability,
         max_cells: Option<usize>,
+    ) -> Self {
+        Self::build_from_cells_impl(grid, cell_sets, probs, max_cells, None)
+    }
+
+    /// Shared merged-build body; `weights` selects the class-universe
+    /// (weighted) ranking, `None` the ordinary concrete ranking.
+    fn build_from_cells_impl(
+        grid: Grid,
+        cell_sets: &[Vec<CellId>],
+        probs: &CellProbability,
+        max_cells: Option<usize>,
+        weights: Option<Arc<Vec<u64>>>,
     ) -> Self {
         let num_subscribers = cell_sets.len();
         // 1. Rasterize: membership vector per non-empty cell. Subscriber
@@ -414,10 +462,16 @@ impl GridFramework {
             })
             .collect();
         // 3. Rank by popularity (descending; ties broken by first cell id
-        //    for determinism) and truncate.
+        //    for determinism) and truncate. Weighted builds rank by the
+        //    class-expanded popularity — the same value the concrete
+        //    build would compute for the same hyper-cell.
+        let rank = |hc: &HyperCell| match &weights {
+            None => hc.popularity(),
+            Some(w) => popularity_weighted(hc.prob, &hc.members, w),
+        };
         hypercells.sort_by(|a, b| {
-            b.popularity()
-                .partial_cmp(&a.popularity())
+            rank(b)
+                .partial_cmp(&rank(a))
                 .expect("popularity is never NaN")
                 // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
                 .then_with(|| a.cells[0].cmp(&b.cells[0]))
@@ -437,6 +491,7 @@ impl GridFramework {
         GridFramework {
             grid,
             num_subscribers,
+            weights,
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
@@ -475,6 +530,12 @@ impl GridFramework {
         &self.cell_to_hyper
     }
 
+    /// The per-slot multiplicities of a class-universe (weighted)
+    /// framework; `None` for ordinary concrete builds.
+    pub(crate) fn weights_ref(&self) -> Option<&[u64]> {
+        self.weights.as_deref().map(Vec::as_slice)
+    }
+
     /// The shared pairwise distance cache over this framework's
     /// hyper-cells, building it (in parallel) on first access.
     ///
@@ -492,7 +553,10 @@ impl GridFramework {
                 if l < 2 || l > distance_cache_cap() {
                     None
                 } else {
-                    Some(Arc::new(DistanceMatrix::build(&self.hypercells)))
+                    Some(Arc::new(DistanceMatrix::build_weighted(
+                        &self.hypercells,
+                        self.weights_ref(),
+                    )))
                 }
             })
             .as_deref()
@@ -504,6 +568,7 @@ impl GridFramework {
         GridFramework {
             grid: self.grid.clone(),
             num_subscribers: self.num_subscribers,
+            weights: self.weights.clone(),
             hypercells: self.hypercells.clone(),
             cell_to_hyper: self.cell_to_hyper.clone(),
             distances: OnceLock::new(),
@@ -571,9 +636,14 @@ impl GridFramework {
                 if i != j {
                     let d = match matrix {
                         Some(m) => m.get(i, j),
-                        None => {
-                            crate::waste::expected_waste(a.prob, &a.members, b.prob, &b.members)
-                        }
+                        None => match self.weights_ref() {
+                            None => {
+                                crate::waste::expected_waste(a.prob, &a.members, b.prob, &b.members)
+                            }
+                            Some(w) => crate::waste::expected_waste_weighted(
+                                a.prob, &a.members, b.prob, &b.members, w,
+                            ),
+                        },
                     };
                     if d < best {
                         best = d;
@@ -614,6 +684,7 @@ impl GridFramework {
         GridFramework {
             grid: self.grid.clone(),
             num_subscribers: self.num_subscribers,
+            weights: self.weights.clone(),
             hypercells,
             cell_to_hyper,
             distances: OnceLock::new(),
@@ -864,9 +935,13 @@ impl GridFramework {
                 ));
             }
         }
+        let rank = |hc: &HyperCell| match self.weights.as_deref() {
+            None => hc.popularity(),
+            Some(w) => popularity_weighted(hc.prob, &hc.members, w),
+        };
         rebuilt.sort_by(|a, b| {
-            b.0.popularity()
-                .partial_cmp(&a.0.popularity())
+            rank(&b.0)
+                .partial_cmp(&rank(&a.0))
                 .expect("popularity is never NaN")
                 // lint: allow(no-literal-index): hyper-cells always hold >= 1 cell
                 .then_with(|| a.0.cells[0].cmp(&b.0.cells[0]))
@@ -904,7 +979,15 @@ impl GridFramework {
         //    would compute, bitwise (f64 `+`/`×` are commutative, and
         //    cached entries were themselves produced by `expected_waste`
         //    over identical inputs).
-        let old_matrix = self.distances.get().and_then(|o| o.clone());
+        // Weighted (class-universe) frameworks skip the eager rebuild:
+        // the pool's memoized counts are unweighted, so the reassembly
+        // expressions below would mix universes. The cache simply
+        // rebuilds lazily (weighted) on the next `distance_matrix` call.
+        let old_matrix = if self.weights.is_none() {
+            self.distances.get().and_then(|o| o.clone())
+        } else {
+            None
+        };
         self.distances = OnceLock::new();
         let l = self.hypercells.len();
         let mut reused_distances = 0usize;

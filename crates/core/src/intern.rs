@@ -18,6 +18,8 @@
 
 use std::collections::HashMap;
 
+use crate::compressed::CompressedSet;
+use crate::knob::env_knob;
 use crate::membership::BitSet;
 
 /// Interned handle of a membership vector inside a [`MembershipPool`].
@@ -35,8 +37,14 @@ impl MembershipId {
 }
 
 /// Memoized waste-count entries above this size are discarded wholesale
-/// before the next batch is inserted (a safety valve; 2^20 pairs ≈ 24 MB).
-const MEMO_CAP: usize = 1 << 20;
+/// before the next batch is inserted — the safety valve that keeps
+/// million-subscriber runs from growing the per-pair memo without
+/// limit. Overridable via `PUBSUB_POOL_MEMO_CAP` (default 2^20 pairs
+/// ≈ 24 MB); the counts are pure functions of the id pair, so a smaller
+/// cap only costs recomputation, never correctness.
+fn memo_cap() -> usize {
+    env_knob("PUBSUB_POOL_MEMO_CAP", 1 << 20, |s| s.parse().ok())
+}
 
 /// A hash-consing pool of membership [`BitSet`]s with per-pair
 /// waste-count memoization.
@@ -58,6 +66,12 @@ const MEMO_CAP: usize = 1 << 20;
 pub struct MembershipPool {
     universe: usize,
     sets: Vec<BitSet>,
+    /// Compressed mirror of every interned set (array or bitmap,
+    /// whichever is smaller). When both sides of a waste computation
+    /// are in array form the galloping sparse kernel runs instead of
+    /// the word scan — same counts, far fewer touched bytes for the
+    /// sparse sets that dominate large-universe pools.
+    compressed: Vec<CompressedSet>,
     /// Content hash → pool slots with that hash.
     index: HashMap<u64, Vec<u32>>,
     /// `(lo, hi)` id pair → `(|lo \ hi|, |hi \ lo|)`.
@@ -82,6 +96,7 @@ impl MembershipPool {
         MembershipPool {
             universe,
             sets: Vec::new(),
+            compressed: Vec::new(),
             index: HashMap::new(),
             memo: HashMap::new(),
         }
@@ -124,6 +139,7 @@ impl MembershipPool {
         }
         let id = u32::try_from(self.sets.len()).expect("pool overflow");
         slots.push(id);
+        self.compressed.push(CompressedSet::from_bitset(&set));
         self.sets.push(set);
         MembershipId(id)
     }
@@ -148,6 +164,9 @@ impl MembershipPool {
         for s in &mut self.sets {
             s.grow(new_universe);
         }
+        for c in &mut self.compressed {
+            c.grow(new_universe);
+        }
     }
 
     /// The memoized waste counts `(|a \ b|, |b \ a|)` for the pair, if
@@ -167,11 +186,19 @@ impl MembershipPool {
             .map(|&(x, y)| if flip { (y, x) } else { (x, y) })
     }
 
-    /// Computes `(|a \ b|, |b \ a|)` directly from the interned words
-    /// (no memo read or write) — the same single-pass kernel as
-    /// [`BitSet::waste_counts`].
+    /// Computes `(|a \ b|, |b \ a|)` directly from the interned sets
+    /// (no memo read or write). When both compressed mirrors are in
+    /// array form the galloping sparse kernel runs; otherwise the
+    /// single-pass blocked kernel of [`BitSet::waste_counts`] does.
+    /// Both arms count the same members, so callers cannot observe the
+    /// choice.
     pub fn compute_waste(&self, a: MembershipId, b: MembershipId) -> (usize, usize) {
-        self.sets[a.index()].waste_counts(&self.sets[b.index()])
+        let (ca, cb) = (&self.compressed[a.index()], &self.compressed[b.index()]);
+        if ca.is_array() && cb.is_array() {
+            ca.waste_counts(cb)
+        } else {
+            self.sets[a.index()].waste_counts(&self.sets[b.index()])
+        }
     }
 
     /// Records a batch of computed waste counts, keyed by the id pair
@@ -183,7 +210,7 @@ impl MembershipPool {
         &mut self,
         entries: impl IntoIterator<Item = ((MembershipId, MembershipId), (usize, usize))>,
     ) {
-        if self.memo.len() > MEMO_CAP {
+        if self.memo.len() > memo_cap() {
             self.memo.clear();
         }
         for ((a, b), (x, y)) in entries {
@@ -264,6 +291,27 @@ mod tests {
         pool.memoize_waste([((b, a), (2, 1)), ((a, a), (9, 9))]);
         assert_eq!(pool.cached_waste(a, b), Some((1, 2)));
         assert_eq!(pool.cached_waste(a, a), Some((0, 0)));
+    }
+
+    #[test]
+    fn sparse_kernel_matches_dense_counts() {
+        // Large universe: sparse sets mirror as arrays, dense as bitmaps.
+        let mut pool = MembershipPool::new(4096);
+        let sparse_a = pool.intern(BitSet::from_members(4096, (0..4096).step_by(311)));
+        let sparse_b = pool.intern(BitSet::from_members(4096, (5..4096).step_by(211)));
+        let dense = pool.intern(BitSet::from_members(4096, (0..4096).filter(|i| i % 2 == 0)));
+        for (x, y) in [
+            (sparse_a, sparse_b),
+            (sparse_a, dense),
+            (dense, sparse_b),
+            (dense, dense),
+        ] {
+            assert_eq!(
+                pool.compute_waste(x, y),
+                pool.get(x).waste_counts(pool.get(y)),
+                "pair ({x:?}, {y:?})"
+            );
+        }
     }
 
     #[test]

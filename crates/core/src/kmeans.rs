@@ -108,9 +108,10 @@ impl KMeans {
             return (Clustering::from_assignment(framework, Vec::new()), 0);
         }
         let k = k.max(1).min(l.max(1));
-        let ns = framework.num_subscribers();
         let matrix = framework.distance_matrix();
-        let mut groups: Vec<GroupAccumulator> = (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let mut groups: Vec<GroupAccumulator> = (0..k)
+            .map(|_| GroupAccumulator::for_framework(framework))
+            .collect();
         // `sole[g]` is the hyper-cell index of a still-singleton group, so
         // its distance can be read from the shared cache instead of
         // recomputed (see `closest_group`).
@@ -169,12 +170,13 @@ impl ClusteringAlgorithm for KMeans {
             return Clustering::from_assignment(framework, Vec::new());
         }
         let k = k.max(1).min(l);
-        let ns = framework.num_subscribers();
 
         // Step 0: the K most popular hyper-cells seed the groups
         // (hyper-cells are already sorted by popularity).
         let matrix = framework.distance_matrix();
-        let mut groups: Vec<GroupAccumulator> = (0..k).map(|_| GroupAccumulator::new(ns)).collect();
+        let mut groups: Vec<GroupAccumulator> = (0..k)
+            .map(|_| GroupAccumulator::for_framework(framework))
+            .collect();
         let mut sole: Vec<Option<usize>> = vec![None; k];
         let mut assignment: Vec<usize> = vec![usize::MAX; l];
         for (g, group) in groups.iter_mut().enumerate().take(k) {

@@ -56,8 +56,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
 mod batch;
 mod clustering;
+mod compressed;
 mod counting;
 mod dispatch;
 mod distance;
@@ -78,8 +80,12 @@ mod snapshot;
 mod validate;
 mod waste;
 
+pub use aggregate::{
+    AggregateChurnReport, AggregatePlan, AggregateScratch, Aggregation, ShardedAggregate,
+};
 pub use batch::BatchScratch;
 pub use clustering::{Clustering, ClusteringAlgorithm, Group};
+pub use compressed::CompressedSet;
 pub use counting::CountingMatcher;
 pub use dispatch::{DispatchPlan, DispatchScratch, NoLossDispatchPlan, DENSE_TABLE_MAX_CELLS};
 pub use distance::DistanceMatrix;

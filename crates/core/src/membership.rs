@@ -68,6 +68,34 @@ pub(crate) fn and_popcount_words(a: &[u64], b: &[u64]) -> usize {
 }
 // lint: hot-path end
 
+/// Weighted directed difference counts `(Σ w[i] for i ∈ a\b,
+/// Σ w[i] for i ∈ b\a)` over raw word slices. The weighted analogue of
+/// [`waste_counts_words`]: with all weights 1 it returns exactly the
+/// unweighted popcounts. Used by the aggregation layer, where each
+/// "subscriber" is a canonical class standing for `w` concrete
+/// subscribers — the weighted count then equals the concrete count as
+/// an exact integer, which is what keeps aggregated clustering
+/// bit-identical to the raw path.
+pub(crate) fn weighted_waste_counts_words(a: &[u64], b: &[u64], w: &[u64]) -> (u64, u64) {
+    let mut only_a = 0u64;
+    let mut only_b = 0u64;
+    for (wi, (wa, wb)) in a.iter().zip(b).enumerate() {
+        let mut da = wa & !wb;
+        while da != 0 {
+            let bit = da.trailing_zeros() as usize;
+            only_a += w[wi * WORD_BITS + bit];
+            da &= da - 1;
+        }
+        let mut db = wb & !wa;
+        while db != 0 {
+            let bit = db.trailing_zeros() as usize;
+            only_b += w[wi * WORD_BITS + bit];
+            db &= db - 1;
+        }
+    }
+    (only_a, only_b)
+}
+
 /// A fixed-length packed bit vector over subscriber indices.
 ///
 /// # Examples
@@ -261,6 +289,30 @@ impl BitSet {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Weighted directed difference counts: `(Σ w[i] for i ∈ self\other,
+    /// Σ w[i] for i ∈ other\self)`. With unit weights this equals
+    /// [`BitSet::waste_counts`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch or if `weights.len() < universe`.
+    pub fn weighted_waste_counts(&self, other: &BitSet, weights: &[u64]) -> (u64, u64) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        assert!(weights.len() >= self.len, "weight vector too short");
+        weighted_waste_counts_words(&self.words, &other.words, weights)
+    }
+
+    /// `Σ w[i]` over the members — the weighted analogue of
+    /// [`BitSet::count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() < universe`.
+    pub fn weighted_count(&self, weights: &[u64]) -> u64 {
+        assert!(weights.len() >= self.len, "weight vector too short");
+        self.iter().map(|i| weights[i]).sum()
     }
 
     /// Iterator over member indices in increasing order.

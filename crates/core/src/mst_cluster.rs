@@ -72,9 +72,16 @@ impl ClusteringAlgorithm for MstClustering {
         // cache cap each relaxation row is recomputed, in parallel for
         // large graphs.
         let matrix = framework.distance_matrix();
+        let class_weights = framework.weights_ref();
         let d = |i: usize, j: usize| match matrix {
             Some(m) => m.get(i, j),
-            None => group_distance(hcs[i].prob, &hcs[i].members, hcs[j].prob, &hcs[j].members),
+            None => group_distance(
+                hcs[i].prob,
+                &hcs[i].members,
+                hcs[j].prob,
+                &hcs[j].members,
+                class_weights,
+            ),
         };
         let mut in_tree = vec![false; l];
         let mut best = vec![f64::INFINITY; l];

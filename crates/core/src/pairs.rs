@@ -123,15 +123,16 @@ impl ClusteringAlgorithm for PairwiseGrouping {
         // groups (the common case early in agglomeration), their distance
         // is a shared-cache lookup instead of a bit-vector walk.
         let matrix = framework.distance_matrix();
+        let weights = framework.weights_ref();
         match self.strategy {
             PairsStrategy::Exact => {
-                merge_exact_nn(&mut groups, &mut alive, k, matrix);
+                merge_exact_nn(&mut groups, &mut alive, k, matrix, weights);
             }
             PairsStrategy::ExactFullScan => {
-                merge_exact_fullscan(&mut groups, &mut alive, k, matrix);
+                merge_exact_fullscan(&mut groups, &mut alive, k, matrix, weights);
             }
             PairsStrategy::Approximate { seed } => {
-                merge_approximate(&mut groups, &mut alive, k, seed, matrix);
+                merge_approximate(&mut groups, &mut alive, k, seed, matrix, weights);
             }
         }
 
@@ -146,20 +147,26 @@ impl ClusteringAlgorithm for PairwiseGrouping {
     }
 }
 
-fn dist(a: &GroupState, b: &GroupState) -> f64 {
-    group_distance(a.prob, &a.members, b.prob, &b.members)
+fn dist(a: &GroupState, b: &GroupState, weights: Option<&[u64]>) -> f64 {
+    group_distance(a.prob, &a.members, b.prob, &b.members, weights)
 }
 
 /// Group distance, served from the shared cache when both groups are
 /// still singleton hyper-cells. A singleton's membership vector and
 /// probability are exactly its hyper-cell's, and the cache stores the
-/// very `expected_waste` value `dist` would compute, so the lookup is
-/// bit-identical to the direct path.
-fn dist_cached(matrix: Option<&DistanceMatrix>, a: &GroupState, b: &GroupState) -> f64 {
+/// very `expected_waste` value `dist` would compute (weighted builds
+/// cache the weighted value), so the lookup is bit-identical to the
+/// direct path.
+fn dist_cached(
+    matrix: Option<&DistanceMatrix>,
+    a: &GroupState,
+    b: &GroupState,
+    weights: Option<&[u64]>,
+) -> f64 {
     if let (Some(m), &[ia], &[ib]) = (matrix, a.hypercells.as_slice(), b.hypercells.as_slice()) {
         m.get(ia, ib)
     } else {
-        dist(a, b)
+        dist(a, b, weights)
     }
 }
 
@@ -179,6 +186,7 @@ fn merge_exact_nn(
     alive: &mut usize,
     k: usize,
     matrix: Option<&DistanceMatrix>,
+    weights: Option<&[u64]>,
 ) {
     let l = groups.len();
     // nn[i] = (distance, j) of i's nearest alive neighbour.
@@ -190,7 +198,7 @@ fn merge_exact_nn(
                 continue;
             }
             if let Some(gj) = gj {
-                let d = dist_cached(matrix, gi, gj);
+                let d = dist_cached(matrix, gi, gj, weights);
                 if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, j));
                 }
@@ -240,6 +248,7 @@ fn merge_exact_fullscan(
     alive: &mut usize,
     k: usize,
     matrix: Option<&DistanceMatrix>,
+    weights: Option<&[u64]>,
 ) {
     while *alive > k {
         let ids: Vec<usize> = (0..groups.len()).filter(|&i| groups[i].is_some()).collect();
@@ -258,7 +267,8 @@ fn merge_exact_fullscan(
                 let i = ids_ref[x];
                 let gi = groups_ref[i].as_ref().expect("alive");
                 for &j in &ids_ref[x + 1..] {
-                    let d = dist_cached(matrix, gi, groups_ref[j].as_ref().expect("alive"));
+                    let d =
+                        dist_cached(matrix, gi, groups_ref[j].as_ref().expect("alive"), weights);
                     if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, i, j));
                     }
@@ -284,6 +294,7 @@ fn merge_approximate(
     k: usize,
     seed: u64,
     matrix: Option<&DistanceMatrix>,
+    weights: Option<&[u64]>,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     while *alive > k {
@@ -317,6 +328,7 @@ fn merge_approximate(
                 matrix,
                 groups[i].as_ref().expect("alive"),
                 groups[j].as_ref().expect("alive"),
+                weights,
             );
             if t < observe {
                 if best.is_none_or(|(bd, _, _)| d < bd) {

@@ -39,7 +39,7 @@ use crate::distance::DistanceMatrix;
 use crate::framework::GridFramework;
 use crate::membership::BitSet;
 use crate::noloss::NoLossClustering;
-use crate::waste::expected_waste;
+use crate::waste::{expected_waste, expected_waste_weighted, popularity_weighted};
 
 /// Pairs per distance-matrix audit: small matrices are checked in
 /// full, larger ones on a deterministic strided sample of this size.
@@ -242,17 +242,22 @@ impl Validator {
         }
 
         // Popularity ranking is non-increasing (build and apply_delta
-        // both sort by descending popularity).
+        // both sort by descending popularity — weighted, for an
+        // aggregated class framework).
+        let pop = |h: usize| match fw.weights.as_deref() {
+            Some(weights) => popularity_weighted(hcs[h].prob, &hcs[h].members, weights),
+            None => hcs[h].popularity(),
+        };
         for w in 1..hcs.len() {
-            if hcs[w - 1].popularity() < hcs[w].popularity() {
+            if pop(w - 1) < pop(w) {
                 self.fail(
                     "framework.popularity-order",
                     format!(
                         "hyper-cell {} (popularity {}) ranked above {} (popularity {})",
                         w - 1,
-                        hcs[w - 1].popularity(),
+                        pop(w - 1),
                         w,
-                        hcs[w].popularity()
+                        pop(w)
                     ),
                 );
             }
@@ -328,14 +333,25 @@ impl Validator {
         }
         // Deterministic strided pair sample; complete for small l. The
         // recomputation is the very expression DistanceMatrix::build
-        // uses, so agreement must be bit-for-bit — this is what catches
-        // a row desynced by apply_delta's cache reuse.
+        // (or build_weighted, for an aggregated class framework) uses,
+        // so agreement must be bit-for-bit — this is what catches a
+        // row desynced by apply_delta's cache reuse.
+        let weights = fw.weights.as_deref();
         let total_pairs = m.data.len();
         let stride = (total_pairs / DISTANCE_SAMPLE_PAIRS).max(1);
         let mut flat = 0usize;
         while flat < total_pairs {
             let (i, j) = triangle_coords(flat);
-            let direct = expected_waste(hcs[i].prob, &hcs[i].members, hcs[j].prob, &hcs[j].members);
+            let direct = match weights {
+                Some(w) => expected_waste_weighted(
+                    hcs[i].prob,
+                    &hcs[i].members,
+                    hcs[j].prob,
+                    &hcs[j].members,
+                    w,
+                ),
+                None => expected_waste(hcs[i].prob, &hcs[i].members, hcs[j].prob, &hcs[j].members),
+            };
             if m.data[flat].to_bits() != direct.to_bits() {
                 self.fail(
                     "framework.distance-agreement",

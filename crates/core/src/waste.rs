@@ -43,10 +43,33 @@ pub fn expected_waste(pa: f64, a: &BitSet, pb: f64, b: &BitSet) -> f64 {
     pa * only_b as f64 + pb * only_a as f64
 }
 
+/// Weighted expected waste: each member `i` of the exclusive sets
+/// counts `weights[i]` deliveries. The aggregation layer clusters over
+/// canonical classes, where class `i` stands for `weights[i]` concrete
+/// subscribers; the weighted integer counts then equal the concrete
+/// counts exactly, so this produces bit-for-bit the same `f64` as
+/// [`expected_waste`] over the expanded memberships.
+pub(crate) fn expected_waste_weighted(
+    pa: f64,
+    a: &BitSet,
+    pb: f64,
+    b: &BitSet,
+    weights: &[u64],
+) -> f64 {
+    let (only_a, only_b) = a.weighted_waste_counts(b, weights);
+    pa * only_b as f64 + pb * only_a as f64
+}
+
 /// The popularity rating `r(a) = p_p(a) · |s(a)|` used to rank
 /// hyper-cells before truncation (Section 4.1, "Implementation Notes").
 pub fn popularity(prob: f64, members: &BitSet) -> f64 {
     prob * members.count() as f64
+}
+
+/// Weighted popularity: `p_p(a) · Σ weights[i]` over the members —
+/// equal to [`popularity`] over the expanded concrete membership.
+pub(crate) fn popularity_weighted(prob: f64, members: &BitSet, weights: &[u64]) -> f64 {
+    prob * members.weighted_count(weights) as f64
 }
 
 #[cfg(test)]

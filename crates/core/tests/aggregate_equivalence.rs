@@ -1,0 +1,323 @@
+//! Subscription aggregation is a pure optimization: serving through
+//! the class-universe [`AggregatePlan`] produces decisions and
+//! concrete interested sets bit-identical to the unaggregated
+//! [`DispatchPlan`] over the expanded population — for all five grid
+//! algorithms, scalar and chunked, at 1 and 8 threads — and one shard
+//! of a [`ShardedAggregate`] is identical to the unsharded plan. The
+//! No-Loss analogue clusters class rectangles with multiplicities and
+//! must agree with the concrete build on every region match. The
+//! always-on service path is pinned by `service_path_agrees_with_the
+//! _aggregated_plan` below.
+
+use std::sync::Arc;
+
+use geometry::{Grid, Interval, Point, Rect};
+use proptest::prelude::*;
+use pubsub_core::{
+    parallel, AggregatePlan, AggregateScratch, Aggregation, BrokerService, CellProbability,
+    ClusteringAlgorithm, Delivery, DispatchPlan, DispatchScratch, DynamicClustering, GridFramework,
+    KMeans, KMeansVariant, MstClustering, NoLossClustering, NoLossConfig, PairsStrategy,
+    PairwiseGrouping, ServiceConfig, ShardedAggregate,
+};
+
+/// Bounded random interval inside (0, 20].
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0.0..20.0f64, 0.0..20.0f64).prop_map(|(a, b)| Interval::from_unordered(a, b))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    prop::collection::vec(interval_strategy(), 2).prop_map(Rect::new)
+}
+
+/// A near-duplicate population: a small template pool, each slot
+/// picking one template — so aggregation genuinely collapses slots.
+fn population_strategy() -> impl Strategy<Value = Vec<Rect>> {
+    (
+        prop::collection::vec(rect_strategy(), 1..8),
+        prop::collection::vec(0usize..64, 1..40),
+    )
+        .prop_map(|(pool, picks)| {
+            picks
+                .into_iter()
+                .map(|i| pool[i % pool.len()].clone())
+                .collect()
+        })
+}
+
+/// Points both on- and off-grid (the grid covers (0, 20]).
+fn point_strategy() -> impl Strategy<Value = Point> {
+    prop::collection::vec(-1.0..22.0f64, 2).prop_map(Point::new)
+}
+
+/// All five grid clustering algorithms of the paper.
+fn algorithms() -> Vec<Box<dyn ClusteringAlgorithm>> {
+    vec![
+        Box::new(KMeans::new(KMeansVariant::MacQueen)),
+        Box::new(KMeans::new(KMeansVariant::Forgy)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Exact)),
+        Box::new(PairwiseGrouping::new(PairsStrategy::Approximate {
+            seed: 9,
+        })),
+        Box::new(MstClustering::new()),
+    ]
+}
+
+fn grid() -> Grid {
+    Grid::cube(0.0, 20.0, 2, 10).unwrap()
+}
+
+/// Serves every point through the aggregated plan under a pinned
+/// thread count via the fixed-chunk decomposition the sim uses,
+/// collecting `(decision, interested)` per event.
+fn chunked_aggregated(
+    plan: &AggregatePlan,
+    points: &[Point],
+    threads: usize,
+) -> Vec<(Delivery, Vec<usize>)> {
+    parallel::with_threads(threads, || {
+        parallel::par_chunks(points.len(), 8, |range| {
+            let mut scratch = AggregateScratch::new();
+            let mut out = Vec::with_capacity(range.len());
+            for e in range {
+                let d = plan.serve(&points[e], &mut scratch);
+                out.push((d, scratch.interested().to_vec()));
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The aggregated serve path is bit-identical to the concrete
+    /// serve path — decisions AND interested sets — for all five grid
+    /// algorithms, scalar and chunked at 1 and 8 threads.
+    #[test]
+    fn aggregated_serve_equals_concrete_for_all_algorithms(
+        subs in population_strategy(),
+        points in prop::collection::vec(point_strategy(), 1..30),
+        threshold in 0.0..1.0f64,
+        k in 1usize..6,
+    ) {
+        let grid = grid();
+        let probs = CellProbability::uniform(&grid);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let concrete_fw = GridFramework::build(grid.clone(), &subs, &probs, None);
+        let class_fw = agg.build_framework(grid.clone(), &probs, None);
+        for alg in algorithms() {
+            let concrete_clustering = alg.cluster(&concrete_fw, k);
+            let concrete_plan = DispatchPlan::compile(&concrete_fw, &concrete_clustering)
+                .with_threshold(threshold)
+                .with_subscriptions(&subs);
+            let class_clustering = alg.cluster(&class_fw, k);
+            let agg_plan = AggregatePlan::compile(
+                &class_fw,
+                &class_clustering,
+                threshold,
+                agg.clone(),
+            );
+            let mut cs = DispatchScratch::new();
+            let mut asr = AggregateScratch::new();
+            let reference: Vec<(Delivery, Vec<usize>)> = points
+                .iter()
+                .map(|p| {
+                    let d = concrete_plan.serve(p, &mut cs);
+                    (d, cs.interested().to_vec())
+                })
+                .collect();
+            for (p, (d_ref, interested_ref)) in points.iter().zip(&reference) {
+                let d = agg_plan.serve(p, &mut asr);
+                prop_assert_eq!(&d, d_ref, "{}: decision diverged at {:?}", alg.name(), p);
+                prop_assert_eq!(
+                    asr.interested(),
+                    &interested_ref[..],
+                    "{}: interested set diverged at {:?}",
+                    alg.name(),
+                    p
+                );
+            }
+            for threads in [1usize, 8] {
+                let chunked = chunked_aggregated(&agg_plan, &points, threads);
+                prop_assert_eq!(
+                    &chunked,
+                    &reference,
+                    "{} diverged at {} thread(s)",
+                    alg.name(),
+                    threads
+                );
+            }
+        }
+    }
+
+    /// One shard serves bit-identically to the unsharded plan, and any
+    /// shard count keeps interested sets exact against brute force.
+    #[test]
+    fn sharded_serves_match_unsharded_and_brute_force(
+        subs in population_strategy(),
+        points in prop::collection::vec(point_strategy(), 1..30),
+        threshold in 0.0..1.0f64,
+        shards in 2usize..6,
+    ) {
+        let grid = grid();
+        let agg = Arc::new(Aggregation::build(&subs));
+        let algorithm = KMeans::new(KMeansVariant::MacQueen);
+        let class_fw = agg.build_framework(grid.clone(), &CellProbability::uniform(&grid), None);
+        let clustering = algorithm.cluster(&class_fw, 4);
+        let plan = AggregatePlan::compile(&class_fw, &clustering, threshold, agg.clone());
+        let one = ShardedAggregate::build_with_shards(
+            &grid, agg.clone(), CellProbability::uniform, &algorithm, 4, threshold, 1,
+        );
+        let many = ShardedAggregate::build_with_shards(
+            &grid, agg.clone(), CellProbability::uniform, &algorithm, 4, threshold, shards,
+        );
+        let mut a = AggregateScratch::new();
+        let mut b = AggregateScratch::new();
+        for p in &points {
+            let d_plan = plan.serve(p, &mut a);
+            let d_one = one.serve(p, &mut b);
+            prop_assert_eq!(d_plan, d_one, "one-shard decision diverged at {:?}", p);
+            prop_assert_eq!(a.interested(), b.interested(), "one-shard set diverged at {:?}", p);
+            let _ = many.serve(p, &mut b);
+            let brute: Vec<usize> = subs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(p))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(
+                b.interested(),
+                &brute[..],
+                "{}-shard interested set diverged at {:?}",
+                shards,
+                p
+            );
+        }
+    }
+
+    /// No-Loss over aggregated classes: clustering the distinct
+    /// rectangles with their multiplicities matches the concrete
+    /// build's region structure on every event — same matched-region
+    /// rectangle (or both unmatched) for every point.
+    #[test]
+    fn noloss_aggregated_matches_concrete_regions(
+        subs in population_strategy(),
+        points in prop::collection::vec(point_strategy(), 1..30),
+        k in 1usize..6,
+    ) {
+        let cfg = NoLossConfig { max_rects: 60, iterations: 2, max_candidates_per_round: 5_000 };
+        let sample: Vec<Point> = (0..8)
+            .flat_map(|i| (0..8).map(move |j| {
+                Point::new(vec![i as f64 * 2.5 + 1.25, j as f64 * 2.5 + 1.25])
+            }))
+            .collect();
+        let concrete = NoLossClustering::build_with_density(
+            &subs,
+            |rect| sample.iter().filter(|p| rect.contains(p)).count() as f64 / sample.len() as f64,
+            &sample,
+            &cfg,
+            k,
+        );
+        let agg = Aggregation::build(&subs);
+        let classes = agg.class_rects();
+        let aggregated = NoLossClustering::build_aggregated(
+            &classes, agg.weights(), &sample, &cfg, k,
+        );
+        for p in &points {
+            let c = concrete.match_event(p).map(|r| concrete.regions()[r].rect.clone());
+            let a = aggregated.match_event(p).map(|r| aggregated.regions()[r].rect.clone());
+            prop_assert_eq!(c, a, "matched regions diverged at {:?}", p);
+        }
+    }
+}
+
+/// The always-on service path (multi-threaded ingest over the
+/// concrete plan) agrees with the aggregated plan on every recorded
+/// decision and interested count over a static population.
+#[test]
+fn service_path_agrees_with_the_aggregated_plan() {
+    use rand::prelude::*;
+
+    let mut rng = StdRng::seed_from_u64(15);
+    let pool: Vec<Rect> = (0..12)
+        .map(|_| {
+            let lo: f64 = rng.gen_range(0.0..16.0);
+            let w: f64 = rng.gen_range(0.5..4.0);
+            let lo2: f64 = rng.gen_range(0.0..16.0);
+            let w2: f64 = rng.gen_range(0.5..4.0);
+            Rect::new(vec![
+                Interval::new(lo, (lo + w).min(20.0)).unwrap(),
+                Interval::new(lo2, (lo2 + w2).min(20.0)).unwrap(),
+            ])
+        })
+        .collect();
+    let subs: Vec<Rect> = (0..200)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect();
+    let points: Vec<Point> = (0..300)
+        .map(|_| Point::new(vec![rng.gen_range(-1.0..21.0), rng.gen_range(-1.0..21.0)]))
+        .collect();
+
+    let grid = grid();
+    let probs = CellProbability::uniform(&grid);
+    let algorithm = KMeans::new(KMeansVariant::MacQueen);
+    let threshold = 0.3;
+
+    // Aggregated side. The service's cold rebuild seeds K-means
+    // round-robin, so seed the class clustering the same way — the
+    // weighted class framework has the same hyper-cell order as the
+    // concrete one, making the partitions (and group ids) identical.
+    let agg = Arc::new(Aggregation::build(&subs));
+    let class_fw = agg.build_framework(grid.clone(), &probs, None);
+    let l = class_fw.hypercells().len();
+    let k = 8usize.min(l);
+    let seed: Vec<usize> = (0..l).map(|h| h % k).collect();
+    let (clustering, _) = algorithm.cluster_seeded(&class_fw, k, &seed);
+    let agg_plan = AggregatePlan::compile(&class_fw, &clustering, threshold, agg.clone());
+
+    // Service side: static population, multi-threaded ingest.
+    let mut dynamic = DynamicClustering::new(grid, probs, algorithm, 8);
+    for r in &subs {
+        dynamic.subscribe(r.clone());
+    }
+    dynamic.rebalance();
+    let service = BrokerService::start(
+        dynamic,
+        ServiceConfig {
+            ingest_threads: 2,
+            threshold,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("initial plan compiles");
+    for p in &points {
+        service.offer(p.clone());
+    }
+    service.drain();
+    let (report, _) = service.shutdown();
+    assert_eq!(
+        report.records.len(),
+        points.len(),
+        "nothing shed under Block"
+    );
+
+    let mut scratch = AggregateScratch::new();
+    for record in &report.records {
+        let p = &points[record.id as usize];
+        let d = agg_plan.serve(p, &mut scratch);
+        assert_eq!(
+            record.decision, d,
+            "decision diverged at event {}",
+            record.id
+        );
+        assert_eq!(
+            record.interested as usize,
+            scratch.interested().len(),
+            "interested count diverged at event {}",
+            record.id
+        );
+    }
+}

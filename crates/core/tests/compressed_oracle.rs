@@ -1,0 +1,143 @@
+//! Property tests pinning [`CompressedSet`] against a [`BitSet`]
+//! oracle: after any interleaving of inserts, removes and grows, every
+//! observable — membership, count, iteration order, intersection
+//! counts through the adaptive array/bitmap/gallop paths, and waste
+//! counts — agrees with the plain bitset computing the same thing.
+
+use proptest::prelude::*;
+use pubsub_core::{BitSet, CompressedSet};
+
+/// One mutation of the pair-under-test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Grow(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0usize..600).prop_map(Op::Insert),
+        2 => (0usize..600).prop_map(Op::Remove),
+        1 => (0usize..300).prop_map(Op::Grow),
+    ]
+}
+
+/// Applies the ops to a `(CompressedSet, BitSet)` pair over a starting
+/// universe, keeping the oracle in lockstep. Out-of-universe indices
+/// are skipped (both containers treat them as contract violations).
+fn run_ops(universe: usize, ops: &[Op]) -> (CompressedSet, BitSet) {
+    let mut c = CompressedSet::new(universe);
+    let mut b = BitSet::new(universe);
+    let mut n = universe;
+    for op in ops {
+        match *op {
+            Op::Insert(i) if i < n => {
+                let inserted = c.insert(i);
+                assert_eq!(inserted, !b.contains(i), "insert({i}) return value");
+                b.insert(i);
+            }
+            Op::Remove(i) if i < n => {
+                let removed = c.remove(i);
+                assert_eq!(removed, b.contains(i), "remove({i}) return value");
+                b.remove(i);
+            }
+            Op::Grow(extra) => {
+                n += extra;
+                c.grow(n);
+                let mut grown = BitSet::new(n);
+                for i in b.iter() {
+                    grown.insert(i);
+                }
+                b = grown;
+            }
+            _ => {}
+        }
+    }
+    (c, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Membership, count, iteration and round-trips agree with the
+    /// oracle after any op sequence.
+    #[test]
+    fn observables_match_the_bitset_oracle(
+        universe in 0usize..600,
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let (c, b) = run_ops(universe, &ops);
+        prop_assert_eq!(c.count(), b.count());
+        prop_assert_eq!(c.is_empty(), b.count() == 0);
+        prop_assert_eq!(c.universe(), b.universe());
+        for i in 0..b.universe() {
+            prop_assert_eq!(c.contains(i), b.contains(i), "membership of {}", i);
+        }
+        let via_iter: Vec<usize> = c.iter().collect();
+        let oracle: Vec<usize> = b.iter().collect();
+        prop_assert_eq!(via_iter, oracle, "iteration order");
+        prop_assert_eq!(&c.to_bitset(), &b, "to_bitset round-trip");
+        prop_assert_eq!(
+            CompressedSet::from_bitset(&b).to_bitset(),
+            b,
+            "from_bitset round-trip"
+        );
+    }
+
+    /// Intersection and waste counts agree with the oracle for every
+    /// representation pairing (array x array through the gallop and
+    /// merge paths, array x bitmap, bitmap x bitmap) — the universe
+    /// and density ranges straddle the adaptive threshold.
+    #[test]
+    fn intersection_and_waste_counts_match(
+        universe in 1usize..600,
+        a_ops in prop::collection::vec(op_strategy(), 0..80),
+        b_ops in prop::collection::vec(op_strategy(), 0..80),
+    ) {
+        // Drop grows so both sides stay on the same universe.
+        let no_grow = |ops: &[Op]| -> Vec<Op> {
+            ops.iter()
+                .filter(|o| !matches!(o, Op::Grow(_)))
+                .cloned()
+                .collect()
+        };
+        let (ca, oa) = run_ops(universe, &no_grow(&a_ops));
+        let (cb, ob) = run_ops(universe, &no_grow(&b_ops));
+        let expected_inter = oa.iter().filter(|&i| ob.contains(i)).count();
+        prop_assert_eq!(ca.intersection_count(&cb), expected_inter);
+        prop_assert_eq!(cb.intersection_count(&ca), expected_inter, "symmetry");
+        let (only_a, only_b) = ca.waste_counts(&cb);
+        prop_assert_eq!(only_a, oa.count() - expected_inter, "a-only count");
+        prop_assert_eq!(only_b, ob.count() - expected_inter, "b-only count");
+    }
+
+    /// Skewed pairing: one tiny array against one dense set — the
+    /// shape that exercises the galloping intersection's exponential
+    /// probe resumption across many strides.
+    #[test]
+    fn gallop_path_agrees_on_skewed_pairs(
+        small in prop::collection::vec(0usize..4096, 0..8),
+        stride in 1usize..9,
+        offset in 0usize..8,
+    ) {
+        let universe = 4096;
+        let mut a = CompressedSet::new(universe);
+        let mut oa = BitSet::new(universe);
+        for &i in &small {
+            a.insert(i);
+            oa.insert(i);
+        }
+        let mut b = CompressedSet::new(universe);
+        let mut ob = BitSet::new(universe);
+        let mut i = offset;
+        while i < universe {
+            b.insert(i);
+            ob.insert(i);
+            i += stride;
+        }
+        let expected = oa.iter().filter(|&i| ob.contains(i)).count();
+        prop_assert_eq!(a.intersection_count(&b), expected);
+        prop_assert_eq!(b.intersection_count(&a), expected, "symmetry");
+    }
+}

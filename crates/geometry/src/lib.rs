@@ -42,4 +42,4 @@ pub use decompose::decompose_multirange;
 pub use grid::{CellId, Grid, GridError};
 pub use interval::{Interval, IntervalError};
 pub use point::Point;
-pub use rect::Rect;
+pub use rect::{Covering, Rect};

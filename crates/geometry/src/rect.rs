@@ -10,6 +10,27 @@ use std::fmt;
 use crate::interval::Interval;
 use crate::point::Point;
 
+/// How two rectangles relate under *set* containment — the shared
+/// covering predicate used by subscription pruning and aggregation.
+///
+/// The classification is over the point sets the rectangles denote, so
+/// every empty rectangle (any dimension with `lo >= hi`) is the empty
+/// set regardless of which dimension is degenerate or what its bounds
+/// are: two empty rectangles are [`Covering::Equal`] even when their
+/// interval bounds differ, and an empty rectangle is covered by
+/// everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Covering {
+    /// The two rectangles denote the same point set.
+    Equal,
+    /// `self` strictly contains `other`.
+    Covers,
+    /// `other` strictly contains `self`.
+    CoveredBy,
+    /// Neither contains the other.
+    Incomparable,
+}
+
 /// An axis-aligned rectangle in `Ω`: one half-open [`Interval`] per
 /// dimension. Dimensions may be unbounded (a `*` predicate).
 ///
@@ -102,6 +123,44 @@ impl Rect {
                 .iter()
                 .zip(other.intervals.iter())
                 .all(|(a, b)| a.contains_interval(b))
+    }
+
+    /// Classifies the containment relation between `self` and `other`
+    /// in one pass over the dimensions (each interval pair is compared
+    /// exactly once, in both directions simultaneously — no duplicated
+    /// float comparisons, unlike two `contains_rect` calls).
+    ///
+    /// Empty rectangles are handled as point sets: any rectangle with a
+    /// degenerate (zero-width or inverted) dimension is the empty set,
+    /// so two empty rectangles are [`Covering::Equal`] and an empty
+    /// rectangle is [`Covering::CoveredBy`] any non-empty one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn classify_covering(&self, other: &Rect) -> Covering {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        match (self.is_empty(), other.is_empty()) {
+            (true, true) => return Covering::Equal,
+            (true, false) => return Covering::CoveredBy,
+            (false, true) => return Covering::Covers,
+            (false, false) => {}
+        }
+        let mut covers = true;
+        let mut covered = true;
+        for (a, b) in self.intervals.iter().zip(other.intervals.iter()) {
+            covers &= a.contains_interval(b);
+            covered &= b.contains_interval(a);
+            if !covers && !covered {
+                return Covering::Incomparable;
+            }
+        }
+        match (covers, covered) {
+            (true, true) => Covering::Equal,
+            (true, false) => Covering::Covers,
+            (false, true) => Covering::CoveredBy,
+            (false, false) => Covering::Incomparable,
+        }
     }
 
     /// Whether the two rectangles share at least one point.
@@ -230,6 +289,43 @@ mod tests {
         let empty = rect2((5.0, 5.0), (0.0, 1.0));
         assert!(empty.is_empty());
         assert!(inner.contains_rect(&empty));
+    }
+
+    #[test]
+    fn classify_covering_matches_double_containment() {
+        let outer = rect2((0.0, 10.0), (0.0, 10.0));
+        let inner = rect2((1.0, 2.0), (3.0, 4.0));
+        let other = rect2((5.0, 15.0), (3.0, 4.0));
+        assert_eq!(outer.classify_covering(&inner), Covering::Covers);
+        assert_eq!(inner.classify_covering(&outer), Covering::CoveredBy);
+        assert_eq!(outer.classify_covering(&outer.clone()), Covering::Equal);
+        assert_eq!(inner.classify_covering(&other), Covering::Incomparable);
+        // The classification agrees with contains_rect in both directions.
+        for (a, b) in [(&outer, &inner), (&inner, &other), (&outer, &outer)] {
+            let c = a.classify_covering(b);
+            assert_eq!(
+                a.contains_rect(b),
+                matches!(c, Covering::Equal | Covering::Covers)
+            );
+            assert_eq!(
+                b.contains_rect(a),
+                matches!(c, Covering::Equal | Covering::CoveredBy)
+            );
+        }
+    }
+
+    #[test]
+    fn classify_covering_treats_all_empties_as_one_set() {
+        // Degenerate zero-width dimensions in *different* positions and
+        // with different bounds: all denote the empty set.
+        let e1 = rect2((5.0, 5.0), (0.0, 10.0));
+        let e2 = rect2((0.0, 10.0), (7.0, 7.0));
+        let e3 = rect2((2.0, 2.0), (2.0, 2.0));
+        assert_eq!(e1.classify_covering(&e2), Covering::Equal);
+        assert_eq!(e2.classify_covering(&e3), Covering::Equal);
+        let full = rect2((0.0, 10.0), (0.0, 10.0));
+        assert_eq!(e1.classify_covering(&full), Covering::CoveredBy);
+        assert_eq!(full.classify_covering(&e1), Covering::Covers);
     }
 
     #[test]

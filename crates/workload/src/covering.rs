@@ -12,6 +12,8 @@
 //! longer appears in match lists. Use this only where node-level
 //! delivery is what matters — as in the paper's cost evaluation.)
 
+use geometry::Covering;
+
 use crate::types::Subscription;
 
 /// Result of a covering prune.
@@ -46,14 +48,17 @@ pub fn prune_covered(subscriptions: &[Subscription]) -> PruneOutcome {
                     continue;
                 }
                 let (a, b) = (&subscriptions[i].rect, &subscriptions[j].rect);
-                if b.contains_rect(a) && a.contains_rect(b) {
+                // One classification per pair — the shared covering
+                // predicate compares each interval pair exactly once
+                // and treats every empty rectangle as the empty set.
+                match a.classify_covering(b) {
                     // Identical: keep the earlier one.
-                    drop[j] = true;
-                } else if b.contains_rect(a) {
-                    drop[i] = true;
-                    break;
-                } else if a.contains_rect(b) {
-                    drop[j] = true;
+                    Covering::Equal | Covering::Covers => drop[j] = true,
+                    Covering::CoveredBy => {
+                        drop[i] = true;
+                        break;
+                    }
+                    Covering::Incomparable => {}
                 }
             }
         }
@@ -118,6 +123,21 @@ mod tests {
         let subs = vec![sub(1, 0.0, 6.0), sub(1, 4.0, 10.0)];
         let out = prune_covered(&subs);
         assert_eq!(out.removed, 0);
+    }
+
+    #[test]
+    fn degenerate_zero_width_subscriptions_collapse_consistently() {
+        // Zero-width (empty) rectangles match no event. They are all the
+        // same point set, so at one node they collapse to the first one
+        // and are dropped when any non-empty subscription coexists.
+        let subs = vec![sub(1, 5.0, 5.0), sub(1, 9.0, 9.0), sub(1, 2.0, 2.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.kept, vec![sub(1, 5.0, 5.0)]);
+        let subs = vec![sub(2, 7.0, 7.0), sub(2, 0.0, 1.0)];
+        let out = prune_covered(&subs);
+        assert_eq!(out.removed, 1);
+        assert_eq!(out.kept, vec![sub(2, 0.0, 1.0)]);
     }
 
     #[test]

@@ -22,6 +22,7 @@ mod covering;
 mod density;
 mod dist;
 pub mod io;
+mod neardup;
 mod placement;
 mod section3;
 mod stock;
@@ -31,6 +32,7 @@ pub use chaos::{ChaosConfig, ChaosEpoch, ChaosScenario, ChurnOp};
 pub use covering::{prune_covered, PruneOutcome};
 pub use density::{NormalMixture, PublicationDensity};
 pub use dist::{DistError, Normal, Pareto, Zipf};
+pub use neardup::NearDupModel;
 pub use placement::{uniform_stub_placement, zipf_placement};
 pub use section3::{PredicateDist, Section3Model};
 pub use stock::{PublicationModes, StockModel};
