@@ -14,14 +14,21 @@
 //! class framework, clusters it, compiles the [`AggregatePlan`] and
 //! serves a uniform event stream with exact concrete interested sets —
 //! timing every stage. A second series builds a [`ShardedAggregate`]
-//! and applies churn batches that re-cluster only the dimension-0
-//! slabs the changed rectangles overlap.
+//! and applies churn batches that re-cluster only the slabs (along the
+//! selectivity-chosen shard axis) the changed rectangles overlap. A
+//! final shard × worker sweep times the parallel sharded build and one
+//! mixed add/remove churn batch at the largest configured population.
 //!
 //! Correctness gates asserted before anything is written:
 //!
 //! * at quick scale the aggregated serve is cross-checked against the
 //!   concrete [`DispatchPlan`] (equal decisions *and* interested sets);
-//! * every sharded clustering passes a [`Validator`] audit;
+//! * a sharded-parallel smoke builds and churns the same population at
+//!   1 and 8 workers and requires bit-identical decisions + interested
+//!   sets, with every rebuilt shard passing a [`Validator`] audit;
+//! * a regression guard pins the expectations recorded in
+//!   `results/BENCH_scale.json`: the class-collapse ratio stays above
+//!   its floor and clustering stays the dominant build stage;
 //! * churned interested sets are spot-checked against brute force.
 
 use std::fmt::Write as _;
@@ -207,7 +214,7 @@ fn main() {
             let batch = churn_batch(&mut rng, &templates, batch_size, dim);
             all_rects.extend(batch.iter().cloned());
             let start = Instant::now();
-            let report = sharded.apply_churn(&batch, &algorithm);
+            let report = sharded.apply_churn(&batch, &[], &algorithm);
             churn_batch_ms.push(start.elapsed().as_secs_f64() * 1e3);
             shards_reclustered += report.shards_reclustered;
             assert_eq!(report.added, batch.len());
@@ -223,8 +230,80 @@ fn main() {
             );
         }
 
+        // Sharded-parallel smoke: the worker fan-out is a pure
+        // scheduling change — build plus one mixed add/remove churn at
+        // 1 and 8 workers must land on bit-identical decisions and
+        // interested sets, and every rebuilt shard must pass the full
+        // framework + clustering invariant audit.
+        if n == 50_000 {
+            let smoke_rects: Vec<Rect> = rects.iter().take(5_000).cloned().collect();
+            let adds = churn_batch(&mut rng, &templates, 64, dim);
+            let removes: Vec<usize> = (0..smoke_rects.len()).step_by(97).take(32).collect();
+            let run = |threads: usize| {
+                parallel::with_threads(threads, || {
+                    let agg = Arc::new(Aggregation::build(&smoke_rects));
+                    let mut sh = ShardedAggregate::build_with_shards(
+                        &grid,
+                        agg,
+                        CellProbability::uniform,
+                        &algorithm,
+                        k,
+                        THRESHOLD,
+                        4,
+                    );
+                    let report = sh.apply_churn(&adds, &removes, &algorithm);
+                    let mut audit = Validator::new();
+                    sh.audit(&mut audit);
+                    audit.assert_clean("sharded-parallel smoke audit");
+                    let mut scratch = AggregateScratch::new();
+                    let served: Vec<_> = events
+                        .iter()
+                        .take(500)
+                        .map(|p| {
+                            let d = sh.serve(p, &mut scratch);
+                            (d, scratch.interested().to_vec())
+                        })
+                        .collect();
+                    (sh.shard_dim(), report.shards_reclustered, served)
+                })
+            };
+            let serial = run(1);
+            let par = run(8);
+            assert_eq!(
+                serial, par,
+                "sharded build/churn diverged between 1 and 8 workers"
+            );
+            println!(
+                "{n:>9} smoke: parallel sharded build/churn identical at 1 vs 8 workers \
+                 (axis {}, {} shard re-clusterings, audit clean)",
+                serial.0, serial.1
+            );
+        }
+
         let ratio = agg.ratio();
         let classes = agg.num_classes();
+
+        // Regression guard vs the expectations recorded in the
+        // checked-in results/BENCH_scale.json: the near-dup workload
+        // must keep collapsing classes (observed ~26x at this config)
+        // and clustering must stay the dominant build stage (observed
+        // ~50x the next stage) — an inversion is a build-path
+        // regression, not timer noise.
+        if n == 50_000 {
+            assert!(
+                ratio >= 20.0,
+                "class-collapse ratio regressed: {ratio:.2}x < 20x"
+            );
+            assert!(
+                cluster_ms >= aggregate_ms
+                    && cluster_ms >= framework_ms
+                    && cluster_ms >= compile_ms,
+                "stage ordering regressed: cluster {cluster_ms:.1} ms is no longer dominant \
+                 (agg {aggregate_ms:.1}, fw {framework_ms:.1}, plan {compile_ms:.1})"
+            );
+            println!("{n:>9} guard: ratio {ratio:.1}x >= 20x, cluster stage dominant");
+        }
+
         let mean_churn = churn_batch_ms.iter().sum::<f64>() / churn_batch_ms.len().max(1) as f64;
         println!(
             "{n:>9} {distinct:>8} {classes:>8} {ratio:>6.1}x {aggregate_ms:>9.1} {framework_ms:>9.1} {cluster_ms:>9.1} {compile_ms:>9.1} {scalar_eps:>12.0} {chunked_eps:>12.0}"
@@ -268,6 +347,72 @@ fn main() {
         audit.assert_clean("scale aggregation audit");
     }
 
+    // Shard × worker sweep on the largest configured population: the
+    // parallel sharded build and one mixed add/remove churn batch are
+    // timed per (shards, workers) combination. On a host with a single
+    // hardware thread the multi-worker rows measure scheduling overhead
+    // only (see results/README.md) — the decisions are bit-identical
+    // across the sweep by construction, which the smoke above asserts.
+    struct SweepRow {
+        n: usize,
+        shards: usize,
+        workers: usize,
+        shard_dim: usize,
+        build_ms: f64,
+        churn_ms: f64,
+    }
+    let sweep: Vec<SweepRow> = {
+        let &(n, distinct, _) = configs.last().expect("at least one config");
+        let model = NearDupModel::new(n, distinct, 2, 2002).expect("model params are valid");
+        let w = model.generate(0);
+        let rects: Vec<Rect> = w.subscriptions.iter().map(|s| s.rect.clone()).collect();
+        let grid = Grid::new(w.bounds.clone(), w.suggested_bins.clone()).expect("model grid");
+        let algorithm = KMeans::new(KMeansVariant::MacQueen);
+        let agg = Arc::new(Aggregation::build_with_grid(&rects, &grid));
+        let mut rng = StdRng::seed_from_u64(23);
+        let templates: Vec<Rect> = rects.iter().take(64).cloned().collect();
+        let adds = churn_batch(&mut rng, &templates, (n / 100).clamp(16, 10_000), 2);
+        let removes: Vec<usize> = (0..rects.len()).step_by(199).take(2_000).collect();
+        let mut rows = Vec::new();
+        for shards in [1usize, 4, 8] {
+            for threads in [1usize, 8] {
+                let (shard_dim, build_ms, churn_ms) = parallel::with_threads(threads, || {
+                    let start = Instant::now();
+                    let mut sh = ShardedAggregate::build_with_shards(
+                        &grid,
+                        agg.clone(),
+                        CellProbability::uniform,
+                        &algorithm,
+                        GROUPS,
+                        THRESHOLD,
+                        shards,
+                    );
+                    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let start = Instant::now();
+                    let _ = sh.apply_churn(&adds, &removes, &algorithm);
+                    (
+                        sh.shard_dim(),
+                        build_ms,
+                        start.elapsed().as_secs_f64() * 1e3,
+                    )
+                });
+                println!(
+                    "    sweep: n={n} shards={shards} workers={threads} axis={shard_dim} \
+                     build {build_ms:.1} ms, churn {churn_ms:.1} ms"
+                );
+                rows.push(SweepRow {
+                    n,
+                    shards,
+                    workers: threads,
+                    shard_dim,
+                    build_ms,
+                    churn_ms,
+                });
+            }
+        }
+        rows
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -289,7 +434,9 @@ fn main() {
         "  \"note\": \"Zipf-head near-duplicate population aggregated into canonical classes; \
          ratio = concrete / classes; stage times are one cold build; events/sec serve the \
          AggregatePlan with exact concrete interested sets; churn batches fold adds into a \
-         ShardedAggregate, re-clustering only overlapped dimension-0 slabs\",\n",
+         ShardedAggregate, re-clustering only the overlapped slabs along the \
+         selectivity-chosen shard axis; the sweep times the parallel sharded build and one \
+         mixed add/remove churn batch per (shards, workers) combination\",\n",
     );
     json.push_str("  \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -315,6 +462,17 @@ fn main() {
             r.shards_reclustered
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sweep\": [\n");
+    for (i, s) in sweep.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"shards\": {}, \"workers\": {}, \"shard_dim\": {}, \
+             \"build_ms\": {:.3}, \"churn_ms\": {:.3}}}",
+            s.n, s.shards, s.workers, s.shard_dim, s.build_ms, s.churn_ms
+        );
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
 

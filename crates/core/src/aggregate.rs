@@ -1,5 +1,6 @@
 //! Subscription aggregation: canonical subscription classes, the
-//! aggregated dispatch plan and dimension-0 sharding (DESIGN.md §15).
+//! aggregated dispatch plan and axis-selected sharding (DESIGN.md §15
+//! and §16).
 //!
 //! At a million subscribers the concrete population is dominated by
 //! near-duplicates: popular interest specifications are submitted by
@@ -7,9 +8,9 @@
 //! rectangles into *canonical classes* before rasterization, keeping a
 //! reverse map `class → packed concrete-subscriber list` used only at
 //! delivery time. The class universe — typically orders of magnitude
-//! smaller — is clustered with per-class multiplicities
-//! ([`GridFramework::build_weighted`]), producing decisions
-//! bit-identical to clustering the expanded concrete population.
+//! smaller — is clustered with per-class multiplicities (the weighted
+//! framework build), producing decisions bit-identical to clustering
+//! the expanded concrete population.
 //!
 //! [`AggregatePlan`] compiles a class framework + clustering into the
 //! serve path: locate the event's cell, filter the cell's *classes* by
@@ -18,9 +19,13 @@
 //! the threshold decision on weighted counts (the same integers the
 //! concrete plan computes, hence the same `f64` comparison).
 //!
-//! [`ShardedAggregate`] splits the grid into contiguous dimension-0
-//! slabs, each with its own sub-framework and plan, so churn touches
-//! one shard instead of rebuilding the whole structure.
+//! [`ShardedAggregate`] splits the grid into contiguous bin-aligned
+//! slabs along a selectivity-chosen axis (`PUBSUB_AGG_SHARD_DIM`),
+//! each with its own sub-framework and plan, so churn touches the
+//! overlapped shards instead of rebuilding the whole structure. Shards
+//! are independent, so both the initial build and churn refresh fan
+//! out across the scoped-thread pool — bit-identical at any
+//! `PUBSUB_THREADS` (DESIGN.md §16).
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -35,6 +40,7 @@ use crate::knob::env_knob;
 use crate::match_index::SubscriptionIndex;
 use crate::matching::Delivery;
 use crate::parallel;
+use crate::validate::Validator;
 
 /// Bit-pattern identity key of a rectangle: `(lo, hi)` bits per
 /// dimension. Two rectangles with equal keys rasterize, match and
@@ -289,6 +295,11 @@ impl Aggregation {
     /// Builds the class-universe framework: one slot per class, ranked
     /// and clustered with the class multiplicities, bit-identical to
     /// building over the expanded concrete population.
+    ///
+    /// Tombstoned classes (weight 0, every concrete member removed)
+    /// rasterize to *empty* cell sets: they stand for no live
+    /// subscriber, so a cold rebuild excludes their bits exactly as the
+    /// churn path clears them from live frameworks.
     pub fn build_framework(
         &self,
         grid: Grid,
@@ -296,9 +307,17 @@ impl Aggregation {
         max_cells: Option<usize>,
     ) -> GridFramework {
         let class_rects = self.class_rects();
-        GridFramework::build_weighted(
+        let cell_sets: Vec<Vec<CellId>> =
+            parallel::par_map_indexed(class_rects.len(), parallel::MIN_PARALLEL_LEN, |c| {
+                if self.weights[c] == 0 {
+                    Vec::new()
+                } else {
+                    grid.cells_overlapping(&class_rects[c])
+                }
+            });
+        GridFramework::build_weighted_from_cells(
             grid,
-            &class_rects,
+            &cell_sets,
             Arc::new(self.weights.clone()),
             probs,
             max_cells,
@@ -485,10 +504,10 @@ impl AggregatePlan {
     // lint: hot-path end
 }
 
-/// One dimension-0 slab: its sub-grid framework, clustering and plan.
+/// One shard-axis slab: its sub-grid framework, clustering and plan.
 #[derive(Debug)]
 struct AggregateShard {
-    /// Half-open dimension-0 extent `(lo, hi]` of the slab.
+    /// Half-open shard-axis extent `(lo, hi]` of the slab.
     lo: f64,
     hi: f64,
     probs: CellProbability,
@@ -502,10 +521,19 @@ struct AggregateShard {
 pub struct AggregateChurnReport {
     /// Concrete subscriptions added.
     pub added: usize,
+    /// Concrete subscriptions removed.
+    pub removed: usize,
     /// Additions that created a brand-new class.
     pub new_classes: usize,
     /// Additions folded into an existing class (weight bump only).
     pub weight_bumps: usize,
+    /// Removals that left their class with live members (weight
+    /// decrement only).
+    pub weight_decrements: usize,
+    /// Classes whose last live member was removed this batch — their
+    /// bits are cleared from every overlapped shard, and the class slot
+    /// is kept so re-adding the identical rectangle revives it.
+    pub class_tombstones: usize,
     /// Shards whose framework changed structurally and were
     /// re-clustered.
     pub shards_reclustered: usize,
@@ -513,11 +541,16 @@ pub struct AggregateChurnReport {
     pub shards_recompiled: usize,
 }
 
-/// The aggregated structure sharded into contiguous dimension-0 slabs
-/// (`PUBSUB_AGG_SHARDS`), each an independent sub-framework + plan over
-/// the full class universe. Events route to their slab by the
-/// dimension-0 coordinate; churn re-clusters only the slabs the changed
-/// rectangles overlap.
+/// The aggregated structure sharded into contiguous bin-aligned slabs
+/// along one grid axis (`PUBSUB_AGG_SHARDS` slabs, axis from
+/// `PUBSUB_AGG_SHARD_DIM` — `auto` scores every dimension and picks
+/// the one minimizing cross-slab class replication). Each shard is an
+/// independent sub-framework + plan over the full class universe;
+/// events route to their slab by the shard-axis coordinate; churn
+/// re-clusters only the slabs the changed rectangles overlap. Because
+/// shards share no mutable state, both the initial build and the churn
+/// refresh fan out across the scoped-thread pool, bit-identically at
+/// any thread count.
 ///
 /// With one shard the slab grid equals the full grid, so serving is
 /// identical to an unsharded [`AggregatePlan`]. With several shards the
@@ -530,17 +563,79 @@ pub struct ShardedAggregate {
     shards: Vec<AggregateShard>,
     threshold: f64,
     k: usize,
+    /// The grid axis the slabs partition.
+    shard_dim: usize,
+    /// When set, churn re-runs the delta + re-cluster pipeline on every
+    /// *affected* shard even if no class appeared or vanished there, so
+    /// hyper-cell popularity ranks track the new weights exactly as a
+    /// cold rebuild would (see [`ShardedAggregate::with_strict_recluster`]).
+    strict_recluster: bool,
+}
+
+/// Scores every grid axis for sharding and returns the best one: the
+/// dimension whose bin-aligned slab partition replicates the fewest
+/// live class rectangles across slab boundaries (each rectangle costs
+/// `slabs spanned − 1`). Ties prefer the axis that admits more slabs
+/// (more parallelism), then the lowest dimension — fully deterministic,
+/// independent of thread count and hash order.
+fn select_shard_dim(grid: &Grid, rects: &[Rect], weights: &[u64], num_shards: usize) -> usize {
+    let mut best: Option<(u64, usize, usize)> = None; // (score, slabs, dim)
+    for d in 0..grid.dim() {
+        let bins = grid.bins()[d];
+        let s = num_shards.min(bins).max(1);
+        // Bin → slab, with the same `i * bins / s` boundaries the build
+        // uses below.
+        let mut slab_of = vec![0usize; bins];
+        for si in 0..s {
+            for slab in &mut slab_of[si * bins / s..(si + 1) * bins / s] {
+                *slab = si;
+            }
+        }
+        let bounds_iv = grid.bounds().interval(d);
+        let w = bounds_iv.length() / bins as f64;
+        let mut score = 0u64;
+        for (c, r) in rects.iter().enumerate() {
+            if weights[c] == 0 {
+                continue;
+            }
+            let Some(clipped) = r.clip(grid.bounds()) else {
+                continue;
+            };
+            // The clipped bin span [i_min, i_max], with the exact
+            // formulas of `Grid::cells_overlapping`.
+            let iv = clipped.interval(d);
+            let ta = (iv.lo() - bounds_iv.lo()) / w;
+            let tb = (iv.hi() - bounds_iv.lo()) / w;
+            let i_min = ((ta - 1.0).floor() as isize + 1).clamp(0, bins as isize - 1) as usize;
+            let i_max = (tb.ceil() as isize - 1).clamp(0, bins as isize - 1) as usize;
+            if i_max < i_min {
+                continue;
+            }
+            score += (slab_of[i_max] - slab_of[i_min]) as u64;
+        }
+        let better = match best {
+            None => true,
+            Some((bs, bslabs, _)) => score < bs || (score == bs && s > bslabs),
+        };
+        if better {
+            best = Some((score, s, d));
+        }
+    }
+    best.map(|(_, _, d)| d).unwrap_or(0)
 }
 
 impl ShardedAggregate {
-    /// Builds with the shard count from `PUBSUB_AGG_SHARDS` (default 1).
+    /// Builds with the shard count from `PUBSUB_AGG_SHARDS` (default 1)
+    /// and the shard axis from `PUBSUB_AGG_SHARD_DIM` (`auto`, the
+    /// default, scores every dimension; an explicit `0..D-1` pins the
+    /// axis; out-of-range values fall back to `auto`).
     ///
     /// `probs_of` supplies each slab grid's cell-probability model
     /// (e.g. [`CellProbability::uniform`]).
     pub fn build(
         grid: &Grid,
         aggregation: Arc<Aggregation>,
-        probs_of: impl Fn(&Grid) -> CellProbability,
+        probs_of: impl Fn(&Grid) -> CellProbability + Sync,
         algorithm: &dyn ClusteringAlgorithm,
         k: usize,
         threshold: f64,
@@ -551,8 +646,9 @@ impl ShardedAggregate {
         Self::build_with_shards(grid, aggregation, probs_of, algorithm, k, threshold, shards)
     }
 
-    /// Builds with an explicit shard count (clamped to the grid's
-    /// dimension-0 bin count).
+    /// Builds with an explicit shard count (clamped to the shard axis's
+    /// bin count); the axis comes from `PUBSUB_AGG_SHARD_DIM` as in
+    /// [`ShardedAggregate::build`].
     ///
     /// # Panics
     ///
@@ -560,43 +656,100 @@ impl ShardedAggregate {
     pub fn build_with_shards(
         grid: &Grid,
         aggregation: Arc<Aggregation>,
-        probs_of: impl Fn(&Grid) -> CellProbability,
+        probs_of: impl Fn(&Grid) -> CellProbability + Sync,
         algorithm: &dyn ClusteringAlgorithm,
         k: usize,
         threshold: f64,
         num_shards: usize,
     ) -> Self {
+        let dim = env_knob("PUBSUB_AGG_SHARD_DIM", None, |s| {
+            if s == "auto" {
+                Some(None)
+            } else {
+                s.parse::<usize>().ok().map(Some)
+            }
+        })
+        .filter(|&d| d < grid.dim());
+        Self::build_with_shards_on(
+            grid,
+            aggregation,
+            probs_of,
+            algorithm,
+            k,
+            threshold,
+            num_shards,
+            dim,
+        )
+    }
+
+    /// Builds with an explicit shard count and shard axis. `shard_dim
+    /// == None` scores every dimension and picks the one minimizing
+    /// cross-slab class replication; `Some(d)` pins the axis (forcing
+    /// `Some(0)` reproduces the legacy dimension-0 sharding
+    /// bit-for-bit). The per-shard framework-build → cluster →
+    /// plan-compile loop fans out across the scoped-thread pool; shard
+    /// contents are placed by index, so results are bit-identical at
+    /// any `PUBSUB_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`, `shard_dim` is out of range, or
+    /// `threshold` is outside `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_shards_on(
+        grid: &Grid,
+        aggregation: Arc<Aggregation>,
+        probs_of: impl Fn(&Grid) -> CellProbability + Sync,
+        algorithm: &dyn ClusteringAlgorithm,
+        k: usize,
+        threshold: f64,
+        num_shards: usize,
+        shard_dim: Option<usize>,
+    ) -> Self {
         assert!(num_shards >= 1, "at least one shard");
-        // lint: allow(no-literal-index): sharding is along dimension 0,
-        // and grids always have >= 1 dimension
-        let b0 = grid.bins()[0];
-        let s = num_shards.min(b0);
-        let iv0 = grid.bounds().interval(0);
-        let w0 = iv0.length() / b0 as f64;
+        let dim = shard_dim.unwrap_or_else(|| {
+            select_shard_dim(
+                grid,
+                &aggregation.variant_rects,
+                &aggregation.variant_weights,
+                num_shards,
+            )
+        });
+        assert!(dim < grid.dim(), "shard axis out of range");
+        let bd = grid.bins()[dim];
+        let s = num_shards.min(bd);
+        let ivd = grid.bounds().interval(dim);
+        let wd = ivd.length() / bd as f64;
         let index = Arc::new(SubscriptionIndex::build(&aggregation.variant_rects));
-        let mut shards = Vec::with_capacity(s);
-        for si in 0..s {
-            let start = si * b0 / s;
-            let end = (si + 1) * b0 / s;
-            // Bin-aligned slab edges; the outer edges reuse the exact
-            // bounds so a single shard reproduces the grid bit-for-bit.
-            let lo = if start == 0 {
-                iv0.lo()
-            } else {
-                iv0.lo() + start as f64 * w0
-            };
-            let hi = if end == b0 {
-                iv0.hi()
-            } else {
-                iv0.lo() + end as f64 * w0
-            };
-            let mut ivs = grid.bounds().intervals().to_vec();
-            // lint: allow(no-literal-index): see above
-            ivs[0] = Interval::new(lo, hi).expect("slab interval is well-formed");
-            let mut bins = grid.bins().to_vec();
-            // lint: allow(no-literal-index): see above
-            bins[0] = end - start;
-            let sub = Grid::new(Rect::new(ivs), bins).expect("slab grid is well-formed");
+        // Slab geometry is cheap and sequential; the expensive
+        // rasterize → merge → cluster → compile chain per slab runs on
+        // the pool.
+        let slabs: Vec<(f64, f64, Grid)> = (0..s)
+            .map(|si| {
+                let start = si * bd / s;
+                let end = (si + 1) * bd / s;
+                // Bin-aligned slab edges; the outer edges reuse the
+                // exact bounds so a single shard reproduces the grid
+                // bit-for-bit.
+                let lo = if start == 0 {
+                    ivd.lo()
+                } else {
+                    ivd.lo() + start as f64 * wd
+                };
+                let hi = if end == bd {
+                    ivd.hi()
+                } else {
+                    ivd.lo() + end as f64 * wd
+                };
+                let mut ivs = grid.bounds().intervals().to_vec();
+                ivs[dim] = Interval::new(lo, hi).expect("slab interval is well-formed");
+                let mut bins = grid.bins().to_vec();
+                bins[dim] = end - start;
+                let sub = Grid::new(Rect::new(ivs), bins).expect("slab grid is well-formed");
+                (lo, hi, sub)
+            })
+            .collect();
+        let shards = parallel::par_map_vec(slabs, 2, |(lo, hi, sub)| {
             let probs = probs_of(&sub);
             let framework = aggregation.build_framework(sub, &probs, None);
             let clustering = algorithm.cluster(&framework, k);
@@ -607,22 +760,36 @@ impl ShardedAggregate {
                 aggregation.clone(),
                 index.clone(),
             );
-            shards.push(AggregateShard {
+            AggregateShard {
                 lo,
                 hi,
                 probs,
                 framework,
                 clustering,
                 plan,
-            });
-        }
+            }
+        });
         ShardedAggregate {
             agg: aggregation,
             index,
             shards,
             threshold,
             k,
+            shard_dim: dim,
+            strict_recluster: false,
         }
+    }
+
+    /// Switches churn into strict re-cluster mode: every shard an added
+    /// or removed rectangle overlaps re-runs the delta + re-cluster
+    /// pipeline even when its class set did not change shape, so
+    /// hyper-cell popularity ranks follow the updated weights exactly
+    /// as a cold rebuild's would. Costlier per batch; the default
+    /// (lazy) mode re-clusters only on structural change and keeps
+    /// interested sets exact either way.
+    pub fn with_strict_recluster(mut self, on: bool) -> Self {
+        self.strict_recluster = on;
+        self
     }
 
     /// Number of shards.
@@ -630,15 +797,29 @@ impl ShardedAggregate {
         self.shards.len()
     }
 
+    /// The grid axis the slabs partition.
+    pub fn shard_dim(&self) -> usize {
+        self.shard_dim
+    }
+
     /// The aggregation backing the shards.
     pub fn aggregation(&self) -> &Aggregation {
         &self.agg
     }
 
-    /// The shard whose dimension-0 slab contains the event, if any.
+    /// Runs the full framework + clustering invariant audit over every
+    /// shard (see [`Validator`]); failures accumulate in `validator`.
+    pub fn audit(&self, validator: &mut Validator) {
+        for shard in &self.shards {
+            validator
+                .check_framework(&shard.framework)
+                .check_clustering(&shard.framework, &shard.clustering);
+        }
+    }
+
+    /// The shard whose shard-axis slab contains the event, if any.
     fn shard_of(&self, p: &Point) -> Option<usize> {
-        // lint: allow(no-literal-index): sharding is along dimension 0
-        let x = p[0];
+        let x = p[self.shard_dim];
         let i = self.shards.partition_point(|sh| sh.hi < x);
         (i < self.shards.len() && self.shards[i].lo < x && x <= self.shards[i].hi).then_some(i)
     }
@@ -665,33 +846,57 @@ impl ShardedAggregate {
     }
     // lint: hot-path end
 
-    /// Folds a batch of new concrete subscriptions into the structure.
+    /// Folds a batch of concrete subscription adds and removals into
+    /// the structure.
     ///
-    /// A rectangle identical to an existing variant is a *weight bump*:
-    /// the class's multiplicity and member list grow, no framework
-    /// changes shape. A new rectangle becomes a new class, applied via
-    /// [`GridFramework::apply_delta`] to — and re-clustered on — only
-    /// the shards its dimension-0 extent overlaps. Shards untouched by
-    /// every added rectangle keep their framework, clustering, plan and
-    /// (smaller) class universe: a class whose rectangle misses a slab
-    /// can never match an event routed there, so their serving stays
-    /// exact without recompilation.
+    /// `added` rectangles identical to an existing variant are *weight
+    /// bumps*: the class's multiplicity and member list grow, no
+    /// framework changes shape. A new rectangle becomes a new class.
+    /// `removed` holds live concrete subscriber ids: each is deleted
+    /// from its variant's member list and its class weight decremented;
+    /// a class whose weight reaches zero is *tombstoned* — its bits are
+    /// cleared (via [`GridFramework::apply_delta`]) from every shard
+    /// its rectangle overlaps, while its slot and rectangle key are
+    /// kept so a later identical add revives it in place.
+    ///
+    /// Only the shards some changed rectangle overlaps are refreshed —
+    /// re-clustered when their class set changed shape (always, under
+    /// [`ShardedAggregate::with_strict_recluster`]), recompiled
+    /// regardless so decisions see the new weights. The refresh fans
+    /// out across the scoped-thread pool (shards are independent), and
+    /// the shared variant index grows incrementally instead of being
+    /// rebuilt. Shards untouched by every changed rectangle keep their
+    /// framework, clustering, plan and (smaller) class universe: a
+    /// class whose rectangle misses a slab can never match an event
+    /// routed there, so their serving stays exact without
+    /// recompilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removed id is out of range or not live (already
+    /// removed).
     pub fn apply_churn(
         &mut self,
         added: &[Rect],
+        removed: &[usize],
         algorithm: &dyn ClusteringAlgorithm,
     ) -> AggregateChurnReport {
         let mut report = AggregateChurnReport {
             added: added.len(),
+            removed: removed.len(),
             ..AggregateChurnReport::default()
         };
-        if added.is_empty() {
+        if added.is_empty() && removed.is_empty() {
             return report;
         }
         // 1. Fold into the aggregation. Plans hold `Arc` snapshots, so
-        //    `make_mut` gives untouched shards their consistent old view.
+        //    `make_mut` gives untouched shards their consistent old
+        //    view. Per-class weights are snapshotted on first touch so
+        //    structural transitions (0 → live, live → 0) are judged on
+        //    the batch's *net* effect.
         let agg = Arc::make_mut(&mut self.agg);
-        let mut structural: Vec<(usize, Rect)> = Vec::new();
+        let old_num_variants = agg.variant_rects.len();
+        let mut before_weight: HashMap<usize, u64> = HashMap::new();
         for rect in added {
             let concrete = agg.num_concrete as u32;
             agg.num_concrete += 1;
@@ -699,6 +904,7 @@ impl ShardedAggregate {
                 Some(&v) => {
                     let v = v as usize;
                     let c = agg.variant_class[v] as usize;
+                    before_weight.entry(c).or_insert(agg.weights[c]);
                     agg.class_of.push(c as u32);
                     agg.weights[c] += 1;
                     agg.variant_weights[v] += 1;
@@ -708,6 +914,7 @@ impl ShardedAggregate {
                 None => {
                     let c = agg.weights.len();
                     let v = agg.variant_rects.len() as u32;
+                    before_weight.insert(c, 0);
                     agg.class_of.push(c as u32);
                     agg.weights.push(1);
                     agg.variant_offsets.push(v + 1);
@@ -716,54 +923,122 @@ impl ShardedAggregate {
                     agg.variant_members.push(vec![concrete]);
                     agg.variant_class.push(c as u32);
                     agg.class_index.insert(rect_key(rect), v);
-                    structural.push((c, rect.clone()));
                     report.new_classes += 1;
                 }
             }
         }
+        let mut removed_spans: Vec<(f64, f64)> = Vec::with_capacity(removed.len());
+        for &id in removed {
+            assert!(id < agg.num_concrete, "removed id out of range");
+            let c = agg.class_of[id] as usize;
+            before_weight.entry(c).or_insert(agg.weights[c]);
+            let id32 = id as u32;
+            let hit = agg.variants_of(c).find_map(|v| {
+                agg.variant_members[v]
+                    .binary_search(&id32)
+                    .ok()
+                    .map(|pos| (v, pos))
+            });
+            let (v, pos) = hit.expect("removed subscriber is not live");
+            agg.variant_members[v].remove(pos);
+            agg.variant_weights[v] -= 1;
+            agg.weights[c] -= 1;
+            let iv = agg.variant_rects[v].interval(self.shard_dim);
+            removed_spans.push((iv.lo(), iv.hi()));
+            if agg.weights[c] == 0 {
+                report.class_tombstones += 1;
+            } else {
+                report.weight_decrements += 1;
+            }
+        }
+        // Net structural transitions, in class order (not the
+        // HashMap's) so the delta lists — and therefore every
+        // downstream framework — are deterministic.
+        // lint: allow(hash-order): keys are sorted before use
+        let mut touched: Vec<(usize, u64)> = before_weight.into_iter().collect();
+        touched.sort_unstable_by_key(|&(c, _)| c);
+        let mut structural_adds: Vec<(usize, Rect)> = Vec::new();
+        let mut structural_removes: Vec<(usize, Rect)> = Vec::new();
+        for (c, before) in touched {
+            let after = agg.weights[c];
+            let rect = agg.variant_rects[agg.variant_offsets[c] as usize].clone();
+            if before == 0 && after > 0 {
+                structural_adds.push((c, rect));
+            } else if before > 0 && after == 0 {
+                structural_removes.push((c, rect));
+            }
+        }
         let num_classes = agg.weights.len();
         let shared_weights = Arc::new(agg.weights.clone());
-        if !structural.is_empty() {
-            self.index = Arc::new(SubscriptionIndex::build(&self.agg.variant_rects));
+        if agg.variant_rects.len() > old_num_variants {
+            // Grow the variant index in place with only the new
+            // rectangles. Tombstoned variants stay indexed — they
+            // expand to empty member lists, so matches remain exact.
+            let new_rects = agg.variant_rects[old_num_variants..].to_vec();
+            Arc::make_mut(&mut self.index).extend(&new_rects);
         }
-        // 2. Refresh only the shards some added rectangle overlaps.
+        // 2. Refresh only the shards some changed rectangle overlaps.
         //    Half-open slabs: rect (a, b] overlaps slab (lo, hi] iff
-        //    a < hi and lo < b.
-        let spans: Vec<(f64, f64)> = added
+        //    a < hi and lo < b. Shards are independent, so the refresh
+        //    fans out over the pool; results are placed by shard index.
+        let dim = self.shard_dim;
+        let mut spans: Vec<(f64, f64)> = added
             .iter()
-            // lint: allow(no-literal-index): sharding is along dimension 0
-            .map(|r| (r.interval(0).lo(), r.interval(0).hi()))
+            .map(|r| {
+                let iv = r.interval(dim);
+                (iv.lo(), iv.hi())
+            })
             .collect();
-        for shard in &mut self.shards {
-            let affected = spans.iter().any(|&(a, b)| a < shard.hi && shard.lo < b);
-            if !affected {
-                continue;
-            }
-            report.shards_recompiled += 1;
-            shard.framework.weights = Some(shared_weights.clone());
-            let adds: Vec<(usize, Rect)> = structural
-                .iter()
-                .filter(|(_, r)| {
-                    // lint: allow(no-literal-index): dimension-0 slab test
-                    let iv = r.interval(0);
+        spans.extend(removed_spans);
+        let agg_shared = self.agg.clone();
+        let index_shared = self.index.clone();
+        let threshold = self.threshold;
+        let k = self.k;
+        let strict = self.strict_recluster;
+        let old_shards = std::mem::take(&mut self.shards);
+        let refreshed: Vec<(AggregateShard, bool, bool)> =
+            parallel::par_map_vec(old_shards, 2, |mut shard| {
+                let affected = spans.iter().any(|&(a, b)| a < shard.hi && shard.lo < b);
+                if !affected {
+                    return (shard, false, false);
+                }
+                shard.framework.weights = Some(shared_weights.clone());
+                let overlaps = |r: &Rect| {
+                    let iv = r.interval(dim);
                     iv.lo() < shard.hi && shard.lo < iv.hi()
-                })
-                .cloned()
-                .collect();
-            if !adds.is_empty() {
-                shard
-                    .framework
-                    .apply_delta(&adds, &[], &shard.probs, num_classes);
-                shard.clustering = algorithm.cluster(&shard.framework, self.k);
-                report.shards_reclustered += 1;
-            }
-            shard.plan = AggregatePlan::compile_with_index(
-                &shard.framework,
-                &shard.clustering,
-                self.threshold,
-                self.agg.clone(),
-                self.index.clone(),
-            );
+                };
+                let adds: Vec<(usize, Rect)> = structural_adds
+                    .iter()
+                    .filter(|(_, r)| overlaps(r))
+                    .cloned()
+                    .collect();
+                let removes: Vec<(usize, Rect)> = structural_removes
+                    .iter()
+                    .filter(|(_, r)| overlaps(r))
+                    .cloned()
+                    .collect();
+                let reclustered = if !adds.is_empty() || !removes.is_empty() || strict {
+                    shard
+                        .framework
+                        .apply_delta(&adds, &removes, &shard.probs, num_classes);
+                    shard.clustering = algorithm.cluster(&shard.framework, k);
+                    true
+                } else {
+                    false
+                };
+                shard.plan = AggregatePlan::compile_with_index(
+                    &shard.framework,
+                    &shard.clustering,
+                    threshold,
+                    agg_shared.clone(),
+                    index_shared.clone(),
+                );
+                (shard, reclustered, true)
+            });
+        for (shard, reclustered, recompiled) in refreshed {
+            report.shards_reclustered += reclustered as usize;
+            report.shards_recompiled += recompiled as usize;
+            self.shards.push(shard);
         }
         report
     }
@@ -955,7 +1230,7 @@ mod tests {
                     batch.push(rect1(lo, (lo + rng.gen_range(0.1..2.0)).min(10.0)));
                 }
             }
-            let report = sharded.apply_churn(&batch, &alg);
+            let report = sharded.apply_churn(&batch, &[], &alg);
             assert_eq!(report.added, 10);
             assert_eq!(report.new_classes + report.weight_bumps, 10);
             subs.extend(batch);
@@ -972,6 +1247,163 @@ mod tests {
                 sharded.serve(&p, &mut scratch);
                 assert_eq!(scratch.interested(), &brute[..], "round {round}, {p:?}");
             }
+        }
+    }
+
+    #[test]
+    fn churn_removals_keep_interested_sets_exact_and_tombstone_classes() {
+        let subs = near_dup_subs(120, 9, 77);
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 1, 20).unwrap();
+        let alg = KMeans::new(KMeansVariant::MacQueen);
+        let mut sharded = ShardedAggregate::build_with_shards(
+            &grid,
+            agg,
+            CellProbability::uniform,
+            &alg,
+            4,
+            0.2,
+            4,
+        );
+        let mut live: Vec<Option<Rect>> = subs.iter().cloned().map(Some).collect();
+        let mut rng = StdRng::seed_from_u64(78);
+        for round in 0..4 {
+            // Remove a handful of live ids, sometimes draining a whole
+            // class; add a few fresh rectangles too.
+            let live_ids: Vec<usize> = live
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.as_ref().map(|_| i))
+                .collect();
+            let mut removed: Vec<usize> = Vec::new();
+            for _ in 0..8.min(live_ids.len()) {
+                let id = live_ids[rng.gen_range(0..live_ids.len())];
+                if !removed.contains(&id) {
+                    removed.push(id);
+                }
+            }
+            let added: Vec<Rect> = (0..3)
+                .map(|_| {
+                    let lo = rng.gen_range(0.0..9.0);
+                    rect1(lo, (lo + rng.gen_range(0.1..2.0)).min(10.0))
+                })
+                .collect();
+            let report = sharded.apply_churn(&added, &removed, &alg);
+            assert_eq!(report.removed, removed.len());
+            assert_eq!(
+                report.weight_decrements + report.class_tombstones,
+                removed.len()
+            );
+            for &id in &removed {
+                live[id] = None;
+            }
+            for r in &added {
+                live.push(Some(r.clone()));
+            }
+            let mut scratch = AggregateScratch::new();
+            for _ in 0..200 {
+                let p = Point::new(vec![rng.gen_range(-1.0..11.0)]);
+                let brute: Vec<usize> = live
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.as_ref().is_some_and(|r| r.contains(&p)))
+                    .map(|(i, _)| i)
+                    .collect();
+                sharded.serve(&p, &mut scratch);
+                assert_eq!(scratch.interested(), &brute[..], "round {round}, {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_class_revives_on_identical_add() {
+        let r = rect1(2.0, 4.0);
+        let subs = vec![r.clone(), r.clone(), rect1(6.0, 8.0)];
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 1, 10).unwrap();
+        let alg = KMeans::new(KMeansVariant::MacQueen);
+        let mut sharded = ShardedAggregate::build_with_shards(
+            &grid,
+            agg,
+            CellProbability::uniform,
+            &alg,
+            2,
+            0.2,
+            2,
+        );
+        // Drain class 0 entirely, then re-add the identical rectangle.
+        let report = sharded.apply_churn(&[], &[0, 1], &alg);
+        assert_eq!(report.class_tombstones, 1);
+        let mut scratch = AggregateScratch::new();
+        let p = Point::new(vec![3.0]);
+        sharded.serve(&p, &mut scratch);
+        assert!(scratch.interested().is_empty());
+        let report = sharded.apply_churn(&[r], &[], &alg);
+        // The revived class reuses its slot: a weight bump, not a new
+        // class, but a structural (re-cluster-worthy) change.
+        assert_eq!(report.new_classes, 0);
+        assert_eq!(report.weight_bumps, 1);
+        assert!(report.shards_reclustered >= 1);
+        sharded.serve(&p, &mut scratch);
+        assert_eq!(scratch.interested(), &[3]);
+        assert_eq!(sharded.aggregation().num_classes(), 2);
+    }
+
+    #[test]
+    fn shard_axis_scoring_prefers_the_less_replicated_dimension() {
+        // Rectangles thin along dimension 1 but spanning all of
+        // dimension 0: slabbing along dim 1 replicates nothing, while
+        // dim 0 would put every class in every slab.
+        let subs: Vec<Rect> = (0..8)
+            .map(|i| {
+                let lo = i as f64;
+                Rect::new(vec![
+                    Interval::new(0.0, 10.0).unwrap(),
+                    Interval::new(lo, lo + 0.5).unwrap(),
+                ])
+            })
+            .collect();
+        let agg = Arc::new(Aggregation::build(&subs));
+        let grid = Grid::cube(0.0, 10.0, 2, 10).unwrap();
+        let alg = KMeans::new(KMeansVariant::MacQueen);
+        let auto = ShardedAggregate::build_with_shards_on(
+            &grid,
+            agg.clone(),
+            CellProbability::uniform,
+            &alg,
+            3,
+            0.2,
+            4,
+            None,
+        );
+        assert_eq!(auto.shard_dim(), 1);
+        // Forced dim 0 still serves exactly; auto serves exactly.
+        let forced = ShardedAggregate::build_with_shards_on(
+            &grid,
+            agg,
+            CellProbability::uniform,
+            &alg,
+            3,
+            0.2,
+            4,
+            Some(0),
+        );
+        assert_eq!(forced.shard_dim(), 0);
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut a = AggregateScratch::new();
+        let mut b = AggregateScratch::new();
+        for _ in 0..300 {
+            let p = Point::new(vec![rng.gen_range(-1.0..11.0), rng.gen_range(-1.0..11.0)]);
+            let brute: Vec<usize> = subs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&p))
+                .map(|(i, _)| i)
+                .collect();
+            auto.serve(&p, &mut a);
+            forced.serve(&p, &mut b);
+            assert_eq!(a.interested(), &brute[..], "auto axis, {p:?}");
+            assert_eq!(b.interested(), &brute[..], "forced axis, {p:?}");
         }
     }
 

@@ -118,7 +118,7 @@ impl Clustering {
 /// Implementations: K-means (MacQueen), Forgy K-means, pairwise grouping
 /// (exact and approximate) and MST clustering. The `k` argument is the
 /// number of available multicast groups.
-pub trait ClusteringAlgorithm {
+pub trait ClusteringAlgorithm: Sync {
     /// A short human-readable name for reports ("kmeans", "forgy", ...).
     fn name(&self) -> &'static str;
 

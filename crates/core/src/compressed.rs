@@ -21,7 +21,9 @@
 //! `compressed_oracle` proptests — so swapping representations can
 //! never change a clustering decision.
 
-use crate::membership::{and_popcount_words, waste_counts_words, BitSet};
+use crate::membership::{
+    and_popcount_words, waste_counts_words, weighted_waste_counts_words, BitSet,
+};
 
 const WORD_BITS: usize = 64;
 
@@ -365,6 +367,53 @@ impl CompressedSet {
         (self.count() - common, other.count() - common)
     }
 
+    /// Weighted directed difference sums `(Σ w[i] for i ∈ self \ other,
+    /// Σ w[i] for i ∈ other \ self)` — the aggregated expected-waste
+    /// inner loop, where each member is a canonical class standing for
+    /// `weights[i]` concrete subscribers. Every representation pair
+    /// sums exactly the members the dense
+    /// [`BitSet::weighted_waste_counts`] would, so the compressed
+    /// layout can never change a weighted clustering decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch, or if `weights` is shorter than a
+    /// member index.
+    pub fn weighted_waste_counts(&self, other: &CompressedSet, weights: &[u64]) -> (u64, u64) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => weighted_waste_counts_words(a, b, weights),
+            (Repr::Array(a), Repr::Array(b)) => {
+                let (mut i, mut j) = (0usize, 0usize);
+                let (mut only_a, mut only_b) = (0u64, 0u64);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            only_a += weights[a[i] as usize];
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            only_b += weights[b[j] as usize];
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                only_a += a[i..].iter().map(|&x| weights[x as usize]).sum::<u64>();
+                only_b += b[j..].iter().map(|&x| weights[x as usize]).sum::<u64>();
+                (only_a, only_b)
+            }
+            (Repr::Array(a), Repr::Bitmap(w)) => weighted_array_vs_bitmap(a, w, weights),
+            (Repr::Bitmap(w), Repr::Array(a)) => {
+                let (only_arr, only_bmp) = weighted_array_vs_bitmap(a, w, weights);
+                (only_bmp, only_arr)
+            }
+        }
+    }
+
     /// Applies the promotion/demotion policy after a mutation.
     fn rebalance(&mut self) {
         match &self.repr {
@@ -385,6 +434,40 @@ impl CompressedSet {
             }
         }
     }
+}
+
+/// Weighted exclusives for the mixed representation pair: `(Σ w[i] for
+/// i ∈ arr \ bitmap, Σ w[i] for i ∈ bitmap \ arr)`. The array side
+/// probes bitmap words directly; the bitmap side walks its set bits
+/// with a merge pointer into the sorted array, so each side is scanned
+/// once.
+fn weighted_array_vs_bitmap(arr: &[u32], words: &[u64], weights: &[u64]) -> (u64, u64) {
+    let mut only_arr = 0u64;
+    for &i in arr {
+        let i = i as usize;
+        if words[i / WORD_BITS] & (1 << (i % WORD_BITS)) == 0 {
+            only_arr += weights[i];
+        }
+    }
+    let mut only_bmp = 0u64;
+    let mut p = 0usize;
+    for (wi, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let i = wi * WORD_BITS + b;
+            while p < arr.len() && (arr[p] as usize) < i {
+                p += 1;
+            }
+            if p < arr.len() && arr[p] as usize == i {
+                p += 1;
+            } else {
+                only_bmp += weights[i];
+            }
+        }
+    }
+    (only_arr, only_bmp)
 }
 
 fn promote_at(universe: usize) -> usize {
@@ -507,5 +590,33 @@ mod tests {
             assert_eq!(x.waste_counts(y), bx.waste_counts(by));
             assert_eq!(x.intersection_count(y), bx.intersection_count(by));
         }
+    }
+
+    #[test]
+    fn weighted_waste_counts_match_dense_across_representations() {
+        let universe = 2048;
+        let weights: Vec<u64> = (0..universe as u64).map(|i| (i % 13) + 1).collect();
+        let sparse = BitSet::from_members(universe, (0..universe).step_by(131));
+        let dense = BitSet::from_members(universe, (0..universe).filter(|i| i % 3 != 0));
+        let cs = CompressedSet::from_bitset(&sparse);
+        let cd = CompressedSet::from_bitset(&dense);
+        assert!(cs.is_array());
+        assert!(!cd.is_array());
+        for (x, y, bx, by) in [
+            (&cs, &cd, &sparse, &dense),
+            (&cd, &cs, &dense, &sparse),
+            (&cs, &cs, &sparse, &sparse),
+            (&cd, &cd, &dense, &dense),
+        ] {
+            assert_eq!(
+                x.weighted_waste_counts(y, &weights),
+                bx.weighted_waste_counts(by, &weights)
+            );
+        }
+        // All-ones weights reduce to the unweighted counts.
+        let ones = vec![1u64; universe];
+        let (oa, ob) = cs.weighted_waste_counts(&cd, &ones);
+        let (ua, ub) = cs.waste_counts(&cd);
+        assert_eq!((oa as usize, ob as usize), (ua, ub));
     }
 }

@@ -18,9 +18,10 @@
 
 use std::sync::OnceLock;
 
+use crate::compressed::CompressedSet;
 use crate::framework::HyperCell;
 use crate::parallel;
-use crate::waste::{expected_waste, expected_waste_weighted};
+use crate::waste::{expected_waste, expected_waste_compressed_weighted};
 
 /// Default for `PUBSUB_DM_BLOCK`.
 const DEFAULT_DM_BLOCK: usize = 32;
@@ -69,7 +70,20 @@ impl DistanceMatrix {
     /// `None` this is exactly the unweighted build. The aggregation
     /// layer passes class weights here so class-level matrices equal
     /// the concrete matrices bit-for-bit.
+    ///
+    /// The weighted arm streams adaptive compressed mirrors of the
+    /// membership vectors ([`CompressedSet`]) instead of the dense
+    /// words: class universes at scale are wide but each hyper-cell is
+    /// sparse, so the array representation walks members instead of
+    /// mostly-zero words. The mirrors count exactly the dense integers,
+    /// so the entries are bit-identical either way.
     pub(crate) fn build_weighted(hypercells: &[HyperCell], weights: Option<&[u64]>) -> Self {
+        if let Some(w) = weights {
+            let mirrors: Vec<CompressedSet> =
+                parallel::par_map(hypercells, 8, |hc| CompressedSet::from_bitset(&hc.members));
+            let refs: Vec<&CompressedSet> = mirrors.iter().collect();
+            return Self::build_weighted_from_mirrors(hypercells, &refs, w);
+        }
         let n = hypercells.len();
         let block = dm_block();
         let chunks = parallel::par_chunks(n, 8, |rows| {
@@ -83,12 +97,62 @@ impl DistanceMatrix {
                     let row = &mut out[r];
                     for j in j0..j1.min(i) {
                         let b = &hypercells[j];
-                        row[j] = match weights {
-                            None => expected_waste(a.prob, &a.members, b.prob, &b.members),
-                            Some(w) => {
-                                expected_waste_weighted(a.prob, &a.members, b.prob, &b.members, w)
-                            }
-                        };
+                        row[j] = expected_waste(a.prob, &a.members, b.prob, &b.members);
+                    }
+                }
+                j0 = j1;
+            }
+            out
+        });
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for rows in chunks {
+            for row in rows {
+                data.extend_from_slice(&row);
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// The weighted build over caller-supplied compressed mirrors
+    /// (`mirrors[i]` holding exactly `hypercells[i].members`). The
+    /// weighted framework path hands in the membership pool's interned
+    /// mirrors so nothing is re-compressed per rebuild; the fill keeps
+    /// the same 8-row chunks × [`dm_block`]-column tiling as the dense
+    /// build, and every entry is placed by index, so the result is
+    /// bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mirrors` and `hypercells` differ in length.
+    pub(crate) fn build_weighted_from_mirrors(
+        hypercells: &[HyperCell],
+        mirrors: &[&CompressedSet],
+        weights: &[u64],
+    ) -> Self {
+        assert_eq!(
+            hypercells.len(),
+            mirrors.len(),
+            "one compressed mirror per hyper-cell"
+        );
+        let n = hypercells.len();
+        let block = dm_block();
+        let chunks = parallel::par_chunks(n, 8, |rows| {
+            let mut out: Vec<Vec<f64>> = rows.clone().map(|i| vec![0.0f64; i]).collect();
+            let cols = rows.end.saturating_sub(1);
+            let mut j0 = 0usize;
+            while j0 < cols {
+                let j1 = (j0 + block).min(cols);
+                for (r, i) in rows.clone().enumerate() {
+                    let (pa, ma) = (hypercells[i].prob, mirrors[i]);
+                    let row = &mut out[r];
+                    for j in j0..j1.min(i) {
+                        row[j] = expected_waste_compressed_weighted(
+                            pa,
+                            ma,
+                            hypercells[j].prob,
+                            mirrors[j],
+                            weights,
+                        );
                     }
                 }
                 j0 = j1;
@@ -201,6 +265,53 @@ mod tests {
         assert_eq!(serial.data.len(), par.data.len());
         for (a, b) in serial.data.iter().zip(&par.data) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn weighted_build_streams_compressed_but_matches_dense_kernel() {
+        use crate::waste::expected_waste_weighted;
+        // Mix sparse (array-mirrored) and dense (bitmap-mirrored)
+        // hyper-cells over a universe large enough to exercise both
+        // representations, plus weights big enough to matter.
+        let universe = 4096;
+        let sets: Vec<BitSet> = vec![
+            BitSet::from_members(universe, (0..universe).step_by(311)),
+            BitSet::from_members(universe, (0..universe).filter(|i| i % 2 == 0)),
+            BitSet::from_members(universe, (7..universe).step_by(97)),
+            BitSet::from_members(universe, (0..universe).filter(|i| i % 3 != 1)),
+            BitSet::new(universe),
+        ];
+        let h: Vec<HyperCell> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, members)| HyperCell {
+                cells: vec![],
+                members,
+                prob: 0.05 + 0.07 * i as f64,
+            })
+            .collect();
+        let weights: Vec<u64> = (0..universe as u64).map(|i| (i % 11) + 1).collect();
+        for threads in [1, 8] {
+            let m = parallel::with_threads(threads, || {
+                DistanceMatrix::build_weighted(&h, Some(&weights))
+            });
+            for i in 0..h.len() {
+                for j in 0..h.len() {
+                    let direct = expected_waste_weighted(
+                        h[i].prob,
+                        &h[i].members,
+                        h[j].prob,
+                        &h[j].members,
+                        &weights,
+                    );
+                    assert_eq!(
+                        m.get(i, j).to_bits(),
+                        direct.to_bits(),
+                        "({i},{j}) threads={threads}"
+                    );
+                }
+            }
         }
     }
 

@@ -278,33 +278,33 @@ impl GridFramework {
         Self::build_from_cells(grid, &cell_sets, probs, max_cells)
     }
 
-    /// [`GridFramework::build`] over a *class* universe: slot `i` stands
-    /// for `weights[i]` concrete subscribers. Ranking, distances and
-    /// popularity all use the weighted counts, so the resulting
-    /// clustering is bit-identical to building over the expanded
-    /// concrete population.
+    /// [`GridFramework::build`] over a *class* universe from
+    /// pre-rasterized cell sets: slot `i` stands for `weights[i]`
+    /// concrete subscribers. Ranking, distances and popularity all use
+    /// the weighted counts, so the resulting clustering is
+    /// bit-identical to building over the expanded concrete population.
+    /// The aggregation layer rasterizes itself so it can hand
+    /// tombstoned (zero-weight) classes an empty cell set, keeping cold
+    /// rebuilds consistent with churned frameworks whose dead-class
+    /// bits were cleared in place.
     ///
     /// # Panics
     ///
-    /// Panics if `weights.len() != subscriptions.len()` or on dimension
-    /// mismatch.
-    pub(crate) fn build_weighted(
+    /// Panics if `weights.len() != cell_sets.len()` or if a cell id is
+    /// out of range for the grid.
+    pub(crate) fn build_weighted_from_cells(
         grid: Grid,
-        subscriptions: &[Rect],
+        cell_sets: &[Vec<CellId>],
         weights: Arc<Vec<u64>>,
         probs: &CellProbability,
         max_cells: Option<usize>,
     ) -> Self {
         assert_eq!(
             weights.len(),
-            subscriptions.len(),
+            cell_sets.len(),
             "one weight per class subscription"
         );
-        let cell_sets: Vec<Vec<CellId>> =
-            parallel::par_map(subscriptions, parallel::MIN_PARALLEL_LEN, |rect| {
-                grid.cells_overlapping(rect)
-            });
-        Self::build_from_cells_impl(grid, &cell_sets, probs, max_cells, Some(weights))
+        Self::build_from_cells_impl(grid, cell_sets, probs, max_cells, Some(weights))
     }
 
     /// Builds the framework *without* the hyper-cell merge step: every
@@ -552,6 +552,22 @@ impl GridFramework {
                 let l = self.hypercells.len();
                 if l < 2 || l > distance_cache_cap() {
                     None
+                } else if let (Some(w), Some(state)) = (self.weights_ref(), &self.incremental) {
+                    // Weighted incremental framework: the pool already
+                    // holds a compressed mirror of every hyper-cell's
+                    // membership vector, so the weighted fill streams
+                    // those instead of re-compressing (or re-walking the
+                    // dense words). Same integers, same bits.
+                    let mirrors: Vec<&crate::compressed::CompressedSet> = state
+                        .hyper_ids
+                        .iter()
+                        .map(|&id| state.pool.compressed(id))
+                        .collect();
+                    Some(Arc::new(DistanceMatrix::build_weighted_from_mirrors(
+                        &self.hypercells,
+                        &mirrors,
+                        w,
+                    )))
                 } else {
                     Some(Arc::new(DistanceMatrix::build_weighted(
                         &self.hypercells,

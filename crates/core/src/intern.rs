@@ -153,6 +153,17 @@ impl MembershipPool {
         &self.sets[id.index()]
     }
 
+    /// The compressed mirror behind `id` (array or bitmap, whichever
+    /// is smaller). The weighted distance rebuild streams these
+    /// directly instead of re-deriving a compressed copy per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this pool.
+    pub(crate) fn compressed(&self, id: MembershipId) -> &CompressedSet {
+        &self.compressed[id.index()]
+    }
+
     /// Extends every interned set's universe to `new_universe` (new
     /// indices absent). Ids, hashes and memoized counts all remain
     /// valid: the members are untouched.

@@ -112,6 +112,38 @@ proptest! {
         prop_assert_eq!(only_b, ob.count() - expected_inter, "b-only count");
     }
 
+    /// Weighted waste sums agree with a brute-force oracle over the
+    /// dense members for every representation pairing — the kernel the
+    /// aggregated (class-weighted) distance matrix streams.
+    #[test]
+    fn weighted_waste_counts_match(
+        universe in 1usize..600,
+        a_ops in prop::collection::vec(op_strategy(), 0..80),
+        b_ops in prop::collection::vec(op_strategy(), 0..80),
+        weight_seed in 0u64..1000,
+    ) {
+        let no_grow = |ops: &[Op]| -> Vec<Op> {
+            ops.iter()
+                .filter(|o| !matches!(o, Op::Grow(_)))
+                .cloned()
+                .collect()
+        };
+        let (ca, oa) = run_ops(universe, &no_grow(&a_ops));
+        let (cb, ob) = run_ops(universe, &no_grow(&b_ops));
+        let weights: Vec<u64> = (0..universe as u64)
+            .map(|i| (i.wrapping_mul(weight_seed + 1) % 17) + 1)
+            .collect();
+        let brute_a: u64 = oa.iter().filter(|&i| !ob.contains(i)).map(|i| weights[i]).sum();
+        let brute_b: u64 = ob.iter().filter(|&i| !oa.contains(i)).map(|i| weights[i]).sum();
+        prop_assert_eq!(ca.weighted_waste_counts(&cb, &weights), (brute_a, brute_b));
+        prop_assert_eq!(cb.weighted_waste_counts(&ca, &weights), (brute_b, brute_a), "symmetry");
+        prop_assert_eq!(
+            oa.weighted_waste_counts(&ob, &weights),
+            (brute_a, brute_b),
+            "dense kernel"
+        );
+    }
+
     /// Skewed pairing: one tiny array against one dense set — the
     /// shape that exercises the galloping intersection's exponential
     /// probe resumption across many strides.
