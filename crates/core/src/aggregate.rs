@@ -749,6 +749,10 @@ impl ShardedAggregate {
                 (lo, hi, sub)
             })
             .collect();
+        // lint: allow(thread-panic): the expect-style invariant
+        // failures inside propagate through par_map_vec's scoped join
+        // and re-raise on the caller before any partial shard set is
+        // observable.
         let shards = parallel::par_map_vec(slabs, 2, |(lo, hi, sub)| {
             let probs = probs_of(&sub);
             let framework = aggregation.build_framework(sub, &probs, None);
@@ -997,6 +1001,9 @@ impl ShardedAggregate {
         let strict = self.strict_recluster;
         let old_shards = std::mem::take(&mut self.shards);
         let refreshed: Vec<(AggregateShard, bool, bool)> =
+            // lint: allow(thread-panic): invariant failures propagate
+            // through par_map_vec's scoped join and re-raise on the
+            // caller; the taken shard set is never published partially.
             parallel::par_map_vec(old_shards, 2, |mut shard| {
                 let affected = spans.iter().any(|&(a, b)| a < shard.hi && shard.lo < b);
                 if !affected {

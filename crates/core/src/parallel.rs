@@ -121,12 +121,22 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                // lint: allow(thread-panic): a worker panic propagates
+                // through `thread::scope`'s implicit join and re-raises
+                // on the caller thread before any partial result is
+                // observable.
                 scope.spawn(move || {
                     // Nested parallel calls inside a worker run serially:
                     // the outer region already owns the cores.
                     with_threads(1, || {
                         let mut local = Vec::new();
                         loop {
+                            // lint: allow(atomic-order): work-stealing
+                            // ticket counter; the RMW's atomicity alone
+                            // guarantees each chunk index is claimed
+                            // once, no data is published through it,
+                            // and results are reordered by index after
+                            // the scope joins.
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= num_chunks {
                                 break;

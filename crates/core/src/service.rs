@@ -447,13 +447,23 @@ impl Rebalancer {
                     match &outcome {
                         Ok(report) => {
                             self.consecutive_failures = 0;
+                            // lint: allow(atomic-order): statistics
+                            // counter; exact totals are read only after
+                            // shutdown() joins this thread, and the
+                            // join supplies the happens-before edge.
                             self.shared.swaps.fetch_add(1, Ordering::Relaxed);
                             self.shared
                                 .rejected_ops
+                                // lint: allow(atomic-order): statistics
+                                // counter, exact only after the
+                                // shutdown join (same as `swaps`).
                                 .fetch_add(report.rejected_ops as u64, Ordering::Relaxed);
                         }
                         Err(_) => {
                             self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                            // lint: allow(atomic-order): statistics
+                            // counter, exact only after the shutdown
+                            // join (same as `swaps`).
                             self.shared.aborts.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -623,6 +633,10 @@ impl BrokerService {
         let workers = (0..config.ingest_threads.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
+                // lint: allow(thread-panic): worker_loop only moves
+                // plain data under poison-recovering locks; if a panic
+                // does escape, it is re-raised by the join in
+                // shutdown() rather than wedging the other workers.
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
@@ -668,6 +682,9 @@ impl BrokerService {
     /// counted against the returned ids, so
     /// `delivered + shed == offered` always holds at shutdown.
     pub fn offer(&self, point: Point) -> u64 {
+        // lint: allow(atomic-order): unique-id allocator; the RMW's
+        // atomicity alone guarantees distinct ids, and the total is
+        // read exactly only after shutdown() joins every worker.
         let id = self.shared.offered.fetch_add(1, Ordering::Relaxed);
         let mut state = self.shared.queue.lock();
         debug_assert!(!state.closed, "offer after shutdown");
@@ -707,6 +724,9 @@ impl BrokerService {
     }
 
     fn record_shed(&self, id: u64) {
+        // lint: allow(atomic-order): statistics counter; the paired
+        // shed_events mutex already orders the shed ids themselves,
+        // and the total is exact after the shutdown joins.
         self.shared.shed.fetch_add(1, Ordering::Relaxed);
         self.shared
             .shed_events
@@ -792,16 +812,23 @@ impl BrokerService {
 
     /// Plans published so far (excluding the initial one).
     pub fn swaps(&self) -> u64 {
+        // lint: allow(atomic-order): monitoring getter of a monotonic
+        // counter; a momentarily stale value is fine, exact totals
+        // come from shutdown() after the joins.
         self.shared.swaps.load(Ordering::Relaxed)
     }
 
     /// Rebalance attempts aborted so far.
     pub fn aborts(&self) -> u64 {
+        // lint: allow(atomic-order): monitoring getter of a monotonic
+        // counter (same as `swaps`).
         self.shared.aborts.load(Ordering::Relaxed)
     }
 
     /// Events shed so far.
     pub fn shed(&self) -> u64 {
+        // lint: allow(atomic-order): monitoring getter of a monotonic
+        // counter (same as `swaps`).
         self.shared.shed.load(Ordering::Relaxed)
     }
 
@@ -855,11 +882,17 @@ impl BrokerService {
                 .unwrap_or_else(|e| e.into_inner()),
         );
         let report = ServiceReport {
+            // lint: allow(atomic-order): every worker and the
+            // rebalancer are joined above; the joins supply the
+            // happens-before edges that make these totals exact.
             offered: self.shared.offered.load(Ordering::Relaxed),
             delivered: records.len() as u64,
             shed: shed_events.len() as u64,
+            // lint: allow(atomic-order): exact after the joins above.
             swaps: self.shared.swaps.load(Ordering::Relaxed),
+            // lint: allow(atomic-order): exact after the joins above.
             aborts: self.shared.aborts.load(Ordering::Relaxed),
+            // lint: allow(atomic-order): exact after the joins above.
             rejected_ops: self.shared.rejected_ops.load(Ordering::Relaxed),
             shed_policy: self.shed_policy,
             records,

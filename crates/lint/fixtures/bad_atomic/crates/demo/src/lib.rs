@@ -1,0 +1,28 @@
+//! Bad fixture: three atomic-order violations on three distinct
+//! atomics — a Relaxed RMW whose waiver has no recorded reason, an
+//! Acquire load with no Release-side writer, and a probably-overkill
+//! SeqCst store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counters {
+    counter: AtomicU64,
+    gate: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(&self) -> u64 {
+        // A reasonless waiver must not silence the rule.
+        // lint: allow(atomic-order)
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.gate.load(Ordering::Acquire) != 0
+    }
+
+    pub fn publish_total(&self, v: u64) {
+        self.total.store(v, Ordering::SeqCst);
+    }
+}

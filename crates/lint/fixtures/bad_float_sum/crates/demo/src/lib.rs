@@ -1,0 +1,20 @@
+//! Bad fixture: order-sensitive f64 reduction outside the blessed
+//! `pubsub_core::parallel` fixed-chunk reducers — once through a
+//! `.sum()` chain over parallel-produced data, once through `+=` in a
+//! loop over it.
+
+use pubsub_core::parallel;
+
+pub fn chained_total(n: usize) -> f64 {
+    parallel::par_map_indexed(n, 1, |i| i as f64 * 0.5)
+        .into_iter()
+        .sum()
+}
+
+pub fn looped_total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for part in parallel::par_map(xs, 1, |x| x * 0.5) {
+        acc += part;
+    }
+    acc
+}

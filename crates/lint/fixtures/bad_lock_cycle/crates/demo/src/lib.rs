@@ -1,0 +1,19 @@
+//! Bad fixture: two functions acquire the same pair of mutexes in
+//! opposite orders — a classic deadlock cycle in the lock graph.
+
+use std::sync::Mutex;
+
+static ALPHA: Mutex<u32> = Mutex::new(0);
+static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn alpha_then_beta() -> u32 {
+    let a = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    let b = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn beta_then_alpha() -> u32 {
+    let b = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    let a = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    *a - *b
+}

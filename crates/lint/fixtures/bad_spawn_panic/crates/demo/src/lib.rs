@@ -1,0 +1,21 @@
+//! Bad fixture: closures crossing a thread boundary that can panic —
+//! directly (`.expect` inside a `thread::spawn` closure) and
+//! transitively (`par_map_vec` closure calling a same-crate function
+//! that can panic) — with no `catch_unwind`-style containment.
+
+use pubsub_core::parallel;
+
+pub fn helper(v: &[u64]) -> u64 {
+    v.first().copied().expect("nonempty batch")
+}
+
+pub fn direct() {
+    std::thread::spawn(|| {
+        let x: Option<u64> = None;
+        let _ = x.expect("boom");
+    });
+}
+
+pub fn transitive(vals: Vec<Vec<u64>>) -> Vec<u64> {
+    parallel::par_map_vec(vals, 1, |v| helper(&v))
+}

@@ -39,6 +39,63 @@ pub fn stated_invariant(s: &str) -> u32 {
     s.len().to_string().parse().expect("usize formats as u32")
 }
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Epoch {
+    epoch: AtomicU64,
+}
+
+impl Epoch {
+    // A paired Acquire/Release couple on the same atomic is the
+    // sanctioned pattern and needs no waiver.
+    pub fn current(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn publish(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    pub fn stale_peek(&self) -> u64 {
+        // lint: allow(atomic-order): monitoring read of a monotonic
+        // epoch; staleness is fine, exact values use current()
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+static FIRST: Mutex<u32> = Mutex::new(0);
+static SECOND: Mutex<u32> = Mutex::new(0);
+
+// Nested acquisition in one consistent order keeps the lock graph
+// acyclic and is allowed.
+pub fn in_order() -> u32 {
+    let a = FIRST.lock().unwrap_or_else(|e| e.into_inner());
+    let b = SECOND.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+// A serial sum over a plain slice is order-stable and allowed.
+pub fn mean(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().sum();
+    total / xs.len().max(1) as f64
+}
+
+// A thread-boundary closure that cannot panic needs no containment.
+pub fn quiet_worker() -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(|| 1 + 1)
+}
+
+// A panicking closure behind a catch_unwind boundary is allowed.
+pub fn guarded_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {
+        let _ = std::panic::catch_unwind(|| {
+            let v: Vec<u32> = Vec::new();
+            v.iter().copied().max().expect("nonempty")
+        });
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

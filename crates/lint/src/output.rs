@@ -1,0 +1,106 @@
+//! Output renderers for the `pubsub-lint` binary: plain text, GitHub
+//! workflow-command annotations, and JSON.
+
+use crate::rules::Finding;
+
+/// Escapes a message for a GitHub workflow-command *value*: `%`, `\r`
+/// and `\n` must be percent-encoded or they terminate the command.
+fn github_escape_value(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command *property* (file names): values plus
+/// `:` and `,`, which delimit properties.
+fn github_escape_property(s: &str) -> String {
+    github_escape_value(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// One finding as a GitHub annotation:
+/// `::error file=<f>,line=<n>,title=<rule>::<message>`.
+pub fn format_github(f: &Finding) -> String {
+    format!(
+        "::error file={},line={},title=pubsub-lint {}::{}",
+        github_escape_property(&f.file),
+        f.line,
+        github_escape_property(f.rule),
+        github_escape_value(&f.message),
+    )
+}
+
+/// Escapes a string for a JSON string literal body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The whole finding set as a JSON document:
+/// `{"findings": [{"file", "line", "rule", "message"}, ...]}`.
+pub fn format_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/core/src/service.rs".to_string(),
+            line: 42,
+            rule: crate::RULE_ATOMIC_ORDER,
+            message: "50% done\nnext \"line\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn github_annotations_escape_control_bytes() {
+        let line = format_github(&finding());
+        assert_eq!(
+            line,
+            "::error file=crates/core/src/service.rs,line=42,title=pubsub-lint \
+             atomic-order::50%25 done%0Anext \"line\""
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let doc = format_json(&[finding()]);
+        assert!(doc.starts_with("{\"findings\":[{"));
+        assert!(doc.contains("\\n"));
+        assert!(doc.contains("\\\"line\\\""));
+        assert!(doc.ends_with("]}"));
+        assert_eq!(format_json(&[]), "{\"findings\":[]}");
+    }
+}

@@ -13,7 +13,7 @@
 //! inside regions bracketed by `// lint: hot-path` and
 //! `// lint: hot-path end` markers.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::scan::ScannedFile;
 
@@ -63,9 +63,11 @@ pub enum FileKind {
     Binary,
 }
 
-/// Per-line rule waivers and hot-path region membership.
+/// Per-line rule waivers (with or without a recorded reason) and
+/// hot-path region membership.
 pub struct LineDirectives {
-    allowed: Vec<BTreeSet<String>>,
+    /// `rule -> the waiver carries a nonempty reason`, per line.
+    allowed: Vec<BTreeMap<String, bool>>,
     hot: Vec<bool>,
 }
 
@@ -73,9 +75,9 @@ impl LineDirectives {
     /// Parse directives out of a scanned file's comments.
     pub fn parse(s: &ScannedFile) -> Self {
         let n = s.num_lines();
-        let mut allowed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        let mut allowed: Vec<BTreeMap<String, bool>> = vec![BTreeMap::new(); n];
         let mut hot = vec![false; n];
-        let mut pending: BTreeSet<String> = BTreeSet::new();
+        let mut pending: BTreeMap<String, bool> = BTreeMap::new();
         let mut in_hot = false;
         for line in 1..=n {
             let comment = s.comment(line);
@@ -102,10 +104,21 @@ impl LineDirectives {
         Self { allowed, hot }
     }
 
-    fn is_allowed(&self, line: usize, rule: &str) -> bool {
+    pub(crate) fn is_allowed(&self, line: usize, rule: &str) -> bool {
         self.allowed
             .get(line - 1)
-            .is_some_and(|set| set.contains(rule))
+            .is_some_and(|set| set.contains_key(rule))
+    }
+
+    /// Whether a waiver for `rule` on `line` also records a nonempty
+    /// reason. The concurrency rules require one (the happens-before /
+    /// order-determinism argument is the point of the waiver).
+    pub(crate) fn is_allowed_with_reason(&self, line: usize, rule: &str) -> bool {
+        self.allowed
+            .get(line - 1)
+            .and_then(|set| set.get(rule))
+            .copied()
+            .unwrap_or(false)
     }
 
     fn is_hot(&self, line: usize) -> bool {
@@ -125,15 +138,20 @@ fn strip_comment_markers(comment: &str) -> &str {
         .trim()
 }
 
-fn parse_allows(comment: &str) -> BTreeSet<String> {
-    let mut rules = BTreeSet::new();
+fn parse_allows(comment: &str) -> BTreeMap<String, bool> {
+    let mut rules = BTreeMap::new();
     let mut rest = strip_comment_markers(comment);
     // Only comments *leading* with the directive count; prose that
     // quotes the syntax mid-sentence is ignored.
     while let Some(tail) = rest.strip_prefix("lint: allow(") {
         if let Some(close) = tail.find(')') {
-            rules.insert(tail[..close].trim().to_string());
+            let rule = tail[..close].trim().to_string();
             rest = tail[close + 1..].trim_start();
+            // `): <reason>` — the reason runs to the end of the
+            // comment (or to a chained reasonless `lint: allow(..)`).
+            let has_reason = rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+            let entry = rules.entry(rule).or_insert(false);
+            *entry = *entry || has_reason;
         } else {
             break;
         }
@@ -141,12 +159,12 @@ fn parse_allows(comment: &str) -> BTreeSet<String> {
     rules
 }
 
-fn is_ident_char(b: u8) -> bool {
+pub(crate) fn is_ident_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Byte offsets where `word` occurs as a whole identifier.
-fn ident_occurrences(code: &[u8], word: &str) -> Vec<usize> {
+pub(crate) fn ident_occurrences(code: &[u8], word: &str) -> Vec<usize> {
     let w = word.as_bytes();
     let mut out = Vec::new();
     let mut from = 0usize;
@@ -162,7 +180,7 @@ fn ident_occurrences(code: &[u8], word: &str) -> Vec<usize> {
     out
 }
 
-fn next_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
+pub(crate) fn next_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
     while i < code.len() {
         if !code[i].is_ascii_whitespace() {
             return Some((i, code[i]));
@@ -172,7 +190,7 @@ fn next_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
     None
 }
 
-fn prev_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
+pub(crate) fn prev_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
     loop {
         if i == 0 {
             return None;
@@ -185,7 +203,7 @@ fn prev_non_ws(code: &[u8], mut i: usize) -> Option<(usize, u8)> {
 }
 
 /// The identifier ending just before byte `end` (exclusive), if any.
-fn ident_before(code: &[u8], end: usize) -> Option<&str> {
+pub(crate) fn ident_before(code: &[u8], end: usize) -> Option<&str> {
     let mut start = end;
     while start > 0 && is_ident_char(code[start - 1]) {
         start -= 1;
@@ -197,7 +215,9 @@ fn ident_before(code: &[u8], end: usize) -> Option<&str> {
     }
 }
 
-/// Run every per-file rule over one source file.
+/// Run the token-level per-file rules over one source file. (The
+/// concurrency rules need the cross-file [`crate::SourceFile`] view;
+/// use [`crate::lint_source`] or [`crate::lint_files`] for those.)
 pub fn lint_file(path: &str, s: &ScannedFile, kind: FileKind) -> Vec<Finding> {
     let d = LineDirectives::parse(s);
     let mut out = Vec::new();
@@ -232,7 +252,37 @@ fn push(
     });
 }
 
-fn check_no_panic(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut Vec<Finding>) {
+/// Like [`push`], but the waiver only counts when it records a
+/// nonempty reason. The concurrency rules use this: the recorded
+/// happens-before / order-determinism argument *is* the audit trail,
+/// so a bare `lint: allow(atomic-order)` does not silence them.
+pub(crate) fn push_reasoned(
+    out: &mut Vec<Finding>,
+    s: &ScannedFile,
+    d: &LineDirectives,
+    path: &str,
+    pos: usize,
+    rule: &'static str,
+    message: String,
+) {
+    let line = s.line_of(pos);
+    if s.is_test_line(line) || d.is_allowed_with_reason(line, rule) {
+        return;
+    }
+    out.push(Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+pub(crate) fn check_no_panic(
+    path: &str,
+    s: &ScannedFile,
+    d: &LineDirectives,
+    out: &mut Vec<Finding>,
+) {
     let code = s.code.as_bytes();
     for at in ident_occurrences(code, "unwrap") {
         let is_method = matches!(prev_non_ws(code, at), Some((_, b'.')));
@@ -297,7 +347,12 @@ fn check_no_panic(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut Vec
     }
 }
 
-fn check_literal_index(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut Vec<Finding>) {
+pub(crate) fn check_literal_index(
+    path: &str,
+    s: &ScannedFile,
+    d: &LineDirectives,
+    out: &mut Vec<Finding>,
+) {
     let code = s.code.as_bytes();
     for at in 0..code.len() {
         if code[at] != b'[' || at == 0 {
@@ -340,7 +395,12 @@ const HOT_MACROS: [&str; 2] = ["vec", "format"];
 /// Allocating constructor paths banned inside hot-path regions.
 const HOT_PATHS: [&str; 4] = ["Vec::new", "String::new", "Box::new", "String::from"];
 
-fn check_hot_alloc(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut Vec<Finding>) {
+pub(crate) fn check_hot_alloc(
+    path: &str,
+    s: &ScannedFile,
+    d: &LineDirectives,
+    out: &mut Vec<Finding>,
+) {
     let code = s.code.as_bytes();
     let mut hits: Vec<(usize, String)> = Vec::new();
     for method in HOT_METHODS {
@@ -402,7 +462,12 @@ const HASH_ITER_METHODS: [&str; 9] = [
     "drain",
 ];
 
-fn check_hash_order(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut Vec<Finding>) {
+pub(crate) fn check_hash_order(
+    path: &str,
+    s: &ScannedFile,
+    d: &LineDirectives,
+    out: &mut Vec<Finding>,
+) {
     let code = s.code.as_bytes();
     let tracked = hash_bound_idents(s);
     if tracked.is_empty() {
@@ -495,7 +560,7 @@ fn check_hash_order(path: &str, s: &ScannedFile, d: &LineDirectives, out: &mut V
 /// `let [mut] <id> ... Hash{Map,Set}` bindings and
 /// `<id>: [&][mut ][path::]Hash{Map,Set}` field or parameter
 /// declarations.
-fn hash_bound_idents(s: &ScannedFile) -> BTreeSet<String> {
+pub(crate) fn hash_bound_idents(s: &ScannedFile) -> BTreeSet<String> {
     let mut tracked = BTreeSet::new();
     let code = s.code.as_bytes();
     for container in ["HashMap", "HashSet"] {
@@ -552,7 +617,7 @@ fn hash_bound_idents(s: &ScannedFile) -> BTreeSet<String> {
     tracked
 }
 
-fn find_token(text: &str, token: &str) -> Option<usize> {
+pub(crate) fn find_token(text: &str, token: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut from = 0usize;
     while let Some(at) = crate::scan::find_bytes(bytes, token.as_bytes(), from) {

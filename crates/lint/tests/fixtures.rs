@@ -6,8 +6,8 @@
 use std::path::{Path, PathBuf};
 
 use pubsub_lint::{
-    lint_workspace, Finding, RULE_HASH_ORDER, RULE_HOT_ALLOC, RULE_KNOB_REGISTRY,
-    RULE_LITERAL_INDEX, RULE_NO_PANIC,
+    lint_workspace, Finding, RULE_ATOMIC_ORDER, RULE_FLOAT_DET, RULE_HASH_ORDER, RULE_HOT_ALLOC,
+    RULE_KNOB_REGISTRY, RULE_LITERAL_INDEX, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_THREAD_PANIC,
 };
 
 fn fixture_root(name: &str) -> PathBuf {
@@ -83,6 +83,49 @@ fn bad_knob_flags_both_directions() {
     assert!(all.contains("PUBSUB_GHOST"), "ghost doc entry: {all}");
     assert!(!all.contains("PUBSUB_DOCUMENTED"));
     assert!(!all.contains("PUBSUB_ONLY_IN_TESTS"));
+}
+
+#[test]
+fn bad_atomic_flags_relaxed_unpaired_and_seqcst() {
+    let findings = assert_flagged("bad_atomic", RULE_ATOMIC_ORDER, 3);
+    let all = format!("{findings:?}");
+    assert!(
+        all.contains("Relaxed"),
+        "reasonless waiver must not count: {all}"
+    );
+    assert!(
+        all.contains("no Release-side writer"),
+        "unpaired acquire: {all}"
+    );
+    assert!(all.contains("SeqCst"), "overkill ordering: {all}");
+}
+
+#[test]
+fn bad_lock_cycle_flags_both_edges() {
+    let findings = assert_flagged("bad_lock_cycle", RULE_LOCK_ORDER, 2);
+    let all = format!("{findings:?}");
+    assert!(
+        all.contains("ALPHA") && all.contains("BETA"),
+        "cycle members: {all}"
+    );
+    assert!(all.contains("deadlock cycle"), "{all}");
+}
+
+#[test]
+fn bad_float_sum_flags_chained_and_looped_accumulation() {
+    let findings = assert_flagged("bad_float_sum", RULE_FLOAT_DET, 2);
+    let all = format!("{findings:?}");
+    assert!(all.contains(".sum()"), "chained form: {all}");
+    assert!(all.contains("`+=` in a loop"), "looped form: {all}");
+    assert!(all.contains("parallel-produced"), "{all}");
+}
+
+#[test]
+fn bad_spawn_panic_flags_direct_and_transitive_panics() {
+    let findings = assert_flagged("bad_spawn_panic", RULE_THREAD_PANIC, 2);
+    let all = format!("{findings:?}");
+    assert!(all.contains(".expect(..)"), "direct evidence: {all}");
+    assert!(all.contains("calls `helper`"), "transitive evidence: {all}");
 }
 
 #[test]

@@ -361,6 +361,10 @@ impl<'a> Evaluator<'a> {
             acc
         })
         .into_iter()
+        // lint: allow(float-det): the partials come from par_chunks'
+        // fixed EVENT_CHUNK decomposition, returned in chunk order;
+        // this serial sum folds them in that fixed order, so the
+        // result is bit-identical at any thread count.
         .sum();
         total / n
     }
@@ -580,6 +584,9 @@ impl<'a> Evaluator<'a> {
             acc
         })
         .into_iter()
+        // lint: allow(float-det): fixed EVENT_CHUNK partials folded
+        // serially in chunk order (same argument as total_cost), so
+        // the result is bit-identical at any thread count.
         .sum();
         total / n
     }
